@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Reproduces Table 1's semantics: the LBR_SELECT filter bits. A small
+ * program retiring every branch class (conditional, near relative
+ * jump, near calls/returns, far branches into ring 0, kernel
+ * branches) runs under several LBR_SELECT masks; the bench prints
+ * which classes were recorded under each mask, demonstrating that a
+ * set bit suppresses its class — and that the paper's mask keeps
+ * exactly the conditional branches and near relative jumps needed to
+ * resolve source-level branch outcomes.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "hw/msr.hh"
+#include "program/builder.hh"
+#include "program/transform.hh"
+#include "table_util.hh"
+#include "vm/machine.hh"
+
+using namespace stm;
+using namespace stm::bench;
+
+namespace
+{
+
+ProgramPtr
+allBranchKindsProgram()
+{
+    using namespace regs;
+    ProgramBuilder b("branch-zoo");
+    b.global("x", 1, {1});
+
+    b.func("main");
+    b.loadg(r4, "x");
+    b.movi(r5, 0);
+    b.beginIf(Cond::Gt, r4, r5, "x > 0"); // conditional + rel jump
+    b.addi(r4, r4, 1);
+    b.endIf();
+    b.call("helper");                      // near relative call + ret
+    b.syscall(SyscallNo::Alloc, r4, r6);   // far branch + ring-0 work
+    b.halt();
+
+    b.func("helper");
+    b.nop();
+    b.ret();
+    return b.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    struct MaskRow
+    {
+        const char *name;
+        std::uint64_t mask;
+    };
+    const MaskRow masks[] = {
+        {"none (record all)", 0},
+        {"paper mask (Table 1 *)", msr::kPaperLbrSelect},
+        {"filter conditional (0x4)", msr::kLbrFilterConditional},
+        {"filter rel jump (0x80)", msr::kLbrFilterNearRelJmp},
+        {"filter calls+rets", msr::kLbrFilterNearRelCall |
+                                  msr::kLbrFilterNearRet},
+        {"filter ring0 (0x1)", msr::kLbrFilterRing0},
+        {"filter far (0x100)", msr::kLbrFilterFar},
+    };
+
+    std::cout << "Table 1 semantics: branch classes recorded in LBR "
+                 "under LBR_SELECT masks\n(set bit = suppress that "
+                 "class)\n\n"
+              << cell("mask", 28) << cell("cond", 6) << cell("jmp", 6)
+              << cell("call", 6) << cell("ret", 6) << cell("far", 6)
+              << cell("ring0", 7) << '\n';
+
+    for (const MaskRow &row : masks) {
+        ProgramPtr prog = allBranchKindsProgram();
+        transform::LbrLogPlan plan;
+        plan.lbrSelectMask = row.mask;
+        plan.toggling = false;
+        transform::applyLbrLog(*prog, plan);
+
+        Machine machine(prog);
+        // Snapshot at the end by running and inspecting the last LBR
+        // state via a profile at the segfault handler; easiest: give
+        // the machine a profile syscall before halting. Simpler: read
+        // the profile collected in the failing-free run via the PMU —
+        // the run completes, so inspect by re-running with a profile
+        // hook at the Halt instruction.
+        for (std::uint32_t i = 0; i < prog->code.size(); ++i) {
+            if (prog->code[i].op == Opcode::Halt) {
+                prog->instrumentation.before[i].push_back(
+                    Hook{HookAction::ProfileLbr, 0, false});
+            }
+        }
+        RunResult run = machine.run();
+
+        std::map<BranchKind, int> kinds;
+        bool ring0 = false;
+        if (!run.profiles.empty()) {
+            for (const auto &rec : run.profiles.back().lbr) {
+                ++kinds[rec.kind];
+                ring0 = ring0 || rec.kernel;
+            }
+        }
+        auto yes = [&](BranchKind k) {
+            return kinds.count(k) ? "yes" : "-";
+        };
+        std::cout << cell(row.name, 28)
+                  << cell(yes(BranchKind::Conditional), 6)
+                  << cell(yes(BranchKind::NearRelativeJump), 6)
+                  << cell(yes(BranchKind::NearRelativeCall), 6)
+                  << cell(yes(BranchKind::NearReturn), 6)
+                  << cell(yes(BranchKind::FarBranch), 6)
+                  << cell(ring0 ? "yes" : "-", 7) << '\n';
+    }
+    std::cout << "\n(the paper's mask records conditional branches "
+                 "and near relative jumps only: exactly the records "
+                 "needed to resolve source-level branch outcomes "
+                 "after fall-through normalization)\n";
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Reproduces Table 2's semantics: the L1-D cache-coherence events.
+ * A two-thread program stages accesses that observe each MESI state
+ * prior to the access; performance counters programmed with each
+ * (event code, unit mask) pair count them, and the LCR configured
+ * with the same masks records them — demonstrating the paper's claim
+ * that LCR only "records while counting" events the existing PMU
+ * already exposes.
+ */
+
+#include <iostream>
+
+#include "corpus/registry.hh"
+#include "hw/lcr.hh"
+#include "program/transform.hh"
+#include "table_util.hh"
+#include "vm/machine.hh"
+
+using namespace stm;
+using namespace stm::bench;
+
+int
+main()
+{
+    std::cout << "Table 2 semantics: loads/stores observing each "
+                 "pre-access MESI state\n(counted by a performance "
+                 "counter and recorded by LCR under the matching "
+                 "unit mask)\n\n"
+              << cell("event", 24) << cell("counter", 10)
+              << cell("LCR records", 12) << '\n';
+
+    struct EventRow
+    {
+        const char *name;
+        std::uint8_t code;
+        std::uint8_t umask;
+    };
+    const EventRow events[] = {
+        {"load observing I (0x01)", msr::kEventLoad,
+         msr::kUmaskInvalid},
+        {"load observing S (0x02)", msr::kEventLoad,
+         msr::kUmaskShared},
+        {"load observing E (0x04)", msr::kEventLoad,
+         msr::kUmaskExclusive},
+        {"load observing M (0x08)", msr::kEventLoad,
+         msr::kUmaskModified},
+        {"store observing I (0x01)", msr::kEventStore,
+         msr::kUmaskInvalid},
+        {"store observing S (0x02)", msr::kEventStore,
+         msr::kUmaskShared},
+        {"store observing E (0x04)", msr::kEventStore,
+         msr::kUmaskExclusive},
+        {"store observing M (0x08)", msr::kEventStore,
+         msr::kUmaskModified},
+    };
+
+    for (const EventRow &row : events) {
+        // The Mozilla-JS3 program exercises all states (cold misses,
+        // remote invalidations, shared reads, private read/write).
+        BugSpec bug = corpus::bugById("mozilla-js3");
+        transform::clear(*bug.program);
+        LcrConfig config;
+        if (row.code == msr::kEventLoad)
+            config.loadMask = row.umask;
+        else
+            config.storeMask = row.umask;
+        transform::LcrLogPlan plan;
+        plan.lcrConfigMask = config.pack();
+        plan.toggling = false;
+        transform::applyLcrLog(*bug.program, plan);
+        // Snapshot the LCR at program exit.
+        for (std::uint32_t i = 0; i < bug.program->code.size(); ++i) {
+            if (bug.program->code[i].op == Opcode::Halt) {
+                bug.program->instrumentation.before[i].push_back(
+                    Hook{HookAction::ProfileLcr, 0, false});
+            }
+        }
+        MachineOptions opts = bug.succeeding.forRun(0);
+        Machine machine(bug.program, opts);
+        RunResult run = machine.run();
+
+        std::size_t recorded = 0;
+        std::size_t matching = 0;
+        for (const auto &p : run.profiles) {
+            if (p.kind != ProfileKind::Lcr)
+                continue;
+            recorded = std::max(recorded, p.lcr.size());
+            std::size_t m = 0;
+            for (const auto &rec : p.lcr) {
+                LcrConfig probe = config;
+                CoherenceEvent ev;
+                ev.pc = rec.pc;
+                ev.observed = rec.observed;
+                ev.store = rec.store;
+                if (probe.matches(ev))
+                    ++m;
+            }
+            matching = std::max(matching, m);
+        }
+        (void)matching;
+
+        // Counter: re-run with PBI configured on the same selection
+        // and an effectively-infinite period, then read the count of
+        // matching events observed (samples * period bounds it; use
+        // period 1 to count every event).
+        transform::clear(*bug.program);
+        transform::applyPbi(
+            *bug.program,
+            row.code == msr::kEventLoad ? row.umask : 0,
+            row.code == msr::kEventStore ? row.umask : 0, 1);
+        Machine counter(bug.program, opts);
+        RunResult counted = counter.run();
+        std::uint64_t total = 0;
+        for (const auto &[key, samples] : counted.pbiSamples)
+            total += samples;
+        transform::clear(*bug.program);
+
+        std::cout << cell(row.name, 24)
+                  << cell(std::to_string(total), 10)
+                  << cell(std::to_string(recorded), 12) << '\n';
+    }
+    std::cout << "\n(LCR holds at most its 16-entry capacity of the "
+                 "counted events — 'recording while counting')\n";
+    return 0;
+}

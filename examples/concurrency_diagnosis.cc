@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deep-dive on diagnosing a concurrency production failure — the
+ * PBZIP2 use-after-teardown crash of the paper's Figure 6 — with the
+ * proposed LCR hardware:
+ *
+ *   1. Watch the order violation manifest under seeded schedules.
+ *   2. LCRLOG under both LCR configurations: the failure thread's
+ *      coherence-event record, with the paper's pollution model.
+ *   3. LCRA: automatic localization of the failure-predicting event.
+ *   4. PBI head-to-head: counter sampling needs the failure to recur
+ *      hundreds of times.
+ *
+ * Run: ./concurrency_diagnosis [bug-id]
+ */
+
+#include <iostream>
+
+#include "baseline/pbi.hh"
+#include "corpus/registry.hh"
+#include "diag/auto_diag.hh"
+#include "diag/log_enhance.hh"
+#include "diag/report.hh"
+#include "vm/machine.hh"
+
+using namespace stm;
+
+int
+main(int argc, char **argv)
+{
+    std::string id = argc > 1 ? argv[1] : "pbzip3";
+    BugSpec bug = corpus::bugById(id);
+    std::cout << "=== " << bug.app << ' ' << bug.version << " ("
+              << interleavingName(bug.interleaving) << ' '
+              << bugClassName(bug.bugClass) << ", "
+              << symptomName(bug.symptom) << ") ===\n\n";
+
+    // ---- 1. manifestation ---------------------------------------------------
+    int failures = 0;
+    const int probes = 50;
+    for (int i = 0; i < probes; ++i) {
+        Machine machine(bug.program, bug.failing.forRun(i));
+        RunResult run = machine.run();
+        failures += bug.failing.isFailure(run) ? 1 : 0;
+    }
+    std::cout << "the race manifests in " << failures << '/'
+              << probes
+              << " runs under the stressful schedule (and almost "
+                 "never under the benign one).\n\n";
+
+    // ---- 2. LCRLOG under both configurations -----------------------------
+    for (bool spaceSaving : {false, true}) {
+        LogEnhanceOptions opts;
+        opts.lcrConfig = spaceSaving ? lcrConfSpaceSaving()
+                                     : lcrConfSpaceConsuming();
+        std::cout << "--- LCRLOG, "
+                  << (spaceSaving
+                          ? "Conf1 (space-saving: I loads/stores + "
+                            "S loads)"
+                          : "Conf2 (space-consuming: I loads/stores "
+                            "+ E loads)")
+                  << " ---\n";
+        LcrLogReport log =
+            runLcrLog(bug.program, bug.failing, opts);
+        printLcrLogReport(std::cout, *bug.program, log);
+        if (!bug.truth.fpeUnreachable) {
+            std::size_t pos = log.positionOfEvent(
+                spaceSaving && !bug.truth.conf1Absence
+                    ? bug.truth.conf1Instr
+                    : bug.truth.fpeInstr,
+                spaceSaving && !bug.truth.conf1Absence
+                    ? bug.truth.conf1State
+                    : bug.truth.fpeState,
+                spaceSaving && !bug.truth.conf1Absence
+                    ? bug.truth.conf1Store
+                    : bug.truth.fpeStore);
+            std::cout << "failure-predicting event at entry #"
+                      << (pos ? std::to_string(pos)
+                              : std::string("- (not recorded under "
+                                            "this configuration)"))
+                      << "\n\n";
+        }
+    }
+
+    // ---- 3. LCRA ---------------------------------------------------------
+    std::cout << "--- LCRA: automatic localization ---\n";
+    AutoDiagOptions diagOpts;
+    diagOpts.absencePredicates = true;
+    AutoDiagResult lcra =
+        runLcra(bug.program, bug.failing, bug.succeeding, diagOpts);
+    printRanking(std::cout, *bug.program, lcra);
+
+    // ---- 4. PBI ------------------------------------------------------------
+    std::cout << "\n--- PBI: counter-sampling baseline ---\n";
+    for (std::uint32_t runs : {10u, 300u}) {
+        PbiOptions opts;
+        opts.period = 3;
+        opts.failureRuns = runs;
+        opts.successRuns = runs;
+        PbiResult pbi =
+            runPbi(bug.program, bug.failing, bug.succeeding, opts);
+        std::size_t rank =
+            pbi.completed && !bug.truth.fpeUnreachable
+                ? pbi.positionOf(bug.truth.fpeInstr,
+                                 bug.truth.fpeState,
+                                 bug.truth.fpeStore)
+                : 0;
+        std::cout << "  with " << runs
+                  << " failing runs: FPE rank "
+                  << (rank ? std::to_string(rank) : "-") << '\n';
+    }
+    std::cout << "(LCRA needed " << lcra.failureAttempts
+              << " failing runs)\n";
+    return 0;
+}

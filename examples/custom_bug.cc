@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Bring-your-own-program walkthrough: build a program with
+ * ProgramBuilder, describe its workloads, and run the whole diagnosis
+ * stack on it — no corpus involved. The staged bug is a
+ * use-after-free-style dangling index in a small order-book service:
+ * cancelling the last order leaves a stale cursor that the settlement
+ * pass dereferences.
+ *
+ * Run: ./custom_bug
+ */
+
+#include <iostream>
+
+#include "diag/auto_diag.hh"
+#include "diag/log_enhance.hh"
+#include "diag/report.hh"
+#include "program/builder.hh"
+
+using namespace stm;
+using namespace stm::regs;
+
+namespace
+{
+
+struct OrderBookProgram
+{
+    ProgramPtr program;
+    SourceBranchId rootCause = 0;
+};
+
+OrderBookProgram
+buildOrderBook()
+{
+    OrderBookProgram out;
+    ProgramBuilder b("orderbook");
+    b.file("book.c");
+
+    b.global("orders", 8, {10, 20, 30, 40, 0, 0, 0, 0});
+    b.global("norders", 1, {4});
+    b.global("cancel_idx", 1, {-1});
+    b.global("cursor", 1, {0});
+    b.global("settled", 1, {0});
+
+    b.line(10);
+    b.func("main");
+    b.line(11).call("cancel_order");
+    b.line(12).call("settle");
+    b.loadg(r1, "settled");
+    b.out(r1);
+    b.line(14).halt();
+
+    // cancel_order: removes orders[cancel_idx] by swapping the last
+    // order in, decrementing norders. ROOT CAUSE: when the cancelled
+    // order IS the last one, the cursor is not pulled back.
+    b.line(20);
+    b.func("cancel_order");
+    b.loadg(r4, "cancel_idx");
+    b.movi(r5, 0);
+    b.line(22).beginIf(Cond::Lt, r4, r5, "nothing to cancel");
+    b.ret();
+    b.endIf();
+    b.loadg(r6, "norders");
+    b.addi(r6, r6, -1);
+    b.line(26).storeg("norders", 0, r6, r7);
+    // if (cancel_idx < norders) move the last order into the hole
+    out.rootCause =
+        b.line(28).beginIf(Cond::Lt, r4, r6,
+                           "hole in the middle (buggy: cursor not "
+                           "clamped in the else case)");
+    {
+        b.lea(r8, "orders");
+        b.movi(r9, 8);
+        b.mul(r10, r6, r9);
+        b.add(r10, r8, r10);
+        b.load(r11, r10, 0); // last order
+        b.mul(r12, r4, r9);
+        b.add(r12, r8, r12);
+        b.line(33).store(r12, 0, r11);
+    }
+    b.endIf();
+    // Clear the vacated last slot either way.
+    b.lea(r8, "orders");
+    b.movi(r9, 8);
+    b.mul(r10, r6, r9);
+    b.add(r10, r8, r10);
+    b.movi(r11, 0);
+    b.line(35).store(r10, 0, r11);
+    // (missing: if (cursor >= norders) cursor = norders - 1;)
+    b.line(36).ret();
+
+    // settle: walks from the cursor to the end of the book.
+    b.line(40);
+    b.func("settle");
+    b.loadg(r4, "cursor");
+    b.loadg(r5, "norders");
+    // Peek at the cursor's slot before walking: a stale cursor points
+    // at the slot the cancel just vacated.
+    b.lea(r6, "orders");
+    b.movi(r7, 8);
+    b.mul(r8, r4, r7);
+    b.add(r6, r6, r8);
+    b.load(r9, r6, 0);
+    b.movi(r10, 0);
+    b.line(41).beginIf(Cond::Le, r9, r10, "cursor slot empty");
+    b.line(41).logError("settlement cursor points at a vacated "
+                        "slot",
+                        "book_log");
+    b.endIf();
+    b.line(42).beginWhile(Cond::Lt, r4, r5, "cursor < norders");
+    {
+        b.lea(r6, "orders");
+        b.movi(r7, 8);
+        b.mul(r8, r4, r7);
+        b.add(r6, r6, r8);
+        b.load(r9, r6, 0);
+        b.movi(r10, 0);
+        b.line(46).beginIf(Cond::Le, r9, r10, "empty slot");
+        b.line(47).logError("settlement hit an empty order slot",
+                            "book_log");
+        b.endIf();
+        b.loadg(r11, "settled");
+        b.add(r11, r11, r9);
+        b.storeg("settled", 0, r11, r12);
+        b.addi(r4, r4, 1);
+    }
+    b.endWhile();
+    b.line(52).ret();
+
+    out.program = b.build();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    OrderBookProgram book = buildOrderBook();
+
+    // Workloads: cancelling the LAST order (index 3) leaves orders[3]
+    // stale-but-zeroed in range of a cursor that was already past it.
+    Workload failing;
+    failing.base.globalOverrides = {{"cancel_idx", {3}},
+                                    {"cursor", {3}},
+                                    {"orders",
+                                     {10, 20, 30, 40, 0, 0, 0, 0}}};
+    Workload succeeding;
+    succeeding.base.globalOverrides = {{"cancel_idx", {1}},
+                                       {"cursor", {0}}};
+
+    std::cout << "=== diagnosing a user-written program ===\n\n";
+    LbrLogReport log = runLbrLog(book.program, failing);
+    printLbrLogReport(std::cout, *book.program, log);
+
+    std::cout << "\n--- LBRA ---\n";
+    AutoDiagResult lbra =
+        runLbra(book.program, failing, succeeding);
+    printRanking(std::cout, *book.program, lbra);
+
+    std::size_t rank = lbra.positionOf(
+        EventKey::sourceBranch(book.rootCause, false));
+    std::cout << "\nthe buggy cancel-last-order path ranks #" << rank
+              << " (the branch whose FALSE outcome skips the cursor "
+                 "clamp)\n";
+    return rank == 1 ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * LBRLOG as a generic log-enhancement mechanism (Section 5.1): apply
+ * the transformer to an application with many failure-logging sites,
+ * fail it, and show how the captured LBR resolves the control-flow
+ * uncertainty that core dumps and call stacks cannot — including the
+ * static useful-branch analysis of the failing site (Table 5's
+ * metric, applied to a single site).
+ *
+ * Run: ./log_enhancement [bug-id]
+ */
+
+#include <iostream>
+
+#include "corpus/registry.hh"
+#include "diag/log_enhance.hh"
+#include "diag/report.hh"
+#include "program/cfg.hh"
+#include "program/static_analysis.hh"
+
+using namespace stm;
+
+int
+main(int argc, char **argv)
+{
+    std::string id = argc > 1 ? argv[1] : "squid1";
+    BugSpec bug = corpus::bugById(id);
+
+    std::cout << "=== log enhancement for " << bug.app << " ===\n"
+              << bug.program->logSites.size()
+              << " logging sites (the real application has "
+              << bug.paperLogPoints << "; Table 4)\n\n";
+
+    // The transformer touches every failure-logging site at once:
+    // list them the way the source-to-source tool would.
+    for (const LogSiteInfo *site : bug.program->failureSites()) {
+        std::cout << "  [site " << site->id << "] "
+                  << site->logFunction << "(\"" << site->message
+                  << "\") at "
+                  << bug.program->fileName(site->loc.file) << ':'
+                  << site->loc.line << '\n';
+    }
+
+    // Fail once and read the enhanced log.
+    std::cout << "\n--- a production failure arrives ---\n";
+    LbrLogReport log = runLbrLog(bug.program, bug.failing);
+    printLbrLogReport(std::cout, *bug.program, log);
+
+    // How much of that record could static analysis have inferred?
+    if (log.failed && log.site != kSegfaultSite) {
+        Cfg cfg(*bug.program);
+        UsefulBranchAnalyzer analyzer(*bug.program, cfg);
+        UsefulBranchStats stats = analyzer.analyzeSite(
+            bug.program->logSite(log.site).instrIndex);
+        std::cout << "\nstatic analysis of this site: "
+                  << stats.ratio * 100
+                  << "% of the LBR entries could NOT have been "
+                     "inferred from the failure location alone "
+                     "(Table 5's useful-branch ratio; "
+                  << stats.paths << " backward paths explored)\n";
+    }
+
+    // Contrast with the traditional options (Section 5.3).
+    std::cout << "\ntraditional alternatives at this site:\n"
+              << "  - core dump: whole-memory image (privacy risk, "
+                 "~200 ms; cannot show sibling-function control "
+                 "flow)\n"
+              << "  - call stack: ~200 us, but "
+              << "avoid_trashing_input-style frames are already "
+                 "gone\n"
+              << "  - LBR profile: 16 branch records, < 20 us, no "
+                 "variable values leave the machine\n";
+    return 0;
+}

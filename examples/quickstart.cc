@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: diagnose one sequential-bug failure (the Coreutils sort
+ * crash of the paper's Figure 3) with LBRLOG + LBRA, and one
+ * concurrency-bug failure (the Mozilla JavaScript engine race of
+ * Figure 4) with LCRLOG + LCRA.
+ *
+ * This walks the full production-run pipeline:
+ *   1. the transformer enhances the program's failure logging,
+ *   2. the program runs until it fails; the LBR/LCR content captured
+ *      at the failure site is the developer-facing record,
+ *   3. LBRA/LCRA collect 10 failure + 10 success profiles and rank
+ *      failure predictors statistically.
+ */
+
+#include <iostream>
+
+#include "corpus/registry.hh"
+#include "diag/auto_diag.hh"
+#include "diag/log_enhance.hh"
+#include "diag/report.hh"
+
+using namespace stm;
+
+int
+main()
+{
+    std::cout << "=== Sequential failure: sort (Figure 3) ===\n";
+    {
+        BugSpec bug = corpus::bugById("sort");
+
+        LbrLogReport log = runLbrLog(bug.program, bug.failing);
+        printLbrLogReport(std::cout, *bug.program, log);
+        std::cout << "  root-cause branch position: "
+                  << log.positionOfBranch(bug.truth.rootCauseBranch)
+                  << " (paper: " << bug.paper.lbrlogTog << ")\n\n";
+
+        AutoDiagResult lbra =
+            runLbra(bug.program, bug.failing, bug.succeeding);
+        printRanking(std::cout, *bug.program, lbra);
+        EventKey rootCause = EventKey::sourceBranch(
+            bug.truth.rootCauseBranch, bug.truth.rootCauseOutcome);
+        std::cout << "  LBRA rank of root-cause branch: "
+                  << lbra.positionOf(rootCause) << " (paper: "
+                  << bug.paper.lbra << ")\n\n";
+    }
+
+    std::cout << "=== Concurrency failure: Mozilla-JS3 (Figure 4) "
+                 "===\n";
+    {
+        BugSpec bug = corpus::bugById("mozilla-js3");
+
+        LcrLogReport log = runLcrLog(bug.program, bug.failing);
+        printLcrLogReport(std::cout, *bug.program, log);
+        std::cout << "  failure-predicting event position: "
+                  << log.positionOfEvent(bug.truth.fpeInstr,
+                                         bug.truth.fpeState,
+                                         bug.truth.fpeStore)
+                  << " (paper Conf2: " << bug.paper.lcrlogConf2
+                  << ")\n\n";
+
+        AutoDiagOptions opts;
+        opts.absencePredicates = true;
+        AutoDiagResult lcra =
+            runLcra(bug.program, bug.failing, bug.succeeding, opts);
+        printRanking(std::cout, *bug.program, lcra);
+        EventKey fpe = EventKey::coherence(
+            layout::codeAddr(bug.truth.fpeInstr), bug.truth.fpeState,
+            bug.truth.fpeStore);
+        std::cout << "  LCRA rank of the FPE: "
+                  << lcra.positionOf(fpe) << " (paper: "
+                  << bug.paper.lcra << ")\n";
+    }
+    return 0;
+}

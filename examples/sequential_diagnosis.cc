@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deep-dive on diagnosing a sequential production failure — the cp
+ * "cannot create regular file" error — end to end:
+ *
+ *   1. LBRLOG: ship the binary with enhanced failure logging, watch
+ *      one failure, and read the LBR record like a developer would.
+ *   2. Study the toggling trade-off: the copy machinery's library
+ *      branches wipe an untoggled LBR.
+ *   3. LBRA: automatic statistical localization from 10 failure +
+ *      10 success profiles.
+ *   4. CBI head-to-head: the same bug needs hundreds of sampled runs.
+ *
+ * Run: ./sequential_diagnosis [bug-id]
+ */
+
+#include <iostream>
+
+#include "baseline/cbi.hh"
+#include "corpus/registry.hh"
+#include "diag/auto_diag.hh"
+#include "diag/log_enhance.hh"
+#include "diag/report.hh"
+
+using namespace stm;
+
+int
+main(int argc, char **argv)
+{
+    std::string id = argc > 1 ? argv[1] : "cp";
+    BugSpec bug = corpus::bugById(id);
+    std::cout << "=== " << bug.app << ' ' << bug.version << " ("
+              << bugClassName(bug.bugClass) << " bug, "
+              << symptomName(bug.symptom) << ") ===\n\n";
+
+    // ---- 1. LBRLOG --------------------------------------------------------
+    std::cout << "--- LBRLOG: the record a developer receives ---\n";
+    LbrLogReport log = runLbrLog(bug.program, bug.failing);
+    printLbrLogReport(std::cout, *bug.program, log);
+    if (bug.truth.rootCauseBranch != kNoSourceBranch) {
+        std::size_t pos =
+            log.positionOfBranch(bug.truth.rootCauseBranch);
+        const auto &info =
+            bug.program->branch(bug.truth.rootCauseBranch);
+        std::cout << "\nroot-cause branch '" << info.note << "' ("
+                  << bug.program->fileName(info.loc.file) << ':'
+                  << info.loc.line << ") is entry #" << pos
+                  << "; the patch lands "
+                  << patchDistanceString(patchDistance(
+                         info.loc, bug.truth.patchLoc))
+                  << " lines from it, but "
+                  << patchDistanceString(patchDistance(
+                         bug.truth.failureLoc, bug.truth.patchLoc))
+                  << " lines from the failure site.\n";
+    }
+
+    // ---- 2. toggling -----------------------------------------------------
+    std::cout << "\n--- without library toggling ---\n";
+    LogEnhanceOptions noTog;
+    noTog.toggling = false;
+    LbrLogReport raw = runLbrLog(bug.program, bug.failing, noTog);
+    int libraryEntries = 0;
+    for (const auto &rec : raw.record) {
+        if (rec.fromIp >= layout::kLibraryBase &&
+            rec.fromIp < layout::kGlobalBase) {
+            ++libraryEntries;
+        }
+    }
+    std::cout << libraryEntries << '/' << raw.record.size()
+              << " entries are library branches; the root-cause "
+                 "branch is "
+              << (raw.positionOfBranch(bug.truth.rootCauseBranch)
+                      ? "still captured"
+                      : "evicted (Table 6's '-' column)")
+              << ".\n";
+
+    // ---- 3. LBRA ----------------------------------------------------------
+    std::cout << "\n--- LBRA: automatic localization (10 + 10 "
+                 "profiles) ---\n";
+    AutoDiagResult lbra =
+        runLbra(bug.program, bug.failing, bug.succeeding);
+    printRanking(std::cout, *bug.program, lbra);
+
+    // ---- 4. CBI ------------------------------------------------------------
+    if (!bug.isCpp) {
+        std::cout << "\n--- CBI: the sampling baseline ---\n";
+        for (std::uint32_t runs : {10u, 1000u}) {
+            CbiOptions opts;
+            opts.failureRuns = runs;
+            opts.successRuns = runs;
+            CbiResult cbi =
+                runCbi(bug.program, bug.failing, bug.succeeding,
+                       opts);
+            std::size_t rank =
+                cbi.completed ? cbi.positionOfBranch(
+                                    bug.truth.rootCauseBranch)
+                              : 0;
+            std::cout << "  with " << runs
+                      << " failing runs: root-cause rank "
+                      << (rank ? std::to_string(rank) : "-") << '\n';
+        }
+        std::cout << "(LBRA needed " << lbra.failureAttempts
+                  << " failing runs)\n";
+    } else {
+        std::cout << "\n(CBI cannot instrument this C++ "
+                     "application: Table 6's N/A)\n";
+    }
+    return 0;
+}

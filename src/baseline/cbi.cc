@@ -1,0 +1,145 @@
+#include "baseline/cbi.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "program/transform.hh"
+#include "vm/machine.hh"
+
+namespace stm
+{
+
+namespace
+{
+
+/** Competition rank: ties share the best position. */
+template <typename Entry, typename Match>
+std::size_t
+competitionRank(const std::vector<Entry> &ranking, Match matches)
+{
+    const Entry *found = nullptr;
+    for (const auto &r : ranking) {
+        if (matches(r)) {
+            found = &r;
+            break;
+        }
+    }
+    if (!found)
+        return 0;
+    std::size_t better = 0;
+    for (const auto &r : ranking) {
+        if (r.score.importance > found->score.importance)
+            ++better;
+    }
+    return better + 1;
+}
+
+} // namespace
+
+std::size_t
+CbiResult::positionOf(SourceBranchId branch, bool outcome) const
+{
+    return competitionRank(ranking, [&](const CbiPredicateScore &r) {
+        return r.branch == branch && r.outcome == outcome;
+    });
+}
+
+std::size_t
+CbiResult::positionOfBranch(SourceBranchId branch) const
+{
+    return competitionRank(ranking, [&](const CbiPredicateScore &r) {
+        return r.branch == branch;
+    });
+}
+
+CbiResult
+runCbi(ProgramPtr prog, const Workload &failing,
+       const Workload &succeeding, const CbiOptions &opts)
+{
+    transform::clear(*prog);
+    transform::applyCbi(*prog, opts.meanPeriod);
+
+    CbiResult result;
+    std::map<CbiPredicate, LiblitTally> tallies;
+
+    auto accumulate = [&](const RunResult &run, bool run_failed) {
+        for (const auto &[branch, samples] : run.cbiSiteSamples) {
+            if (samples == 0)
+                continue;
+            for (bool outcome : {false, true}) {
+                LiblitTally &tally =
+                    tallies[CbiPredicate{branch, outcome}];
+                if (run_failed)
+                    ++tally.obsInFailing;
+                else
+                    ++tally.obsInSucceeding;
+                auto it =
+                    run.cbiCounts.find(CbiPredicate{branch, outcome});
+                bool observed_true =
+                    it != run.cbiCounts.end() && it->second > 0;
+                if (observed_true) {
+                    if (run_failed)
+                        ++tally.trueInFailing;
+                    else
+                        ++tally.trueInSucceeding;
+                }
+            }
+        }
+    };
+
+    // Gather failing runs.
+    std::uint64_t attempt = 0;
+    while (result.failureRunsUsed < opts.failureRuns &&
+           attempt < opts.maxAttempts) {
+        Machine machine(prog, failing.forRun(attempt));
+        RunResult run = machine.run();
+        ++attempt;
+        if (!failing.isFailure(run))
+            continue;
+        accumulate(run, true);
+        ++result.failureRunsUsed;
+    }
+    result.failureAttempts = attempt;
+
+    // Gather successful runs.
+    std::uint64_t successAttempt = 0;
+    while (result.successRunsUsed < opts.successRuns &&
+           successAttempt < opts.maxAttempts) {
+        Machine machine(prog,
+                        succeeding.forRun(5000000 + successAttempt));
+        RunResult run = machine.run();
+        ++successAttempt;
+        if (succeeding.isFailure(run))
+            continue;
+        accumulate(run, false);
+        ++result.successRunsUsed;
+    }
+
+    if (result.failureRunsUsed == 0 || result.successRunsUsed == 0)
+        return result;
+
+    for (const auto &[pred, tally] : tallies) {
+        LiblitScore score = liblitScore(tally, result.failureRunsUsed);
+        if (score.importance <= 0.0)
+            continue;
+        CbiPredicateScore entry;
+        entry.branch = pred.first;
+        entry.outcome = pred.second;
+        entry.tally = tally;
+        entry.score = score;
+        result.ranking.push_back(entry);
+    }
+    std::sort(result.ranking.begin(), result.ranking.end(),
+              [](const CbiPredicateScore &x,
+                 const CbiPredicateScore &y) {
+                  if (x.score.importance != y.score.importance)
+                      return x.score.importance > y.score.importance;
+                  if (x.branch != y.branch)
+                      return x.branch < y.branch;
+                  return x.outcome < y.outcome;
+              });
+    result.completed = true;
+    return result;
+}
+
+} // namespace stm

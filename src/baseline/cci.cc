@@ -1,0 +1,119 @@
+#include "baseline/cci.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "program/transform.hh"
+#include "vm/machine.hh"
+
+namespace stm
+{
+
+std::size_t
+CciResult::positionOf(std::uint32_t instr_index, bool remote) const
+{
+    Addr pc = layout::codeAddr(instr_index);
+    const CciPredicateScore *found = nullptr;
+    for (const auto &r : ranking) {
+        if (r.pc == pc && r.remote == remote) {
+            found = &r;
+            break;
+        }
+    }
+    if (!found)
+        return 0;
+    std::size_t better = 0;
+    for (const auto &r : ranking) {
+        if (r.score.importance > found->score.importance)
+            ++better;
+    }
+    return better + 1;
+}
+
+CciResult
+runCci(ProgramPtr prog, const Workload &failing,
+       const Workload &succeeding, const CciOptions &opts)
+{
+    transform::clear(*prog);
+    transform::applyCci(*prog, opts.meanPeriod);
+
+    CciResult result;
+    std::map<std::pair<Addr, bool>, LiblitTally> tallies;
+
+    auto accumulate = [&](const RunResult &run, bool run_failed) {
+        for (const auto &[pc, samples] : run.cciSiteSamples) {
+            if (samples == 0)
+                continue;
+            for (bool remote : {false, true}) {
+                LiblitTally &tally = tallies[{pc, remote}];
+                if (run_failed)
+                    ++tally.obsInFailing;
+                else
+                    ++tally.obsInSucceeding;
+                auto it = run.cciCounts.find({pc, remote});
+                bool observed_true =
+                    it != run.cciCounts.end() && it->second > 0;
+                if (observed_true) {
+                    if (run_failed)
+                        ++tally.trueInFailing;
+                    else
+                        ++tally.trueInSucceeding;
+                }
+            }
+        }
+    };
+
+    std::uint64_t attempt = 0;
+    while (result.failureRunsUsed < opts.failureRuns &&
+           attempt < opts.maxAttempts) {
+        Machine machine(prog, failing.forRun(attempt));
+        RunResult run = machine.run();
+        ++attempt;
+        if (!failing.isFailure(run))
+            continue;
+        accumulate(run, true);
+        ++result.failureRunsUsed;
+    }
+    result.failureAttempts = attempt;
+
+    std::uint64_t successAttempt = 0;
+    while (result.successRunsUsed < opts.successRuns &&
+           successAttempt < opts.maxAttempts) {
+        Machine machine(prog,
+                        succeeding.forRun(5000000 + successAttempt));
+        RunResult run = machine.run();
+        ++successAttempt;
+        if (succeeding.isFailure(run))
+            continue;
+        accumulate(run, false);
+        ++result.successRunsUsed;
+    }
+
+    if (result.failureRunsUsed == 0 || result.successRunsUsed == 0)
+        return result;
+
+    for (const auto &[pred, tally] : tallies) {
+        LiblitScore score = liblitScore(tally, result.failureRunsUsed);
+        if (score.importance <= 0.0)
+            continue;
+        CciPredicateScore entry;
+        entry.pc = pred.first;
+        entry.remote = pred.second;
+        entry.tally = tally;
+        entry.score = score;
+        result.ranking.push_back(entry);
+    }
+    std::sort(result.ranking.begin(), result.ranking.end(),
+              [](const CciPredicateScore &x,
+                 const CciPredicateScore &y) {
+                  if (x.score.importance != y.score.importance)
+                      return x.score.importance > y.score.importance;
+                  if (x.pc != y.pc)
+                      return x.pc < y.pc;
+                  return x.remote < y.remote;
+              });
+    result.completed = true;
+    return result;
+}
+
+} // namespace stm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The CCI baseline (Cooperative Concurrency-bug Isolation, Jin et
+ * al., OOPSLA'10): software-sampled interleaving predicates at shared
+ * memory accesses. The sampled predicate here follows CCI-Prev's
+ * spirit: "did this access interact with another thread since the
+ * last local access" — operationalized on this substrate as the
+ * access observing a remote-influenced coherence state (I or S).
+ *
+ * CCI's relevant properties for the comparison in Section 7.3 are its
+ * heavyweight software instrumentation (up to ~10x slowdown) and its
+ * need for hundreds-to-thousands of failing runs under sampling.
+ */
+
+#ifndef STM_BASELINE_CCI_HH
+#define STM_BASELINE_CCI_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/liblit.hh"
+#include "diag/workload.hh"
+#include "program/program.hh"
+
+namespace stm
+{
+
+/** CCI experiment configuration. */
+struct CciOptions
+{
+    double meanPeriod = 100.0;
+    std::uint32_t failureRuns = 1000;
+    std::uint32_t successRuns = 1000;
+    std::uint64_t maxAttempts = 2000000;
+};
+
+/** One scored CCI predicate. */
+struct CciPredicateScore
+{
+    Addr pc = 0;        //!< the memory access instruction
+    bool remote = false; //!< interacted with another thread
+    LiblitTally tally;
+    LiblitScore score;
+};
+
+/** Result of one CCI campaign. */
+struct CciResult
+{
+    bool completed = false;
+    std::vector<CciPredicateScore> ranking;
+    std::uint64_t failureRunsUsed = 0;
+    std::uint64_t successRunsUsed = 0;
+    std::uint64_t failureAttempts = 0;
+
+    /** 1-based rank of (instr_index, remote); 0 if unranked. */
+    std::size_t positionOf(std::uint32_t instr_index,
+                           bool remote) const;
+};
+
+/** Run a CCI campaign. */
+CciResult runCci(ProgramPtr prog, const Workload &failing,
+                 const Workload &succeeding,
+                 const CciOptions &opts = {});
+
+} // namespace stm
+
+#endif // STM_BASELINE_CCI_HH

@@ -1,0 +1,47 @@
+#include "baseline/liblit.hh"
+
+#include <cmath>
+
+namespace stm
+{
+
+LiblitScore
+liblitScore(const LiblitTally &tally, std::uint64_t num_failing)
+{
+    LiblitScore score;
+    std::uint64_t trueRuns =
+        tally.trueInFailing + tally.trueInSucceeding;
+    std::uint64_t obsRuns =
+        tally.obsInFailing + tally.obsInSucceeding;
+    if (trueRuns == 0 || obsRuns == 0 || num_failing == 0)
+        return score;
+
+    score.failure = static_cast<double>(tally.trueInFailing) /
+                    static_cast<double>(trueRuns);
+    score.context = static_cast<double>(tally.obsInFailing) /
+                    static_cast<double>(obsRuns);
+    score.increase = score.failure - score.context;
+    if (score.increase <= 0.0 || tally.trueInFailing == 0)
+        return score; // pruned: importance stays 0
+
+    // log F(P) / log NumF, clamped to [0, 1].
+    double recallish;
+    if (num_failing <= 1) {
+        recallish = 1.0;
+    } else if (tally.trueInFailing <= 1) {
+        // log(1) = 0 would zero the harmonic mean; use a small
+        // positive floor so single-observation predicates still rank.
+        recallish = 0.1 / std::log2(static_cast<double>(num_failing));
+    } else {
+        recallish = std::log2(static_cast<double>(tally.trueInFailing)) /
+                    std::log2(static_cast<double>(num_failing));
+    }
+    if (recallish > 1.0)
+        recallish = 1.0;
+
+    score.importance =
+        2.0 / (1.0 / score.increase + 1.0 / recallish);
+    return score;
+}
+
+} // namespace stm

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The statistical-debugging scores of the CBI line of work (Liblit et
+ * al., PLDI'03/'05), reused by the CBI, CCI, and PBI baselines:
+ *
+ *   Failure(P)  = F(P) / (F(P) + S(P))
+ *   Context(P)  = F(P observed) / (F(P observed) + S(P observed))
+ *   Increase(P) = Failure(P) - Context(P)
+ *   Importance(P) = harmonic mean of Increase(P) and
+ *                   log F(P) / log NumF
+ *
+ * where F(P)/S(P) count failing/successful runs in which P was
+ * observed to be true, and "P observed" means the sampled
+ * instrumentation actually looked at P's site in that run.
+ */
+
+#ifndef STM_BASELINE_LIBLIT_HH
+#define STM_BASELINE_LIBLIT_HH
+
+#include <cstdint>
+
+namespace stm
+{
+
+/** Per-predicate observation tallies across all runs. */
+struct LiblitTally
+{
+    std::uint64_t trueInFailing = 0;    //!< F(P)
+    std::uint64_t trueInSucceeding = 0; //!< S(P)
+    std::uint64_t obsInFailing = 0;     //!< F(P observed)
+    std::uint64_t obsInSucceeding = 0;  //!< S(P observed)
+};
+
+/** The derived scores. */
+struct LiblitScore
+{
+    double failure = 0.0;
+    double context = 0.0;
+    double increase = 0.0;
+    double importance = 0.0; //!< 0 when pruned (Increase <= 0)
+};
+
+/** Score @p tally given @p num_failing failing runs in total. */
+LiblitScore liblitScore(const LiblitTally &tally,
+                        std::uint64_t num_failing);
+
+} // namespace stm
+
+#endif // STM_BASELINE_LIBLIT_HH

@@ -1,0 +1,119 @@
+#include "baseline/pbi.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "program/transform.hh"
+#include "vm/machine.hh"
+
+namespace stm
+{
+
+std::size_t
+PbiResult::positionOf(std::uint32_t instr_index, MesiState state,
+                      bool store) const
+{
+    Addr pc = layout::codeAddr(instr_index);
+    const PbiPredicateScore *found = nullptr;
+    for (const auto &r : ranking) {
+        if (r.pc == pc && r.state == state && r.store == store) {
+            found = &r;
+            break;
+        }
+    }
+    if (!found)
+        return 0;
+    std::size_t better = 0;
+    for (const auto &r : ranking) {
+        if (r.score.importance > found->score.importance)
+            ++better;
+    }
+    return better + 1;
+}
+
+PbiResult
+runPbi(ProgramPtr prog, const Workload &failing,
+       const Workload &succeeding, const PbiOptions &opts)
+{
+    transform::clear(*prog);
+    transform::applyPbi(*prog, opts.loadMask, opts.storeMask,
+                        opts.period);
+
+    PbiResult result;
+    // Key: (pc, (state << 1) | store) as produced by the VM.
+    std::map<std::pair<Addr, std::uint8_t>, LiblitTally> tallies;
+
+    auto accumulate = [&](const RunResult &run, bool run_failed) {
+        // The counters observe every run, so every known predicate is
+        // "observed" in every run; update the observation tallies
+        // lazily at the end instead. Here: record which predicates
+        // sampled true.
+        for (const auto &[key, samples] : run.pbiSamples) {
+            if (samples == 0)
+                continue;
+            LiblitTally &tally = tallies[key];
+            if (run_failed)
+                ++tally.trueInFailing;
+            else
+                ++tally.trueInSucceeding;
+        }
+    };
+
+    std::uint64_t attempt = 0;
+    while (result.failureRunsUsed < opts.failureRuns &&
+           attempt < opts.maxAttempts) {
+        Machine machine(prog, failing.forRun(attempt));
+        RunResult run = machine.run();
+        ++attempt;
+        if (!failing.isFailure(run))
+            continue;
+        accumulate(run, true);
+        ++result.failureRunsUsed;
+    }
+    result.failureAttempts = attempt;
+
+    std::uint64_t successAttempt = 0;
+    while (result.successRunsUsed < opts.successRuns &&
+           successAttempt < opts.maxAttempts) {
+        Machine machine(prog,
+                        succeeding.forRun(5000000 + successAttempt));
+        RunResult run = machine.run();
+        ++successAttempt;
+        if (succeeding.isFailure(run))
+            continue;
+        accumulate(run, false);
+        ++result.successRunsUsed;
+    }
+
+    if (result.failureRunsUsed == 0 || result.successRunsUsed == 0)
+        return result;
+
+    for (auto &[key, tally] : tallies) {
+        // Hardware counters are armed in every run.
+        tally.obsInFailing = result.failureRunsUsed;
+        tally.obsInSucceeding = result.successRunsUsed;
+        LiblitScore score = liblitScore(tally, result.failureRunsUsed);
+        if (score.importance <= 0.0)
+            continue;
+        PbiPredicateScore entry;
+        entry.pc = key.first;
+        entry.state = static_cast<MesiState>(key.second >> 1);
+        entry.store = (key.second & 1) != 0;
+        entry.tally = tally;
+        entry.score = score;
+        result.ranking.push_back(entry);
+    }
+    std::sort(result.ranking.begin(), result.ranking.end(),
+              [](const PbiPredicateScore &x,
+                 const PbiPredicateScore &y) {
+                  if (x.score.importance != y.score.importance)
+                      return x.score.importance > y.score.importance;
+                  if (x.pc != y.pc)
+                      return x.pc < y.pc;
+                  return x.store < y.store;
+              });
+    result.completed = true;
+    return result;
+}
+
+} // namespace stm

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The PBI baseline (Arulraj et al., ASPLOS'13 — the authors' own
+ * prior work): hardware performance counters configured on L1-D
+ * cache-coherence events, sampled through overflow interrupts, with
+ * Liblit-style statistical aggregation over many runs.
+ *
+ * PBI has negligible per-event overhead (hardware does the counting)
+ * but, like all sampling approaches, needs the failure to occur
+ * hundreds of times — the diagnosis-latency axis on which LCRA wins
+ * (Section 7.3).
+ */
+
+#ifndef STM_BASELINE_PBI_HH
+#define STM_BASELINE_PBI_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/liblit.hh"
+#include "cache/mesi.hh"
+#include "diag/workload.hh"
+#include "hw/msr.hh"
+#include "program/program.hh"
+
+namespace stm
+{
+
+/** PBI experiment configuration. */
+struct PbiOptions
+{
+    /** Counter unit masks (Table 2); defaults cover Table 3's FPEs. */
+    std::uint8_t loadMask = msr::kUmaskInvalid | msr::kUmaskExclusive;
+    std::uint8_t storeMask = msr::kUmaskInvalid;
+    /** Overflow interrupt period (events between samples). */
+    std::uint64_t period = 20;
+    std::uint32_t failureRuns = 1000;
+    std::uint32_t successRuns = 1000;
+    std::uint64_t maxAttempts = 2000000;
+};
+
+/** One scored PBI predicate: a coherence event identity. */
+struct PbiPredicateScore
+{
+    Addr pc = 0;
+    MesiState state = MesiState::Invalid;
+    bool store = false;
+    LiblitTally tally;
+    LiblitScore score;
+};
+
+/** Result of one PBI campaign. */
+struct PbiResult
+{
+    bool completed = false;
+    std::vector<PbiPredicateScore> ranking;
+    std::uint64_t failureRunsUsed = 0;
+    std::uint64_t successRunsUsed = 0;
+    std::uint64_t failureAttempts = 0;
+
+    /** 1-based rank of (instr_index, state, store); 0 if unranked. */
+    std::size_t positionOf(std::uint32_t instr_index, MesiState state,
+                           bool store) const;
+};
+
+/** Run a PBI campaign. */
+PbiResult runPbi(ProgramPtr prog, const Workload &failing,
+                 const Workload &succeeding,
+                 const PbiOptions &opts = {});
+
+} // namespace stm
+
+#endif // STM_BASELINE_PBI_HH

@@ -1,0 +1,122 @@
+#include "cache/bus.hh"
+
+#include "support/logging.hh"
+
+namespace stm
+{
+
+Bus::Bus(const CacheGeometry &geometry)
+    : geometry_(geometry), stats_("bus")
+{
+}
+
+L1Cache &
+Bus::addCore(std::uint32_t core_id)
+{
+    if (core_id != caches_.size())
+        panic("bus: cores must be added densely (got {}, expected {})",
+              core_id, caches_.size());
+    caches_.push_back(std::make_unique<L1Cache>(core_id, geometry_));
+    return *caches_.back();
+}
+
+L1Cache &
+Bus::cache(std::uint32_t core_id)
+{
+    if (core_id >= caches_.size())
+        panic("bus: no cache for core {}", core_id);
+    return *caches_[core_id];
+}
+
+const L1Cache &
+Bus::cache(std::uint32_t core_id) const
+{
+    if (core_id >= caches_.size())
+        panic("bus: no cache for core {}", core_id);
+    return *caches_[core_id];
+}
+
+bool
+Bus::otherSharers(std::uint32_t core_id, Addr block) const
+{
+    for (const auto &c : caches_) {
+        if (c->coreId() == core_id)
+            continue;
+        // stateOf takes a byte address; convert the block back.
+        Addr addr = block * c->geometry().blockBytes;
+        if (c->stateOf(addr) != MesiState::Invalid)
+            return true;
+    }
+    return false;
+}
+
+MesiState
+Bus::access(std::uint32_t core_id, Addr addr, bool is_store)
+{
+    L1Cache &requester = cache(core_id);
+    Addr block = requester.blockOf(addr);
+    MesiState observed = requester.stateOf(addr);
+
+    if (!is_store) {
+        if (observed != MesiState::Invalid) {
+            // Load hit: state unchanged.
+            requester.touch(block);
+            ++stats_.counter("load_hits");
+            return observed;
+        }
+        // Load miss: BusRd. Owners downgrade to Shared.
+        ++stats_.counter("bus_reads");
+        for (auto &c : caches_) {
+            if (c->coreId() != core_id)
+                c->snoopRead(block);
+        }
+        bool shared = otherSharers(core_id, block);
+        requester.fill(block,
+                       shared ? MesiState::Shared
+                              : MesiState::Exclusive);
+        return observed;
+    }
+
+    // Store.
+    switch (observed) {
+      case MesiState::Modified:
+        requester.touch(block);
+        ++stats_.counter("store_hits");
+        break;
+      case MesiState::Exclusive:
+        // Silent upgrade.
+        requester.setState(block, MesiState::Modified);
+        requester.touch(block);
+        ++stats_.counter("store_hits");
+        break;
+      case MesiState::Shared:
+        // BusUpgr: invalidate the other copies.
+        ++stats_.counter("bus_upgrades");
+        for (auto &c : caches_) {
+            if (c->coreId() != core_id)
+                c->snoopWrite(block);
+        }
+        requester.setState(block, MesiState::Modified);
+        requester.touch(block);
+        break;
+      case MesiState::Invalid:
+        // BusRdX: invalidate everywhere, then fill Modified.
+        ++stats_.counter("bus_read_exclusives");
+        for (auto &c : caches_) {
+            if (c->coreId() != core_id)
+                c->snoopWrite(block);
+        }
+        requester.fill(block, MesiState::Modified);
+        break;
+    }
+    return observed;
+}
+
+void
+Bus::reset()
+{
+    for (auto &c : caches_)
+        c->reset();
+}
+
+} // namespace stm

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A snooping bus coordinating MESI transitions across per-core L1
+ * caches.
+ *
+ * Every data-memory access in the VM flows through Bus::access, which
+ * returns the coherence state the requesting core observed *prior to*
+ * the access — the quantity the proposed LCR hardware records.
+ */
+
+#ifndef STM_CACHE_BUS_HH
+#define STM_CACHE_BUS_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "support/stats.hh"
+
+namespace stm
+{
+
+/** MESI snooping bus over any number of L1 caches. */
+class Bus
+{
+  public:
+    explicit Bus(const CacheGeometry &geometry = {});
+
+    /** Create and attach the cache for core @p core_id (dense ids). */
+    L1Cache &addCore(std::uint32_t core_id);
+
+    /** The cache of core @p core_id. */
+    L1Cache &cache(std::uint32_t core_id);
+    const L1Cache &cache(std::uint32_t core_id) const;
+
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(caches_.size());
+    }
+
+    /**
+     * Perform one access by @p core_id at byte address @p addr.
+     * Applies the full MESI transition (bus read / read-exclusive /
+     * upgrade, snoops, fills, evictions) and returns the state the
+     * requester observed before the access.
+     */
+    MesiState access(std::uint32_t core_id, Addr addr, bool is_store);
+
+    /** True if any *other* core has the block in a valid state. */
+    bool otherSharers(std::uint32_t core_id, Addr block) const;
+
+    /** Drop all cached state on every core. */
+    void reset();
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    CacheGeometry geometry_;
+    std::vector<std::unique_ptr<L1Cache>> caches_;
+    StatGroup stats_;
+};
+
+} // namespace stm
+
+#endif // STM_CACHE_BUS_HH

@@ -1,0 +1,159 @@
+#include "cache/cache.hh"
+
+#include "support/logging.hh"
+
+namespace stm
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+L1Cache::L1Cache(std::uint32_t core_id, const CacheGeometry &geometry)
+    : coreId_(core_id),
+      geometry_(geometry),
+      numSets_(0),
+      tick_(0),
+      stats_("l1d" + std::to_string(core_id))
+{
+    if (!isPowerOfTwo(geometry.blockBytes) ||
+        !isPowerOfTwo(geometry.sizeBytes) || geometry.assoc == 0) {
+        fatal("invalid cache geometry: size={} assoc={} block={}",
+              geometry.sizeBytes, geometry.assoc, geometry.blockBytes);
+    }
+    std::uint32_t blocks = geometry.sizeBytes / geometry.blockBytes;
+    if (blocks % geometry.assoc != 0)
+        fatal("cache associativity {} does not divide {} blocks",
+              geometry.assoc, blocks);
+    numSets_ = blocks / geometry.assoc;
+    lines_.resize(blocks);
+}
+
+Addr
+L1Cache::blockOf(Addr addr) const
+{
+    return addr / geometry_.blockBytes;
+}
+
+std::uint32_t
+L1Cache::setIndex(Addr block) const
+{
+    return static_cast<std::uint32_t>(block % numSets_);
+}
+
+L1Cache::Line *
+L1Cache::findLine(Addr block)
+{
+    std::uint32_t set = setIndex(block);
+    for (std::uint32_t w = 0; w < geometry_.assoc; ++w) {
+        Line &line = lines_[set * geometry_.assoc + w];
+        if (line.state != MesiState::Invalid && line.tag == block)
+            return &line;
+    }
+    return nullptr;
+}
+
+const L1Cache::Line *
+L1Cache::findLine(Addr block) const
+{
+    return const_cast<L1Cache *>(this)->findLine(block);
+}
+
+MesiState
+L1Cache::stateOf(Addr addr) const
+{
+    const Line *line = findLine(blockOf(addr));
+    return line ? line->state : MesiState::Invalid;
+}
+
+bool
+L1Cache::fill(Addr block, MesiState state)
+{
+    if (state == MesiState::Invalid)
+        panic("fill with Invalid state");
+    std::uint32_t set = setIndex(block);
+    Line *victim = nullptr;
+    // Prefer an invalid way; otherwise evict true-LRU.
+    for (std::uint32_t w = 0; w < geometry_.assoc; ++w) {
+        Line &line = lines_[set * geometry_.assoc + w];
+        if (line.state == MesiState::Invalid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    bool writeback = false;
+    if (victim->state != MesiState::Invalid) {
+        ++stats_.counter("evictions");
+        if (victim->state == MesiState::Modified) {
+            writeback = true;
+            ++stats_.counter("writebacks");
+        }
+    }
+    victim->tag = block;
+    victim->state = state;
+    victim->lastUse = ++tick_;
+    ++stats_.counter("fills");
+    return writeback;
+}
+
+void
+L1Cache::setState(Addr block, MesiState state)
+{
+    Line *line = findLine(block);
+    if (!line)
+        panic("setState on non-resident block {}", block);
+    line->state = state;
+}
+
+void
+L1Cache::touch(Addr block)
+{
+    Line *line = findLine(block);
+    if (line)
+        line->lastUse = ++tick_;
+}
+
+void
+L1Cache::snoopRead(Addr block)
+{
+    Line *line = findLine(block);
+    if (!line)
+        return;
+    if (line->state == MesiState::Modified) {
+        ++stats_.counter("writebacks");
+        line->state = MesiState::Shared;
+    } else if (line->state == MesiState::Exclusive) {
+        line->state = MesiState::Shared;
+    }
+}
+
+void
+L1Cache::snoopWrite(Addr block)
+{
+    Line *line = findLine(block);
+    if (!line)
+        return;
+    if (line->state == MesiState::Modified)
+        ++stats_.counter("writebacks");
+    line->state = MesiState::Invalid;
+    ++stats_.counter("invalidations_received");
+}
+
+void
+L1Cache::reset()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    tick_ = 0;
+}
+
+} // namespace stm

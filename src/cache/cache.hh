@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A per-core L1 data cache with MESI metadata.
+ *
+ * Matches the paper's LCR simulator configuration (Section 6): 2-way
+ * set associative, 64-byte blocks, 64 KB total, per core. The cache
+ * tracks coherence metadata only — data values live in the VM's
+ * memory image — which is exactly what is needed to report the
+ * pre-access coherence state for every load and store.
+ */
+
+#ifndef STM_CACHE_CACHE_HH
+#define STM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/mesi.hh"
+#include "isa/types.hh"
+#include "support/stats.hh"
+
+namespace stm
+{
+
+/** Cache geometry; defaults mirror the paper's simulator. */
+struct CacheGeometry
+{
+    std::uint32_t sizeBytes = 64 * 1024;
+    std::uint32_t assoc = 2;
+    std::uint32_t blockBytes = 64;
+};
+
+/**
+ * One core's L1-D cache. Accesses are driven through the Bus, which
+ * coordinates the MESI transitions across caches; the cache itself
+ * owns lookup, fill, LRU eviction, and snoop state changes.
+ */
+class L1Cache
+{
+  public:
+    L1Cache(std::uint32_t core_id, const CacheGeometry &geometry);
+
+    /** Block (line) address of @p addr. */
+    Addr blockOf(Addr addr) const;
+
+    /** Current MESI state of the line holding @p addr. */
+    MesiState stateOf(Addr addr) const;
+
+    /**
+     * Install @p block with state @p state, evicting the set's LRU
+     * victim if necessary. @return true if a modified victim was
+     * written back.
+     */
+    bool fill(Addr block, MesiState state);
+
+    /** Set the state of a resident line (hit-path transitions). */
+    void setState(Addr block, MesiState state);
+
+    /** Mark the line holding @p block most recently used. */
+    void touch(Addr block);
+
+    /** Snoop: another core reads the block (M/E -> S). */
+    void snoopRead(Addr block);
+
+    /** Snoop: another core writes the block (any -> I). */
+    void snoopWrite(Addr block);
+
+    /** Drop every line (used between simulated runs). */
+    void reset();
+
+    std::uint32_t coreId() const { return coreId_; }
+    const CacheGeometry &geometry() const { return geometry_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        MesiState state = MesiState::Invalid;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t setIndex(Addr block) const;
+    Line *findLine(Addr block);
+    const Line *findLine(Addr block) const;
+
+    std::uint32_t coreId_;
+    CacheGeometry geometry_;
+    std::uint32_t numSets_;
+    std::vector<Line> lines_; //!< numSets_ * assoc, set-major
+    std::uint64_t tick_;
+    StatGroup stats_;
+};
+
+} // namespace stm
+
+#endif // STM_CACHE_CACHE_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The coherence event observed by one retired memory access: the raw
+ * material that feeds both the hardware performance counters (PBI's
+ * substrate, Section 2.2) and the proposed LCR (Section 4.2).
+ */
+
+#ifndef STM_CACHE_COHERENCE_EVENT_HH
+#define STM_CACHE_COHERENCE_EVENT_HH
+
+#include "cache/mesi.hh"
+#include "isa/types.hh"
+
+namespace stm
+{
+
+/** One L1-D access together with the pre-access coherence state. */
+struct CoherenceEvent
+{
+    Addr pc = 0;          //!< program counter of the access
+    MesiState observed = MesiState::Invalid; //!< state prior to access
+    bool store = false;   //!< load or store
+    bool kernel = false;  //!< ring-0 access
+};
+
+} // namespace stm
+
+#endif // STM_CACHE_COHERENCE_EVENT_HH

@@ -1,0 +1,30 @@
+#include "cache/mesi.hh"
+
+namespace stm
+{
+
+std::string
+mesiName(MesiState state)
+{
+    switch (state) {
+      case MesiState::Invalid: return "I";
+      case MesiState::Shared: return "S";
+      case MesiState::Exclusive: return "E";
+      case MesiState::Modified: return "M";
+    }
+    return "?";
+}
+
+std::uint8_t
+mesiUnitMask(MesiState state)
+{
+    switch (state) {
+      case MesiState::Invalid: return 0x01;
+      case MesiState::Shared: return 0x02;
+      case MesiState::Exclusive: return 0x04;
+      case MesiState::Modified: return 0x08;
+    }
+    return 0;
+}
+
+} // namespace stm

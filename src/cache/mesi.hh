@@ -1,0 +1,39 @@
+/**
+ * @file
+ * MESI cache-coherence states.
+ *
+ * The proposed LCR hardware records, for each retired L1 data-cache
+ * access, the coherence state the accessed line was in *prior to* the
+ * access (Section 4.2.1 / Table 2). The cache simulator therefore
+ * reports the pre-access state on every access.
+ */
+
+#ifndef STM_CACHE_MESI_HH
+#define STM_CACHE_MESI_HH
+
+#include <cstdint>
+#include <string>
+
+namespace stm
+{
+
+/** The four MESI states. Invalid also covers "not present". */
+enum class MesiState : std::uint8_t {
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** One-letter name (I/S/E/M). */
+std::string mesiName(MesiState state);
+
+/**
+ * Table 2 unit-mask bit for observing @p state prior to a cache
+ * access (0x01 = I, 0x02 = S, 0x04 = E, 0x08 = M).
+ */
+std::uint8_t mesiUnitMask(MesiState state);
+
+} // namespace stm
+
+#endif // STM_CACHE_MESI_HH

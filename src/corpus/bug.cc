@@ -1,0 +1,47 @@
+#include "corpus/bug.hh"
+
+namespace stm
+{
+
+std::string
+bugClassName(BugClass c)
+{
+    switch (c) {
+      case BugClass::Semantic: return "semantic";
+      case BugClass::Memory: return "memory";
+      case BugClass::Config: return "config.";
+      case BugClass::AtomicityViolation: return "A.V.";
+      case BugClass::OrderViolation: return "O.V.";
+    }
+    return "?";
+}
+
+std::string
+symptomName(SymptomKind s)
+{
+    switch (s) {
+      case SymptomKind::ErrorMessage: return "error message";
+      case SymptomKind::Crash: return "crash";
+      case SymptomKind::Hang: return "hang";
+      case SymptomKind::WrongOutput: return "wrong output";
+      case SymptomKind::CorruptedLog: return "corrupted log";
+    }
+    return "?";
+}
+
+std::string
+interleavingName(InterleavingKind k)
+{
+    switch (k) {
+      case InterleavingKind::None: return "-";
+      case InterleavingKind::RWR: return "RWR";
+      case InterleavingKind::RWW: return "RWW";
+      case InterleavingKind::WWR: return "WWR";
+      case InterleavingKind::WRW: return "WRW";
+      case InterleavingKind::ReadTooEarly: return "read-too-early";
+      case InterleavingKind::ReadTooLate: return "read-too-late";
+    }
+    return "?";
+}
+
+} // namespace stm

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The bug corpus framework: one BugSpec per real-world failure of
+ * Table 4, carrying the MiniVM program that structurally mirrors the
+ * original bug, failing/succeeding workloads, ground truth (the
+ * root-cause branch or failure-predicting coherence event, the patch
+ * location), and the paper's reported numbers for side-by-side
+ * comparison in EXPERIMENTS.md.
+ *
+ * The substitution argument (DESIGN.md Section 2): the diagnosis
+ * systems consume only branch and coherence event streams, so what
+ * must be faithful is the control-flow and interleaving *structure*
+ * around each failure — propagation distance in branches, library
+ * calls between root cause and failure, logging style, racy access
+ * pattern — all encoded here from the paper's descriptions (Figures
+ * 3-6, 9) and the original bug reports.
+ */
+
+#ifndef STM_CORPUS_BUG_HH
+#define STM_CORPUS_BUG_HH
+
+#include <string>
+#include <vector>
+
+#include "cache/mesi.hh"
+#include "diag/workload.hh"
+#include "program/program.hh"
+
+namespace stm
+{
+
+/** Root-cause classes of Table 4. */
+enum class BugClass : std::uint8_t {
+    Semantic,
+    Memory,
+    Config,
+    AtomicityViolation,
+    OrderViolation,
+};
+
+/** Failure symptoms of Table 4. */
+enum class SymptomKind : std::uint8_t {
+    ErrorMessage,
+    Crash,
+    Hang,
+    WrongOutput,
+    CorruptedLog,
+};
+
+/** Concurrency-bug interleaving patterns (Table 3). */
+enum class InterleavingKind : std::uint8_t {
+    None,
+    RWR,
+    RWW,
+    WWR,
+    WRW,
+    ReadTooEarly,
+    ReadTooLate,
+};
+
+std::string bugClassName(BugClass c);
+std::string symptomName(SymptomKind s);
+std::string interleavingName(InterleavingKind k);
+
+/** Ground-truth for scoring a diagnosis. */
+struct GroundTruth
+{
+    // ---- sequential bugs -----------------------------------------------
+    /** The root-cause branch (the branch the patch changes). */
+    SourceBranchId rootCauseBranch = kNoSourceBranch;
+    /** The branch outcome correlated with failure. */
+    bool rootCauseOutcome = false;
+    /**
+     * For the paper's starred rows: a branch that is root-cause
+     * *related* (involves the patched condition variable) when the
+     * root-cause branch itself is not a branch or lies beyond LBR
+     * reach. Diagnosis tools are scored against rootCauseBranch when
+     * set, otherwise against relatedBranch with a '*' annotation.
+     */
+    SourceBranchId relatedBranch = kNoSourceBranch;
+    bool relatedOutcome = false;
+
+    /** Where the patch lands and where the failure manifests. */
+    SourceLoc patchLoc;
+    SourceLoc failureLoc;
+
+    // ---- concurrency bugs -------------------------------------------------
+    /** Failure-predicting coherence event under Conf2 (Table 3). */
+    std::uint32_t fpeInstr = 0;
+    MesiState fpeState = MesiState::Invalid;
+    bool fpeStore = false;
+    /** True if no FPE reaches the failure thread's LCR (misses). */
+    bool fpeUnreachable = false;
+
+    /**
+     * The Conf1 (space-saving) discriminator. For read-too-early
+     * order violations it is the *absence* of a shared read
+     * (Section 4.2.2).
+     */
+    std::uint32_t conf1Instr = 0;
+    MesiState conf1State = MesiState::Invalid;
+    bool conf1Store = false;
+    bool conf1Absence = false;
+};
+
+/** The paper's reported numbers (Tables 4-7) for this bug. */
+struct PaperNumbers
+{
+    // Table 6 (sequential): entry position / predictor rank.
+    // 0 means "-", negative means N/A.
+    int lbrlogTog = 0;
+    int lbrlogNoTog = 0;
+    int lbra = 0;
+    int cbi = 0;
+    /** Patch distance columns; -1 renders as the paper's infinity. */
+    int patchDistFailureSite = 0;
+    int patchDistLbr = 0;
+    /** Overhead percentages. */
+    double ovLbrlogTog = 0, ovLbrlogNoTog = 0;
+    double ovLbraReactive = 0, ovLbraProactive = 0, ovCbi = 0;
+    // Table 7 (concurrency).
+    int lcrlogConf1 = 0;
+    int lcrlogConf2 = 0;
+    int lcra = 0;
+};
+
+/** One corpus entry. */
+struct BugSpec
+{
+    std::string id;      //!< short handle, e.g. "sort"
+    std::string app;     //!< Table 4 program name, e.g. "sort"
+    std::string version; //!< e.g. "7.2"
+    double kloc = 0;     //!< Table 4 KLOC (of the real application)
+    BugClass bugClass = BugClass::Semantic;
+    SymptomKind symptom = SymptomKind::ErrorMessage;
+    InterleavingKind interleaving = InterleavingKind::None;
+    int paperLogPoints = 0; //!< Table 4 "Log Points"
+    bool isCpp = false;     //!< CBI cannot instrument C++ apps (N/A)
+    bool isConcurrent = false;
+
+    ProgramPtr program;
+    Workload failing;
+    Workload succeeding;
+    GroundTruth truth;
+    PaperNumbers paper;
+    std::string notes;
+};
+
+} // namespace stm
+
+#endif // STM_CORPUS_BUG_HH

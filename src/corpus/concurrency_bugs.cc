@@ -1,0 +1,733 @@
+/**
+ * @file
+ * The remaining concurrency-bug failures of Table 4: Apache 4-5,
+ * Cherokee, FFT, LU, MySQL 1-2, and PBZIP 3 (the Mozilla bugs live in
+ * mozilla_js.cc).
+ *
+ * Each program stages the Table 3 interleaving pattern of the real
+ * bug and surrounds the failure-predicting access with the realistic
+ * memory traffic (read-mostly exclusive loads, genuinely shared
+ * loads) that determines where the FPE lands in a Conf1 vs Conf2 LCR
+ * (Table 7).
+ */
+
+#include "corpus/bugs.hh"
+#include "program/builder.hh"
+
+namespace stm::corpus
+{
+
+using namespace regs;
+
+namespace
+{
+
+Workload
+racy(double preempt_prob, std::uint32_t quantum = 40)
+{
+    Workload w;
+    w.base.sched.preemptSharedProb = preempt_prob;
+    w.base.sched.quantum = quantum;
+    return w;
+}
+
+} // namespace
+
+// ------------------------------------------------------------- apache4 ----
+
+BugSpec
+makeApache4()
+{
+    ProgramBuilder b("apache4");
+    b.file("server/connection.c");
+    b.global("conn_buf", 1, {0}, true);
+    b.global("server_status", 1, {1}, true);
+    b.global("worker_cfg", 8, {2, 4, 6, 8, 10, 12, 14, 16}, true);
+
+    b.line(10);
+    b.func("main");
+    // Warm the shared status word in both threads (so it is
+    // genuinely Shared when the failure path reads it).
+    b.loadg(r4, "server_status");
+    b.movi(r10, 0);
+    b.spawn(r9, "close_connection", r10);
+    b.line(14).call("process_connection");
+    b.line(15).join(r9);
+    b.line(16).halt();
+
+    b.line(30);
+    b.func("process_connection");
+    // The connection buffer is allocated and checked...
+    b.movi(r4, 128);
+    b.syscall(SyscallNo::Alloc, r4, r5);
+    b.line(32).storeg("conn_buf", 0, r5, r6);
+    b.line(34).loadg(r7, "conn_buf");
+    b.movi(r8, 0);
+    b.line(35).beginIf(Cond::Eq, r7, r8, "conn_buf == NULL (early)");
+    b.ret();
+    b.endIf();
+    // ... re-fetches the buffer pointer (a2) ...
+    b.line(40);
+    std::uint32_t a2lea = b.loadg(r12, "conn_buf");
+    std::uint32_t a2Load = a2lea + 1;
+    // ... consults its configuration (exclusive loads) ...
+    b.line(38).loadg(r11, "worker_cfg", 0);
+    b.loadg(r11, "worker_cfg", 8);
+    // ... checks the shared status word ...
+    b.line(41).loadg(r13, "server_status");
+    // ... and dereferences without re-checking: the closer thread
+    // NULLed the pointer in between (RWR).
+    b.line(42).load(r14, r12, 0); // CRASH
+    b.addi(r14, r14, 1);
+    b.store(r12, 0, r14);
+    b.line(44).ret();
+
+    b.line(60);
+    b.func("close_connection");
+    b.loadg(r4, "server_status");
+    b.loadg(r5, "conn_buf");
+    b.line(63).movi(r6, 0);
+    std::uint32_t a3lea = b.storeg("conn_buf", 0, r6, r7);
+    (void)a3lea;
+    b.line(65).ret();
+
+    BugSpec bug;
+    bug.id = "apache4";
+    bug.app = "Apache 4";
+    bug.version = "2.0.50";
+    bug.kloc = 263;
+    bug.bugClass = BugClass::AtomicityViolation;
+    bug.symptom = SymptomKind::Crash;
+    bug.interleaving = InterleavingKind::RWR;
+    bug.paperLogPoints = 2412;
+    bug.isConcurrent = true;
+    bug.program = b.build();
+    bug.failing = racy(0.4);
+    bug.succeeding = racy(0.02);
+
+    bug.truth.fpeInstr = a2Load;
+    bug.truth.fpeState = MesiState::Invalid;
+    bug.truth.fpeStore = false;
+    bug.truth.conf1Instr = a2Load;
+    bug.truth.conf1State = MesiState::Invalid;
+    bug.truth.conf1Store = false;
+    bug.truth.patchLoc = SourceLoc{0, 40};
+    bug.truth.failureLoc = SourceLoc{0, 42};
+
+    bug.paper = PaperNumbers{.lcrlogConf1 = 3,
+                             .lcrlogConf2 = 5,
+                             .lcra = 1};
+    return bug;
+}
+
+// ------------------------------------------------------------- apache5 ----
+
+BugSpec
+makeApache5()
+{
+    ProgramBuilder b("apache5");
+    b.file("server/log.c");
+    b.global("log_pos", 1, {0}, true);
+    b.global("log_buf", 8, {}, true);
+
+    b.line(10);
+    b.func("main");
+    b.movi(r10, 0);
+    b.spawn(r9, "logger2", r10);
+    b.line(12).call("append_entry"); // writes entry id 1
+    b.line(13).join(r9);
+    // Emit the log for inspection: corruption shows as a wrong word.
+    b.movi(r4, 0);
+    b.movi(r5, 4);
+    b.line(15).beginWhile(Cond::Lt, r4, r5, "dump log");
+    {
+        b.lea(r6, "log_buf");
+        b.movi(r7, 8);
+        b.mul(r8, r4, r7);
+        b.add(r6, r6, r8);
+        b.load(r11, r6, 0);
+        b.out(r11);
+        b.addi(r4, r4, 1);
+    }
+    b.endWhile();
+    b.line(18).halt();
+
+    // append_entry: pos = log_pos; log_buf[pos] = id; log_pos = pos+1
+    // — not atomic: the remote append between read and publish makes
+    // the two entries collide (one is lost, one slot stays 0).
+    b.line(30);
+    b.func("append_entry");
+    b.loadg(r4, "log_pos");
+    b.lea(r5, "log_buf");
+    b.movi(r6, 8);
+    b.mul(r7, r4, r6);
+    b.add(r5, r5, r7);
+    b.movi(r8, 1); // entry id
+    b.line(34).store(r5, 0, r8);
+    b.line(35).addi(r4, r4, 1);
+    b.storeg("log_pos", 0, r4, r11);
+    b.line(37).ret();
+
+    b.line(50);
+    b.func("logger2");
+    b.loadg(r4, "log_pos");
+    b.lea(r5, "log_buf");
+    b.movi(r6, 8);
+    b.mul(r7, r4, r6);
+    b.add(r5, r5, r7);
+    b.movi(r8, 2);
+    b.line(54).store(r5, 0, r8);
+    b.line(55).addi(r4, r4, 1);
+    b.storeg("log_pos", 0, r4, r11);
+    b.line(57).ret();
+
+    BugSpec bug;
+    bug.id = "apache5";
+    bug.app = "Apache 5";
+    bug.version = "2.2.9";
+    bug.kloc = 333;
+    bug.bugClass = BugClass::AtomicityViolation;
+    bug.symptom = SymptomKind::CorruptedLog;
+    bug.interleaving = InterleavingKind::RWW;
+    bug.paperLogPoints = 2515;
+    bug.isConcurrent = true;
+    bug.program = b.build();
+    bug.failing = racy(0.4);
+    bug.succeeding = racy(0.02, 200);
+    // Corrupted log: both entries must be present (order-free).
+    auto check = [](const RunResult &r) {
+        if (r.failStop())
+            return true;
+        long ones = 0, twos = 0;
+        for (Word w : r.output) {
+            if (w == 1)
+                ++ones;
+            if (w == 2)
+                ++twos;
+        }
+        return !(ones == 1 && twos == 1);
+    };
+    bug.failing.isFailure = check;
+    bug.succeeding.isFailure = check;
+
+    bug.truth.fpeUnreachable = true; // silent corruption: no logging
+    bug.truth.patchLoc = SourceLoc{0, 30};
+    bug.truth.failureLoc = SourceLoc{0, 15};
+
+    bug.paper = PaperNumbers{.lcrlogConf1 = 0,
+                             .lcrlogConf2 = 0,
+                             .lcra = 0};
+    bug.notes = "silent log corruption; no failure logging near the "
+                "race (Table 7 '-')";
+    return bug;
+}
+
+// ------------------------------------------------------------ cherokee ----
+
+BugSpec
+makeCherokee()
+{
+    ProgramBuilder b("cherokee");
+    b.file("cherokee/logger.c");
+    b.global("buf_len", 1, {0}, true);
+    b.global("buffer", 8, {}, true);
+
+    b.line(10);
+    b.func("main");
+    b.movi(r10, 0);
+    b.spawn(r9, "worker_flush", r10);
+    // Append "abc" (3 words) with a non-atomic length update.
+    b.line(13).loadg(r4, "buf_len");
+    b.movi(r5, 0);
+    b.line(14).beginWhile(Cond::Lt, r5, r4, "skip existing");
+    b.addi(r5, r5, 1);
+    b.endWhile();
+    b.movi(r6, 0);
+    b.movi(r7, 3);
+    b.line(17).beginWhile(Cond::Lt, r6, r7, "append chars");
+    {
+        b.lea(r8, "buffer");
+        b.movi(r11, 8);
+        b.add(r12, r4, r6);
+        b.mul(r12, r12, r11);
+        b.add(r8, r8, r12);
+        b.addi(r13, r6, 65);
+        b.line(20).store(r8, 0, r13);
+        b.addi(r6, r6, 1);
+    }
+    b.endWhile();
+    b.line(22).addi(r4, r4, 3);
+    b.storeg("buf_len", 0, r4, r14);
+    b.line(24).join(r9);
+    b.loadg(r15, "buf_len");
+    b.out(r15);
+    b.lea(r16, "buffer");
+    b.load(r17, r16, 0);
+    b.out(r17);
+    b.line(27).halt();
+
+    // The flusher truncates the buffer concurrently: the append's
+    // length update then resurrects stale bytes (corrupted log).
+    b.line(40);
+    b.func("worker_flush");
+    b.movi(r4, 0);
+    b.line(42).storeg("buf_len", 0, r4, r5);
+    b.lea(r6, "buffer");
+    b.line(44).store(r6, 0, r4); // clear first slot
+    b.line(45).ret();
+
+    BugSpec bug;
+    bug.id = "cherokee";
+    bug.app = "Cherokee";
+    bug.version = "0.98.0";
+    bug.kloc = 85;
+    bug.bugClass = BugClass::AtomicityViolation;
+    bug.symptom = SymptomKind::CorruptedLog;
+    bug.interleaving = InterleavingKind::RWW;
+    bug.paperLogPoints = 184;
+    bug.isConcurrent = true;
+    bug.program = b.build();
+    bug.failing = racy(0.4);
+    bug.succeeding = racy(0.02, 200);
+    auto check = [](const RunResult &r) {
+        if (r.failStop())
+            return true;
+        // Healthy outcomes: flush-then-append (len 3, 'A' first) or
+        // append-then-flush (len 0, cleared).
+        if (r.output.size() != 2)
+            return true;
+        Word len = r.output[0], first = r.output[1];
+        bool appended = len == 3 && first == 65;
+        bool flushed = len == 0 && first == 0;
+        return !(appended || flushed);
+    };
+    bug.failing.isFailure = check;
+    bug.succeeding.isFailure = check;
+
+    bug.truth.fpeUnreachable = true;
+    bug.truth.patchLoc = SourceLoc{0, 13};
+    bug.truth.failureLoc = SourceLoc{0, 25};
+
+    bug.paper = PaperNumbers{.lcrlogConf1 = 0,
+                             .lcrlogConf2 = 0,
+                             .lcra = 0};
+    bug.notes = "silent log corruption (Table 7 '-')";
+    return bug;
+}
+
+// ------------------------------------------------------------------ fft ----
+
+namespace
+{
+
+/** Shared scaffolding for the two SPLASH-2 read-too-early bugs. */
+BugSpec
+makeReadTooEarly(const std::string &id, const std::string &app,
+                 double kloc, int log_points, const std::string &file)
+{
+    ProgramBuilder b(id);
+    b.file(file);
+    b.global("Gend", 1, {0}, true);
+    b.global("Ginit", 1, {100}, true);
+    b.global("fmt_cfg", 8, {1, 2, 3, 4, 5, 6, 7, 8}, true);
+    b.global("work", 8, {}, true);
+    b.global("master_work", 8, {}, true);
+
+    b.line(10);
+    b.func("main");
+    b.movi(r10, 0);
+    b.spawn(r9, "slave", r10);
+    // The master transforms its own share first...
+    b.movi(r11, 0);
+    b.movi(r12, 12);
+    b.line(12).beginWhile(Cond::Lt, r11, r12, "master compute");
+    {
+        b.lea(r13, "master_work");
+        b.movi(r14, 8);
+        b.movi(r15, 7);
+        b.andr(r16, r11, r15);
+        b.mul(r16, r16, r14);
+        b.add(r13, r13, r16);
+        b.store(r13, 0, r11);
+        b.addi(r11, r11, 1);
+    }
+    b.endWhile();
+    // ...then prints timing statistics WITHOUT waiting for the
+    // slave that sets Gend (the missing-barrier order violation).
+    b.line(14);
+    std::uint32_t b1lea = b.loadg(r4, "Gend"); // B1
+    (void)b1lea;
+    b.out(r4);
+    b.line(16).loadg(r5, "fmt_cfg", 0);
+    b.line(18);
+    std::uint32_t b2lea = b.loadg(r6, "Gend"); // B2
+    std::uint32_t b2Load = b2lea + 1;
+    b.loadg(r7, "Ginit");
+    // Formatting consults read-mostly configuration (exclusive
+    // loads that sit between B2 and the profile point).
+    b.loadg(r5, "fmt_cfg", 8);
+    b.loadg(r5, "fmt_cfg", 16);
+    b.sub(r8, r6, r7);
+    b.out(r8);
+    LogSiteId checkpoint =
+        b.line(20).logCheckpoint("Takes %f", "printf");
+    b.line(21).join(r9);
+    b.line(22).halt();
+
+    b.line(40);
+    b.func("slave");
+    // The slave does its share of the transform, then stamps Gend.
+    b.movi(r4, 0);
+    b.movi(r5, 8);
+    b.line(42).beginWhile(Cond::Lt, r4, r5, "compute");
+    {
+        b.lea(r6, "work");
+        b.movi(r7, 8);
+        b.mul(r8, r4, r7);
+        b.add(r6, r6, r8);
+        b.store(r6, 0, r4);
+        b.addi(r4, r4, 1);
+    }
+    b.endWhile();
+    b.line(46).libcall(LibFn::Time); // r0 = now
+    b.line(47).storeg("Gend", 0, r0, r4);
+    b.line(48).ret();
+
+    BugSpec bug;
+    bug.id = id;
+    bug.app = app;
+    bug.version = "2.0";
+    bug.kloc = kloc;
+    bug.bugClass = BugClass::OrderViolation;
+    bug.symptom = SymptomKind::WrongOutput;
+    bug.interleaving = InterleavingKind::ReadTooEarly;
+    bug.paperLogPoints = log_points;
+    bug.isConcurrent = true;
+    bug.program = b.build();
+    // Read-too-early manifests when the master races AHEAD of the
+    // slave: a long master quantum starves the slave's init.
+    bug.failing = racy(0.02, 300);
+    bug.succeeding = racy(0.02, 30);
+    bug.failing.failureSiteHint = checkpoint;
+    bug.succeeding.failureSiteHint = checkpoint;
+    auto check = [](const RunResult &r) {
+        if (r.failStop())
+            return true;
+        // Gend printed as 0 (uninitialized) => the stats are garbage.
+        return r.output.size() < 2 || r.output[0] == 0;
+    };
+    bug.failing.isFailure = check;
+    bug.succeeding.isFailure = check;
+
+    bug.truth.fpeInstr = b2Load;
+    bug.truth.fpeState = MesiState::Exclusive;
+    bug.truth.fpeStore = false;
+    // Conf1 discriminates via the ABSENCE of the shared read at B2
+    // (Section 4.2.2): during success runs B2 always observes S.
+    bug.truth.conf1Instr = b2Load;
+    bug.truth.conf1State = MesiState::Shared;
+    bug.truth.conf1Store = false;
+    bug.truth.conf1Absence = true;
+    bug.truth.patchLoc = SourceLoc{0, 13};
+    bug.truth.failureLoc = SourceLoc{0, 20};
+
+    bug.paper = PaperNumbers{.lcrlogConf1 = 4,
+                             .lcrlogConf2 = 6,
+                             .lcra = 1};
+    bug.notes = "Figure 5 pattern; Conf1 diagnosis is absence-based "
+                "(deviation from the paper's presentation, see "
+                "EXPERIMENTS.md)";
+    return bug;
+}
+
+} // namespace
+
+BugSpec
+makeFft()
+{
+    return makeReadTooEarly("fft", "FFT", 1.3, 59, "fft.c");
+}
+
+BugSpec
+makeLu()
+{
+    return makeReadTooEarly("lu", "LU", 1.2, 45, "lu.c");
+}
+
+// --------------------------------------------------------------- mysql1 ----
+
+BugSpec
+makeMysql1()
+{
+    ProgramBuilder b("mysql1");
+    b.file("sql/log.cc");
+    b.global("log_state", 1, {1}, true); // 1 = OPEN
+    b.global("log_handle", 1, {0}, true);
+    b.global("bin_cfg", 8, {1, 1, 2, 3, 5, 8, 13, 21}, true);
+
+    b.line(10);
+    b.func("main");
+    b.movi(r4, 64);
+    b.syscall(SyscallNo::Alloc, r4, r5);
+    b.storeg("log_handle", 0, r5, r6);
+    b.movi(r10, 0);
+    b.spawn(r9, "slave_thread", r10);
+    b.line(15).call("rotate_log");
+    b.line(16).join(r9);
+    b.line(17).halt();
+
+    // rotate_log (thread 1): state = CLOSED (a1) ... reopen:
+    // state = OPEN (a2). Not atomic.
+    b.line(30);
+    b.func("rotate_log");
+    b.movi(r4, 0); // CLOSED
+    b.line(31).storeg("log_state", 0, r4, r5); // a1
+    b.line(33).movi(r1, 2);
+    b.libcall(LibFn::Generic); // rename the file etc.
+    b.movi(r4, 1); // OPEN
+    b.line(35).storeg("log_state", 0, r4, r5); // a2
+    b.line(36).ret();
+
+    // slave_thread (thread 2, the failure thread): a3 reads the
+    // state mid-rotation and crashes on the torn-down handle. The
+    // failure-predicting event is at a2 in the OTHER thread, so the
+    // failure thread's LCR cannot contain it (WRW, Table 3).
+    b.line(50);
+    b.func("slave_thread");
+    std::uint32_t a3lea = b.loadg(r4, "log_state"); // a3
+    std::uint32_t a3Load = a3lea + 1;
+    b.movi(r5, 1);
+    b.line(52).beginIf(Cond::Ne, r4, r5, "log not open");
+    {
+        b.line(53).movi(r6, 0);
+        b.load(r7, r6, 0); // CRASH: NULL handle path
+    }
+    b.endIf();
+    b.loadg(r8, "bin_cfg", 0);
+    b.line(56).ret();
+
+    BugSpec bug;
+    bug.id = "mysql1";
+    bug.app = "MySQL 1";
+    bug.version = "4.0.18";
+    bug.kloc = 658;
+    bug.bugClass = BugClass::AtomicityViolation;
+    bug.symptom = SymptomKind::Crash;
+    bug.interleaving = InterleavingKind::WRW;
+    bug.paperLogPoints = 1585;
+    bug.isConcurrent = true;
+    bug.program = b.build();
+    bug.failing = racy(0.4);
+    bug.succeeding = racy(0.02);
+
+    bug.truth.fpeInstr = a3Load;
+    bug.truth.fpeState = MesiState::Invalid;
+    bug.truth.fpeStore = false;
+    bug.truth.fpeUnreachable = true; // FPE (at a2) is in thread 1
+    bug.truth.patchLoc = SourceLoc{0, 31};
+    bug.truth.failureLoc = SourceLoc{0, 53};
+
+    bug.paper = PaperNumbers{.lcrlogConf1 = 0,
+                             .lcrlogConf2 = 0,
+                             .lcra = 0};
+    bug.notes = "WRW: the failure-predicting write is in the other "
+                "thread (Table 7 '-'; PBI diagnoses it)";
+    return bug;
+}
+
+// --------------------------------------------------------------- mysql2 ----
+
+BugSpec
+makeMysql2()
+{
+    ProgramBuilder b("mysql2");
+    b.file("sql/handler.cc");
+    b.global("row_count", 1, {0}, true);
+    b.global("stat_cfg", 8, {3, 1, 4, 1, 5, 9, 2, 6}, true);
+    b.global("status_word", 1, {1}, true);
+
+    b.line(10);
+    b.func("main");
+    b.movi(r10, 0);
+    b.spawn(r9, "insert_thread", r10);
+    b.line(13).call("insert_rows"); // thread 1: += 5
+    b.line(14).join(r9);
+    b.loadg(r4, "row_count");
+    b.out(r4);
+    b.line(16).halt();
+
+    // RWW: tmp = row_count + 5 (a1 read) ... row_count = tmp
+    // (a2 write). The remote increment in between is lost and the
+    // stale store observes Invalid.
+    b.line(30);
+    b.func("insert_rows");
+    std::uint32_t a1lea = b.loadg(r4, "row_count"); // a1
+    (void)a1lea;
+    b.addi(r4, r4, 5);
+    // Statistics bookkeeping between read and write (the window).
+    b.line(33).loadg(r5, "stat_cfg", 0);
+    b.loadg(r5, "stat_cfg", 8);
+    b.line(35);
+    std::uint32_t a2lea = b.lea(r6, "row_count");
+    std::uint32_t a2Store = a2lea + 1;
+    b.store(r6, 0, r4); // a2
+    // More statistics reads before the result surfaces.
+    b.line(37).loadg(r5, "stat_cfg", 16);
+    b.loadg(r5, "stat_cfg", 24);
+    b.loadg(r5, "stat_cfg", 32);
+    b.loadg(r5, "stat_cfg", 40);
+    b.line(39).loadg(r7, "status_word"); // genuinely shared (S)
+    LogSiteId checkpoint =
+        b.line(40).logCheckpoint("rows in table: %d", "sql_print");
+    b.line(41).ret();
+
+    b.line(60);
+    b.func("insert_thread");
+    b.movi(r1, 3);
+    b.libcall(LibFn::Generic); // parse its own statement first
+    b.loadg(r4, "status_word");
+    b.loadg(r5, "row_count");
+    b.addi(r5, r5, 3);
+    b.line(63).storeg("row_count", 0, r5, r6);
+    b.line(64).ret();
+
+    BugSpec bug;
+    bug.id = "mysql2";
+    bug.app = "MySQL 2";
+    bug.version = "4.0.12";
+    bug.kloc = 639;
+    bug.bugClass = BugClass::AtomicityViolation;
+    bug.symptom = SymptomKind::WrongOutput;
+    bug.interleaving = InterleavingKind::RWW;
+    bug.paperLogPoints = 1523;
+    bug.isConcurrent = true;
+    bug.program = b.build();
+    bug.failing = racy(0.35);
+    bug.succeeding = racy(0.02);
+    bug.failing.failureSiteHint = checkpoint;
+    bug.succeeding.failureSiteHint = checkpoint;
+    auto check = [](const RunResult &r) {
+        if (r.failStop())
+            return true;
+        // The lost-update mode: thread 2's rows vanish.
+        return !r.output.empty() && r.output.back() == 5;
+    };
+    bug.failing.isFailure = check;
+    bug.succeeding.isFailure = check;
+
+    bug.truth.fpeInstr = a2Store;
+    bug.truth.fpeState = MesiState::Invalid;
+    bug.truth.fpeStore = true;
+    bug.truth.conf1Instr = a2Store;
+    bug.truth.conf1State = MesiState::Invalid;
+    bug.truth.conf1Store = true;
+    bug.truth.patchLoc = SourceLoc{0, 30};
+    bug.truth.failureLoc = SourceLoc{0, 40};
+
+    bug.paper = PaperNumbers{.lcrlogConf1 = 3,
+                             .lcrlogConf2 = 9,
+                             .lcra = 1};
+    return bug;
+}
+
+// --------------------------------------------------------------- pbzip3 ----
+
+BugSpec
+makePbzip3()
+{
+    ProgramBuilder b("pbzip3");
+    b.file("pbzip2.cpp");
+    b.global("fifo_mutex", 1, {0}, true);  // the mutex object
+    b.global("mutex_ptr", 1, {0}, true);   // pointer to it
+    b.global("queue_len", 1, {2}, true);   // genuinely shared
+    b.global("job_table", 8, {11, 22, 33, 44, 55, 66, 77, 88}, true);
+    b.global("prod_buf", 8, {}, true);
+
+    b.line(10);
+    b.func("main");
+    // Publish the mutex, start the consumer (which receives the
+    // mutex for its first round as its start argument, as
+    // pthread_create would pass it).
+    b.lea(r4, "fifo_mutex");
+    b.line(12).storeg("mutex_ptr", 0, r4, r5);
+    b.lea(r4, "fifo_mutex");
+    b.spawn(r9, "consumer", r4);
+    // The producer drains its remaining blocks (enough real work
+    // that the consumer always gets its first round in) and tears
+    // down WITHOUT waiting for the consumer's last round (Figure 6's
+    // order violation: A).
+    b.movi(r11, 0);
+    b.movi(r12, 14);
+    b.line(16).beginWhile(Cond::Lt, r11, r12, "drain blocks");
+    {
+        b.lea(r13, "prod_buf");
+        b.movi(r14, 8);
+        b.movi(r15, 7);
+        b.andr(r16, r11, r15);
+        b.mul(r16, r16, r14);
+        b.add(r13, r13, r16);
+        b.store(r13, 0, r11);
+        b.addi(r11, r11, 1);
+    }
+    b.endWhile();
+    b.line(18).movi(r6, 0);
+    b.storeg("mutex_ptr", 0, r6, r7); // A: mutex = NULL
+    b.line(20).join(r9);
+    b.line(21).halt();
+
+    b.line(40);
+    b.func("consumer");
+    // B1/B2: one healthy lock/unlock round on the handed-in mutex.
+    b.mov(r4, r1);
+    b.line(42).lockAddr(r4);
+    b.loadg(r5, "queue_len");
+    b.line(44).unlockAddr(r4);
+    // Consult the job table (read-only: exclusive loads).
+    b.line(46).loadg(r6, "job_table", 0);
+    b.loadg(r6, "job_table", 8);
+    // B3: the late round — the producer may have destroyed the
+    // mutex by now.
+    b.line(49);
+    std::uint32_t b3lea = b.loadg(r7, "mutex_ptr"); // B3
+    std::uint32_t b3Load = b3lea + 1;
+    // A little more queue inspection before locking.
+    b.loadg(r8, "job_table", 16);
+    b.loadg(r8, "job_table", 24);
+    b.loadg(r11, "queue_len"); // shared read
+    b.line(53).lockAddr(r7); // CRASH when NULL
+    b.loadg(r12, "queue_len");
+    b.line(55).unlockAddr(r7);
+    b.line(56).ret();
+
+    BugSpec bug;
+    bug.id = "pbzip3";
+    bug.app = "PBZIP 3";
+    bug.version = "0.9.4";
+    bug.kloc = 2.1;
+    bug.bugClass = BugClass::OrderViolation;
+    bug.symptom = SymptomKind::Crash;
+    bug.interleaving = InterleavingKind::ReadTooLate;
+    bug.paperLogPoints = 163;
+    bug.isConcurrent = true;
+    bug.program = b.build();
+    bug.failing = racy(0.3, 40);
+    bug.succeeding = racy(0.02, 15);
+
+    bug.truth.fpeInstr = b3Load;
+    bug.truth.fpeState = MesiState::Invalid;
+    bug.truth.fpeStore = false;
+    bug.truth.conf1Instr = b3Load;
+    bug.truth.conf1State = MesiState::Invalid;
+    bug.truth.conf1Store = false;
+    bug.truth.patchLoc = SourceLoc{0, 18};
+    bug.truth.failureLoc = SourceLoc{0, 53};
+
+    bug.paper = PaperNumbers{.lcrlogConf1 = 3,
+                             .lcrlogConf2 = 7,
+                             .lcra = 1};
+    bug.notes = "Figure 6: the consumer uses the mutex after the "
+                "producer destroyed it";
+    return bug;
+}
+
+} // namespace stm::corpus

@@ -1,0 +1,681 @@
+/**
+ * @file
+ * The remaining Coreutils sequential-bug failures of Table 4:
+ * cp, ln, mv, rm, paste, and tac. Each mirrors the structure of the
+ * original failure: the root-cause branch's distance (in retired,
+ * recordable branches) from the failure site, the library calls
+ * between them (which decide the with/without-toggling outcomes), and
+ * the file layout behind the patch-distance columns.
+ */
+
+#include "corpus/bugs.hh"
+#include "corpus/production_work.hh"
+#include "corpus/startup_checks.hh"
+#include "program/builder.hh"
+
+namespace stm::corpus
+{
+
+using namespace regs;
+
+// ---------------------------------------------------------------- cp ----
+
+BugSpec
+makeCp()
+{
+    ProgramBuilder b("cp");
+    b.file("cp.c");
+    b.global("nsrc", 1, {4});
+    b.global("force_flag", 1, {0});
+    b.global("backup_flag", 1, {0});
+    b.global("dest_exists", 1, {0});
+    b.global("copied", 1, {0});
+
+    b.line(20);
+    b.func("main");
+    emitProductionWork(b, 2500, 0);
+    b.call("startup_checks");
+    b.loadg(r4, "nsrc");
+    b.movi(r5, 0);
+    b.line(22).beginIf(Cond::Le, r4, r5, "no sources");
+    b.line(23).logError("missing file operand", "error");
+    b.endIf();
+    b.loadg(r6, "backup_flag");
+    b.movi(r7, 3);
+    b.line(25).beginIf(Cond::Gt, r6, r7, "bad backup mode");
+    b.line(26).logError("invalid backup type", "error");
+    b.endIf();
+
+    // Copy each source: open/read/write/close library traffic.
+    b.movi(r8, 0);
+    b.line(30).beginWhile(Cond::Lt, r8, r4, "i < nsrc");
+    {
+        b.line(31).libcall(LibFn::Open);
+        b.line(32).movi(r1, 3);
+        b.libcall(LibFn::Generic); // read+write the file data
+        b.line(33).libcall(LibFn::Close);
+        b.addi(r8, r8, 1);
+    }
+    b.endWhile();
+
+    // ROOT CAUSE (line 85): deciding whether the destination can be
+    // created. The condition omits the force flag, so an existing
+    // destination without --force is treated as writable.
+    b.line(85);
+    b.loadg(r10, "dest_exists");
+    b.loadg(r11, "backup_flag");
+    b.movi(r12, 0);
+    b.movi(r20, 0); // skip_unlink
+    b.add(r13, r10, r11); // dest_exists && !backup collapses to this
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Ne, r13, r12, "dest_exists && !backup (buggy)");
+    {
+        b.line(86).movi(r20, 1); // wrongly skip the unlink
+    }
+    b.endIf();
+    // The copy machinery: a long library call between the wrong
+    // decision and the failure report.
+    b.line(88).movi(r1, 20);
+    b.libcall(LibFn::Generic);
+    // The copy fails exactly when an existing destination was not
+    // unlinked first.
+    b.loadg(r14, "dest_exists");
+    b.mul(r15, r14, r20);
+    b.movi(r16, 1);
+    b.line(117).beginIf(Cond::Eq, r15, r16, "copy failed");
+    b.line(117).logError("cannot create regular file", "error");
+    b.endIf();
+    b.line(120).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(122).halt();
+
+    BugSpec bug;
+    bug.id = "cp";
+    bug.app = "cp";
+    bug.version = "4.5.8";
+    bug.kloc = 1.2;
+    bug.bugClass = BugClass::Semantic;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.paperLogPoints = 108;
+    emitStartupChecks(b, "error");
+    bug.program = b.build();
+    bug.failing.base.globalOverrides = {{"dest_exists", {1}}};
+    bug.succeeding.base.globalOverrides = {{"dest_exists", {0}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 100};
+    bug.truth.failureLoc = SourceLoc{0, 117};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 2,
+                             .lbrlogNoTog = 0,
+                             .lbra = 1,
+                             .cbi = 1,
+                             .patchDistFailureSite = 17,
+                             .patchDistLbr = 15,
+                             .ovLbrlogTog = 1.77,
+                             .ovLbrlogNoTog = 0.23,
+                             .ovLbraReactive = 2.13,
+                             .ovLbraProactive = 3.61,
+                             .ovCbi = 25.90};
+    bug.notes = "the copy machinery (a long library call) between the "
+                "wrong decision and the error wipes an untoggled LBR";
+    return bug;
+}
+
+// ---------------------------------------------------------------- ln ----
+
+BugSpec
+makeLn()
+{
+    ProgramBuilder b("ln");
+    b.file("ln.c");
+    b.global("n_files", 1, {1});
+    b.global("target_dir_specified", 1, {0});
+    b.global("components", 1, {5});
+    b.global("dest_is_dir", 1, {0});
+
+    b.line(40);
+    b.func("main");
+    emitProductionWork(b, 1500, 2);
+    b.call("startup_checks");
+    b.loadg(r4, "n_files");
+    b.movi(r5, 0);
+    b.line(42).beginIf(Cond::Le, r4, r5, "missing operand");
+    b.line(43).logError("missing file operand", "error");
+    b.endIf();
+
+    // ROOT CAUSE (Figure 9b, line 50): if (n_files == 1) without
+    // checking target_directory_specified.
+    b.line(50);
+    b.movi(r6, 1);
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Eq, r4, r6, "n_files == 1 (buggy)");
+    {
+        b.line(51).movi(r7, 1); // link mode = SINGLE (wrong here)
+        b.storeg("dest_is_dir", 0, r7, r8);
+    }
+    b.beginElse();
+    {
+        b.line(53).movi(r7, 2);
+        b.storeg("dest_is_dir", 0, r7, r8);
+    }
+    b.endIf();
+
+    // A few unrelated checks between the root cause and B (these
+    // are what push the root cause past the 16 LBR entries).
+    b.loadg(r9, "components");
+    b.movi(r10, 64);
+    b.line(110).beginIf(Cond::Gt, r9, r10, "path too deep");
+    b.line(111).logError("path too long", "error");
+    b.endIf();
+    b.movi(r10, 0);
+    b.line(113).beginIf(Cond::Lt, r9, r10, "negative components");
+    b.line(114).logError("corrupt path state", "error");
+    b.endIf();
+    b.loadg(r10, "n_files");
+    b.movi(r19, 1000);
+    b.line(116).beginIf(Cond::Gt, r10, r19, "too many operands");
+    b.line(117).logError("too many operands", "error");
+    b.endIf();
+
+    // B (line 83): the related branch the paper's Figure 9b shows —
+    // its outcome reflects the mode chosen by the buggy condition.
+    b.line(83);
+    b.loadg(r11, "dest_is_dir");
+    b.movi(r12, 1);
+    SourceBranchId relatedB =
+        b.beginIf(Cond::Eq, r11, r12, "mode == SINGLE_LINK");
+    b.line(84).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.endIf();
+
+    // Path resolution: the long walk that pushes the root cause
+    // beyond 16 LBR entries (and B to ~13). With toggling off, the
+    // per-component library work evicts B too.
+    b.movi(r13, 0);
+    b.line(90).beginWhile(Cond::Lt, r13, r9, "per path component");
+    {
+        b.line(91).movi(r1, 1);
+        b.libcall(LibFn::Generic); // lstat() each component
+        b.addi(r13, r13, 1);
+    }
+    b.endWhile();
+
+    // The failure: the single-file mode chosen at the root cause is
+    // wrong when a target directory was in fact specified.
+    b.line(304);
+    b.loadg(r14, "dest_is_dir");
+    b.loadg(r15, "target_dir_specified");
+    b.movi(r16, 1);
+    b.add(r17, r14, r15);
+    b.movi(r18, 2);
+    b.beginIf(Cond::Eq, r17, r18, "mode conflicts with target dir");
+    b.line(304).logError("target is not a directory", "error");
+    b.endIf();
+    b.line(306).halt();
+
+    BugSpec bug;
+    bug.id = "ln";
+    bug.app = "ln";
+    bug.version = "4.5.1";
+    bug.kloc = 0.7;
+    bug.bugClass = BugClass::Semantic;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.paperLogPoints = 29;
+    emitStartupChecks(b, "error");
+    bug.program = b.build();
+    // Failing: one operand plus -t <dir> (n_files == 1 wrongly picks
+    // single-link mode). Succeeding: two operands with -t <dir>.
+    bug.failing.base.globalOverrides = {{"n_files", {1}},
+                                        {"target_dir_specified", {1}},
+                                        {"components", {9}}};
+    bug.succeeding.base.globalOverrides = {
+        {"n_files", {2}}, {"target_dir_specified", {1}},
+        {"components", {9}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.relatedBranch = relatedB;
+    bug.truth.relatedOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 50};
+    bug.truth.failureLoc = SourceLoc{0, 304};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 13,
+                             .lbrlogNoTog = 0,
+                             .lbra = 1,
+                             .cbi = 1,
+                             .patchDistFailureSite = 254,
+                             .patchDistLbr = 33,
+                             .ovLbrlogTog = 1.88,
+                             .ovLbrlogNoTog = 0.18,
+                             .ovLbraReactive = 1.95,
+                             .ovLbraProactive = 4.69,
+                             .ovCbi = 22.48};
+    bug.notes = "long propagation: the root cause needs ~4 more LBR "
+                "entries; the related branch B is captured (Fig 9b)";
+    return bug;
+}
+
+// ---------------------------------------------------------------- mv ----
+
+BugSpec
+makeMv()
+{
+    ProgramBuilder b("mv");
+    b.file("mv.c");
+    b.global("cross_device", 1, {0});
+    b.global("same_fs", 1, {0});
+    b.global("nparts", 1, {5});
+    b.global("perms_ok", 1, {1});
+
+    b.line(30);
+    b.func("main");
+    emitProductionWork(b, 1600, 1);
+    b.call("startup_checks");
+    b.loadg(r4, "nparts");
+    b.movi(r5, 0);
+    b.line(31).beginIf(Cond::Le, r4, r5, "no operands");
+    b.line(32).logError("missing file operand", "error");
+    b.endIf();
+
+    // ROOT CAUSE (line 40): cross-device moves must fall back to
+    // copy+unlink. The buggy condition trusts the filesystem-id
+    // match alone (if (same_fs)) and forgets to also test
+    // cross_device, so a bind mount on the same fs picks rename.
+    b.line(40);
+    b.loadg(r6, "same_fs");
+    b.movi(r7, 1);
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Eq, r6, r7, "same_fs (buggy: no EXDEV test)");
+    b.line(41).movi(r8, 1); // strategy = RENAME
+    b.beginElse();
+    b.line(43).movi(r8, 2); // strategy = COPY
+    b.endIf();
+
+    // Walk the destination path; a small status printf rides along
+    // (2 library branches when untoggled: 12 -> 14).
+    b.movi(r9, 0);
+    b.line(50).beginWhile(Cond::Lt, r9, r4, "per dest component");
+    {
+        b.lea(r10, "nparts");
+        b.load(r11, r10, 0);
+        b.addi(r9, r9, 1);
+    }
+    b.endWhile();
+    b.line(55).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+
+    // Permission checks (two more recorded branches).
+    b.loadg(r12, "perms_ok");
+    b.movi(r13, 1);
+    b.line(60).beginIf(Cond::Ne, r12, r13, "perm denied");
+    b.line(61).logError("permission denied", "error");
+    b.endIf();
+
+    // The rename attempt fails across devices.
+    b.line(349);
+    b.movi(r14, 1);
+    b.loadg(r15, "cross_device");
+    b.add(r16, r8, r15);
+    b.movi(r17, 2);
+    b.beginIf(Cond::Eq, r16, r17, "rename failed (EXDEV)");
+    b.line(349).logError("inter-device move failed", "error");
+    b.endIf();
+    b.line(351).halt();
+
+    BugSpec bug;
+    bug.id = "mv";
+    bug.app = "mv";
+    bug.version = "6.8";
+    bug.kloc = 4.1;
+    bug.bugClass = BugClass::Semantic;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.paperLogPoints = 46;
+    emitStartupChecks(b, "error");
+    bug.program = b.build();
+    // Failing: bind mount — same filesystem id but a real device
+    // boundary. Succeeding: a plain cross-filesystem move (the
+    // condition correctly picks the copy fallback).
+    bug.failing.base.globalOverrides = {{"same_fs", {1}},
+                                        {"cross_device", {1}}};
+    bug.succeeding.base.globalOverrides = {{"same_fs", {0}},
+                                           {"cross_device", {1}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 40};
+    bug.truth.failureLoc = SourceLoc{0, 349};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 12,
+                             .lbrlogNoTog = 14,
+                             .lbra = 1,
+                             .cbi = 2,
+                             .patchDistFailureSite = 309,
+                             .patchDistLbr = 0,
+                             .ovLbrlogTog = 1.79,
+                             .ovLbrlogNoTog = 0.11,
+                             .ovLbraReactive = 2.84,
+                             .ovLbraProactive = 5.70,
+                             .ovCbi = 15.55};
+    return bug;
+}
+
+// ---------------------------------------------------------------- rm ----
+
+BugSpec
+makeRm()
+{
+    ProgramBuilder b("rm");
+    b.file("rm.c");
+    b.global("depth", 1, {1});
+    b.global("interactive", 1, {0});
+    b.global("is_dir", 1, {0});
+    b.global("write_protected", 1, {0});
+
+    b.line(20);
+    b.func("main");
+    emitProductionWork(b, 1200, 3);
+    b.call("startup_checks");
+    b.loadg(r4, "depth");
+    b.movi(r5, 0);
+    b.line(21).beginIf(Cond::Le, r4, r5, "no operands");
+    b.line(22).logError("missing operand", "error");
+    b.endIf();
+
+    // ROOT CAUSE (line 70): the prompt decision treats a
+    // write-protected non-interactive removal as promptable.
+    b.line(70);
+    b.loadg(r6, "write_protected");
+    b.loadg(r7, "interactive");
+    b.add(r8, r6, r7);
+    b.movi(r9, 0);
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Gt, r8, r9, "should prompt? (buggy)");
+    b.line(71).movi(r10, 1); // mode = PROMPT
+    b.beginElse();
+    b.line(73).movi(r10, 0); // mode = DIRECT
+    b.endIf();
+
+    // A few checks between the decision and the failure.
+    b.loadg(r11, "is_dir");
+    b.movi(r12, 1);
+    b.line(80).beginIf(Cond::Eq, r11, r12, "operand is a directory");
+    b.line(81).logError("cannot remove directory without -r", "error");
+    b.endIf();
+    b.loadg(r13, "depth");
+    b.movi(r14, 512);
+    b.line(85).beginIf(Cond::Gt, r13, r14, "hierarchy too deep");
+    b.line(86).logError("directory hierarchy too deep", "error");
+    b.endIf();
+
+    // Prompting without a terminal fails.
+    b.line(101);
+    b.movi(r15, 1);
+    b.beginIf(Cond::Eq, r10, r15, "prompt with no tty");
+    b.line(101).logError("cannot prompt: no terminal", "error");
+    b.endIf();
+    b.line(103).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(104).halt();
+
+    BugSpec bug;
+    bug.id = "rm";
+    bug.app = "rm";
+    bug.version = "4.5.4";
+    bug.kloc = 1.3;
+    bug.bugClass = BugClass::Semantic;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.paperLogPoints = 31;
+    emitStartupChecks(b, "error");
+    bug.program = b.build();
+    bug.failing.base.globalOverrides = {{"write_protected", {1}}};
+    bug.succeeding.base.globalOverrides = {{"write_protected", {0}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 70};
+    bug.truth.failureLoc = SourceLoc{0, 101};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 5,
+                             .lbrlogNoTog = 5,
+                             .lbra = 1,
+                             .cbi = 2,
+                             .patchDistFailureSite = 31,
+                             .patchDistLbr = 0,
+                             .ovLbrlogTog = 2.28,
+                             .ovLbrlogNoTog = 0.21,
+                             .ovLbraReactive = 2.38,
+                             .ovLbraProactive = 6.29,
+                             .ovCbi = 24.77};
+    return bug;
+}
+
+// -------------------------------------------------------------- paste ----
+
+BugSpec
+makePaste()
+{
+    ProgramBuilder b("paste");
+    b.file("paste.c");
+    b.global("dlen", 1, {3});
+    b.global("delims", 8, {9, 44, 59, 0, 0, 0, 0, 0});
+    b.global("outpos", 1, {0});
+
+    b.line(20);
+    b.func("main");
+    emitProductionWork(b, 2000, 1);
+    b.call("startup_checks");
+    b.loadg(r4, "dlen");
+    b.movi(r5, 0);
+    b.line(21).beginIf(Cond::Le, r4, r5, "empty delimiter list");
+    b.line(22).logError("empty delimiter list", "error");
+    b.endIf();
+
+    // ROOT CAUSE (line 23): the delimiter cursor advances by 2 for
+    // escaped delimiters but the loop condition tests d != dlen, so
+    // an odd dlen makes the cursor step over the bound: infinite
+    // loop (the paper's "hang" symptom).
+    b.line(23);
+    b.movi(r6, 0); // d
+    SourceBranchId rootCause =
+        b.beginWhile(Cond::Ne, r6, r4, "d != dlen (buggy)");
+    {
+        b.line(25);
+        b.lea(r7, "delims");
+        b.movi(r8, 8);
+        b.movi(r9, 7);
+        b.andr(r10, r6, r9); // d & 7 keeps the access in range
+        b.mul(r10, r10, r8);
+        b.add(r7, r7, r10);
+        b.load(r11, r7, 0); // delims[d & 7]
+        b.movi(r12, 9);
+        b.line(27).beginIf(Cond::Eq, r11, r12, "escaped delimiter");
+        b.line(28).addi(r6, r6, 2); // skip the escape pair
+        b.beginElse();
+        b.line(30).addi(r6, r6, 1);
+        b.endIf();
+        // Column bookkeeping: a few data-dependent branches per
+        // round (tabs, quoting, width).
+        b.movi(r15, 44);
+        b.line(31).beginIf(Cond::Eq, r11, r15, "comma column");
+        b.nop();
+        b.endIf();
+        b.movi(r15, 59);
+        b.line(31).beginIf(Cond::Eq, r11, r15, "semicolon column");
+        b.nop();
+        b.endIf();
+        b.movi(r15, 64);
+        b.line(31).beginIf(Cond::Gt, r11, r15, "wide column");
+        b.nop();
+        b.endIf();
+        // Emit the output column: library work each round. Untoggled
+        // this wipes the whole LBR with library branches.
+        b.line(32).movi(r1, 16);
+        b.libcall(LibFn::Generic);
+    }
+    b.endWhile();
+    b.line(35).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(36).halt();
+
+    BugSpec bug;
+    bug.id = "paste";
+    bug.app = "paste";
+    bug.version = "6.10";
+    bug.kloc = 0.5;
+    bug.bugClass = BugClass::Memory;
+    bug.symptom = SymptomKind::Hang;
+    bug.paperLogPoints = 23;
+    emitStartupChecks(b, "error");
+    bug.program = b.build();
+    // Failing: escaped delimiters at positions 0 and 2 with an odd
+    // dlen: d goes 0 -> 2 -> 4, stepping over dlen == 3 forever.
+    bug.failing.base.globalOverrides = {{"dlen", {3}},
+                                        {"delims",
+                                         {9, 44, 9, 59}}};
+    bug.failing.base.maxSteps = 60007;
+    // Succeeding: even-length list terminates exactly.
+    bug.succeeding.base.globalOverrides = {{"dlen", {4}},
+                                           {"delims",
+                                            {9, 44, 9, 59}}};
+    bug.succeeding.base.maxSteps = 60000;
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 26};
+    bug.truth.failureLoc = SourceLoc{0, 61}; // where the SIGINT lands
+
+    bug.paper = PaperNumbers{.lbrlogTog = 6,
+                             .lbrlogNoTog = 0,
+                             .lbra = 1,
+                             .cbi = 1,
+                             .patchDistFailureSite = 35,
+                             .patchDistLbr = 3,
+                             .ovLbrlogTog = 1.31,
+                             .ovLbrlogNoTog = 0.08,
+                             .ovLbraReactive = 1.78,
+                             .ovLbraProactive = 2.50,
+                             .ovCbi = 14.32};
+    bug.notes = "hang: the LBR is profiled when the run is "
+                "interrupted at the step limit";
+    return bug;
+}
+
+// ---------------------------------------------------------------- tac ----
+
+BugSpec
+makeTac()
+{
+    ProgramBuilder b("tac");
+    b.file("tac.c");
+    b.global("buf", 16, {10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110,
+                         120, 130, 140, 150, 160});
+    b.global("buflen", 1, {16});
+    b.global("seplen", 1, {1});
+
+    b.line(10);
+    b.func("main");
+    emitProductionWork(b, 1300, 3);
+    b.call("startup_checks");
+    b.loadg(r4, "buflen");
+    b.movi(r5, 0);
+    b.line(11).beginIf(Cond::Le, r4, r5, "empty input");
+    b.line(12).logError("read error: empty buffer", "error");
+    b.endIf();
+    b.line(14).call("re_match"); // returns match offset in r0
+    // B (line 20, the related branch): a non-negative offset is
+    // treated as a valid separator match position.
+    b.line(20);
+    b.movi(r6, 0);
+    SourceBranchId relatedB =
+        b.beginIf(Cond::Ge, r0, r6, "match_offset >= 0");
+    {
+        b.line(21);
+        b.lea(r7, "buf");
+        b.movi(r8, 8);
+        b.mul(r9, r0, r8);
+        b.add(r7, r7, r9);
+        b.load(r10, r7, 0); // CRASH: the sentinel offset is wild
+        b.out(r10);
+    }
+    b.endIf();
+    b.line(24).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(25).halt();
+
+    // The regex engine: with an empty separator the scan loop never
+    // runs and a sentinel "offset" escapes — the actual root cause is
+    // the buffer-bound computation patched in a third file.
+    b.file("regex.c");
+    b.line(200);
+    b.func("re_match");
+    b.loadg(r11, "seplen");
+    b.movi(r12, 0);
+    b.movi(r13, 0); // scan position
+    b.movi(r0, 999999); // sentinel "not found"
+    // Related branch: the empty-separator special case that lets the
+    // sentinel escape as if it were a match offset.
+    b.line(201);
+    SourceBranchId relatedGuard =
+        b.beginIf(Cond::Eq, r11, r12, "seplen == 0 (sentinel escapes)");
+    b.ret();
+    b.endIf();
+    b.line(202).beginWhile(Cond::Lt, r13, r11, "scan separator");
+    {
+        b.line(203);
+        b.lea(r14, "buf");
+        b.movi(r15, 8);
+        b.mul(r16, r13, r15);
+        b.add(r14, r14, r16);
+        b.load(r17, r14, 0);
+        b.movi(r18, 30);
+        b.beginIf(Cond::Eq, r17, r18, "separator byte matches");
+        b.mov(r0, r13); // offset = position
+        b.endIf();
+        b.addi(r13, r13, 1);
+    }
+    b.endWhile();
+    b.line(209).ret();
+    b.file("bufsplit.c"); // registers the file the patch lives in
+
+    BugSpec bug;
+    bug.id = "tac";
+    bug.app = "tac";
+    bug.version = "6.11";
+    bug.kloc = 0.7;
+    bug.bugClass = BugClass::Memory;
+    bug.symptom = SymptomKind::Crash;
+    bug.paperLogPoints = 21;
+    emitStartupChecks(b, "error");
+    bug.program = b.build();
+    bug.failing.base.globalOverrides = {{"seplen", {0}}};
+    bug.succeeding.base.globalOverrides = {{"seplen", {4}}};
+
+    // The true root cause is the bound computation patched in
+    // bufsplit.c — not a branch at all; tools capture related
+    // branches only (the paper's '*' rows, with both patch-distance
+    // columns infinite).
+    (void)relatedB;
+    bug.truth.relatedBranch = relatedGuard;
+    bug.truth.relatedOutcome = true;
+    bug.truth.patchLoc = SourceLoc{2, 88}; // a third file
+    bug.truth.failureLoc = SourceLoc{0, 21};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 3,
+                             .lbrlogNoTog = 3,
+                             .lbra = 1,
+                             .cbi = 3,
+                             .patchDistFailureSite = -1,
+                             .patchDistLbr = -1,
+                             .ovLbrlogTog = 2.13,
+                             .ovLbrlogNoTog = 0.06,
+                             .ovLbraReactive = 2.57,
+                             .ovLbraProactive = 2.82,
+                             .ovCbi = 26.43};
+    bug.notes = "'*' case: the patch is in a file none of the "
+                "captured branches belong to";
+    return bug;
+}
+
+} // namespace stm::corpus

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * The sort buffer-overflow crash of Figure 3 (Coreutils 7.2).
+ *
+ * Merging already-sorted files where the output file is one of the
+ * inputs makes avoid_trashing_input() enter the while loop at A whose
+ * condition (i + num_merged < nfiles) is checked *before* num_merged
+ * grows, so the memmove at B reads past the end of files[] and
+ * corrupts files[i].pid. open_input_files() then deviates at C
+ * (pid != 0) and the program segfaults inside hash_lookup() at F — a
+ * function with 9 callers across 6 files, far from the root cause and
+ * not meaningfully implicated by the crash call stack.
+ *
+ * Structure matched to the paper: root-cause branch A lands in the
+ * top few LBR entries with toggling; without toggling, the open()
+ * library call between corruption and crash pushes it two entries
+ * deeper (Table 6: 3 vs 5).
+ */
+
+#include "corpus/bugs.hh"
+#include "corpus/production_work.hh"
+#include "corpus/startup_checks.hh"
+#include "program/builder.hh"
+
+namespace stm::corpus
+{
+
+using namespace regs;
+
+BugSpec
+makeSort()
+{
+    ProgramBuilder b("sort");
+    b.file("sort.c");
+
+    // ---- data ------------------------------------------------------------
+    b.global("nfiles", 1, {2});
+    b.global("outname", 1, {42});
+    b.global("merge_step", 1, {2});
+    // files[2] of (name, pid), no slack: the overflow reads straight
+    // into the temp-file bookkeeping that follows.
+    b.global("files", 4, {101, 3, 102, 0});
+    b.global("tempnames", 8,
+             {999983, 999979, 999961, 999959, 999953, 999931, 999907,
+              999883});
+    b.global("hash_table", 16, {});
+    b.global("lines", 24,
+             {9, 4, 7, 1, 8, 3, 6, 2, 5, 11, 10, 12,
+              21, 14, 17, 13, 20, 15, 18, 16, 19, 23, 22, 24});
+    b.global("nlines", 1, {24});
+    b.global("opt_unique", 1, {0});
+    b.global("opt_check", 1, {0});
+
+    // ---- main ---------------------------------------------------------------
+    b.line(20);
+    b.func("main");
+    emitProductionWork(b, 2200, 1);
+    b.call("startup_checks");
+    {
+        // Option parsing with the usual failure-logging sites.
+        b.line(22).loadg(r4, "opt_unique");
+        b.line(23).movi(r5, 2);
+        b.beginIf(Cond::Gt, r4, r5, "invalid -u level");
+        b.line(24).logError("invalid unique option", "error");
+        b.endIf();
+        b.line(26).loadg(r4, "opt_check");
+        b.movi(r5, 2);
+        b.beginIf(Cond::Gt, r4, r5, "invalid -c level");
+        b.line(27).logError("invalid check option", "error");
+        b.endIf();
+        b.line(29).loadg(r4, "nfiles");
+        b.movi(r5, 0);
+        b.beginIf(Cond::Le, r4, r5, "no input files");
+        b.line(30).logError("no input files given", "error");
+        b.endIf();
+    }
+    b.line(33).call("sort_lines");
+    b.line(34).call("merge");
+    b.line(35).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(36).halt();
+
+    // ---- sort_lines: the production workload (insertion sort) ------------
+    b.line(40);
+    b.func("sort_lines");
+    b.loadg(r10, "nlines");
+    b.movi(r11, 1); // i
+    b.line(42).beginWhile(Cond::Lt, r11, r10, "i < nlines");
+    {
+        b.lea(r12, "lines");
+        b.movi(r13, 8);
+        b.mul(r14, r11, r13);
+        b.add(r12, r12, r14);
+        b.load(r15, r12, 0); // key = lines[i]
+        b.mov(r16, r11);     // j = i
+        b.movi(r17, 0);
+        b.line(45).beginWhile(Cond::Gt, r16, r17, "j > 0 (shift)");
+        {
+            b.lea(r12, "lines");
+            b.mul(r14, r16, r13);
+            b.add(r12, r12, r14);
+            b.load(r18, r12, -8); // lines[j-1]
+            b.line(47).beginIf(Cond::Le, r18, r15,
+                               "lines[j-1] <= key");
+            b.breakWhile();
+            b.endIf();
+            b.line(49).store(r12, 0, r18); // lines[j] = lines[j-1]
+            b.addi(r16, r16, -1);
+        }
+        b.endWhile();
+        b.lea(r12, "lines");
+        b.mul(r14, r16, r13);
+        b.add(r12, r12, r14);
+        b.line(52).store(r12, 0, r15); // lines[j] = key
+        b.addi(r11, r11, 1);
+    }
+    b.endWhile();
+    // Periodic progress logging (an informational library call).
+    b.line(55).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(56).ret();
+
+    // ---- merge -----------------------------------------------------------
+    b.line(60);
+    b.func("merge");
+    b.loadg(r4, "nfiles");
+    b.movi(r5, 16);
+    b.line(61).beginIf(Cond::Gt, r4, r5, "too many files to merge");
+    b.line(62).logError("merge: too many input files", "error");
+    b.endIf();
+    b.line(64).call("avoid_trashing_input");
+    b.line(65).call("open_input_files");
+    b.line(66).ret();
+
+    // ---- avoid_trashing_input ------------------------------------------------
+    // i in r20, nfiles in r19, outname in r18, same in r17,
+    // num_merged in r16; r1..r3 are memmove arguments.
+    b.line(80);
+    b.func("avoid_trashing_input");
+    b.movi(r20, 0);
+    b.loadg(r19, "nfiles");
+    b.loadg(r18, "outname");
+    b.movi(r17, 0);
+    b.line(82).beginWhile(Cond::Lt, r20, r19, "i < nfiles (scan)");
+    {
+        b.line(83);
+        b.movi(r7, 16);
+        b.mul(r8, r20, r7);
+        b.lea(r9, "files");
+        b.add(r9, r9, r8);
+        b.load(r10, r9, 0); // files[i].name
+        b.line(84).beginIf(Cond::Eq, r10, r18, "name == outname");
+        {
+            b.line(85).movi(r17, 1); // same = true
+            b.breakWhile();
+        }
+        b.endIf();
+        b.line(87).addi(r20, r20, 1);
+    }
+    b.endWhile();
+
+    b.line(91).movi(r11, 1);
+    b.beginIf(Cond::Eq, r17, r11, "if (same)");
+    SourceBranchId branchA = 0;
+    {
+        b.line(92).movi(r16, 0); // num_merged = 0
+        b.add(r13, r20, r16);
+        b.line(93);
+        // A: while (i + num_merged < nfiles)   <-- ROOT CAUSE
+        branchA = b.beginWhile(Cond::Lt, r13, r19,
+                               "i + num_merged < nfiles");
+        {
+            // num_merged += mergefiles(...): the sanity check above
+            // ran with the OLD num_merged.
+            b.line(94).loadg(r14, "merge_step");
+            b.add(r16, r16, r14);
+            // B: memmove(&files[i], &files[i + num_merged],
+            //            (nfiles - i) * 2 words) — reads past the
+            // end of files[] once num_merged has grown.
+            b.line(96);
+            b.movi(r7, 16);
+            b.lea(r15, "files");
+            b.mul(r8, r20, r7);
+            b.add(r1, r15, r8); // dst = &files[i]
+            b.add(r13, r20, r16);
+            b.mul(r8, r13, r7);
+            b.add(r2, r15, r8); // src = &files[i + num_merged]
+            b.sub(r3, r19, r20);
+            b.movi(r9, 2);
+            b.mul(r3, r3, r9);  // (nfiles - i) * 2 words
+            b.libcall(LibFn::Memmove);
+            b.line(93).add(r13, r20, r16); // loop test operand
+        }
+        b.endWhile();
+    }
+    b.endIf();
+    b.line(101).ret();
+
+    // ---- open_input_files ------------------------------------------------------
+    b.line(120);
+    b.func("open_input_files");
+    b.movi(r20, 0);
+    b.loadg(r19, "nfiles");
+    b.line(122).beginWhile(Cond::Lt, r20, r19, "i < nfiles (open)");
+    {
+        b.line(123);
+        b.movi(r7, 16);
+        b.mul(r8, r20, r7);
+        b.lea(r9, "files");
+        b.add(r9, r9, r8);
+        b.load(r10, r9, 8); // files[i].pid
+        b.movi(r11, 0);
+        // C: if (files[i].pid != 0) open_temp(name, pid)
+        b.line(124).beginIf(Cond::Ne, r10, r11, "files[i].pid != 0");
+        {
+            b.line(125).mov(r2, r10); // pid argument
+            b.call("open_temp");
+        }
+        b.endIf();
+        b.line(127).addi(r20, r20, 1);
+    }
+    b.endWhile();
+    b.line(129).ret();
+
+    // ---- open_temp / wait_proc (hash_lookup) --------------------------------
+    b.line(140);
+    b.func("open_temp");
+    b.line(141).libcall(LibFn::Open);
+    b.line(142).call("wait_proc"); // pid still in r2
+    b.line(143).ret();
+
+    b.file("lib/hash.c");
+    b.line(50);
+    b.func("wait_proc");
+    // F: bucket = table->bucket[pid] — a garbage pid makes this a
+    // wild pointer dereference.
+    b.lea(r4, "hash_table");
+    b.movi(r5, 8);
+    b.mul(r6, r2, r5);
+    b.add(r4, r4, r6);
+    b.line(52).load(r7, r4, 0); // CRASH HERE in failing runs
+    b.movi(r8, 0);
+    b.line(54).beginWhile(Cond::Ne, r7, r8, "bucket != NULL");
+    {
+        b.mov(r4, r7);
+        b.load(r7, r4, 0);
+    }
+    b.endWhile();
+    b.line(57).ret();
+
+    BugSpec bug;
+    bug.id = "sort";
+    bug.app = "sort";
+    bug.version = "7.2";
+    bug.kloc = 3.6;
+    bug.bugClass = BugClass::Memory;
+    bug.symptom = SymptomKind::Crash;
+    bug.paperLogPoints = 36;
+    emitStartupChecks(b, "error");
+    bug.program = b.build();
+
+    // Failing input: the output file is input 0 (name 101): same
+    // becomes true at i = 0 and the overflow replaces files[0..1]
+    // with temp-file bookkeeping, so files[0].pid is garbage.
+    bug.failing.base.globalOverrides = {{"outname", {101}}};
+    // Succeeding input: no match; the normal path still exercises
+    // hash_lookup through files[0].pid == 3.
+    bug.succeeding.base.globalOverrides = {{"outname", {42}}};
+
+    GroundTruth &truth = bug.truth;
+    truth.rootCauseBranch = branchA;
+    truth.rootCauseOutcome = true; // loop entered => overflow
+    truth.patchLoc = SourceLoc{0, 97};   // sort.c: the do/while patch
+    truth.failureLoc = SourceLoc{1, 52}; // lib/hash.c:52
+
+    PaperNumbers &paper = bug.paper;
+    paper.lbrlogTog = 3;
+    paper.lbrlogNoTog = 5;
+    paper.lbra = 1;
+    paper.cbi = 1;
+    paper.patchDistFailureSite = -1; // different files
+    paper.patchDistLbr = 4;
+    paper.ovLbrlogTog = 0.44;
+    paper.ovLbrlogNoTog = 0.19;
+    paper.ovLbraReactive = 0.74;
+    paper.ovLbraProactive = 4.16;
+    paper.ovCbi = 43.45;
+    bug.notes = "Figure 3; root-cause branch A = 'while (i + "
+                "num_merged < nfiles)' at sort.c:93";
+    return bug;
+}
+
+} // namespace stm::corpus

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * The six Table 3 interleaving micro-bugs: minimal two-thread
+ * programs, one per concurrency-bug class, used by the Table 3 bench
+ * to measure (a) what the failure-predicting coherence event is and
+ * (b) how often it lands in the *failure thread's* LCR ("Almost
+ * Always" / "Often" / "Sometimes").
+ */
+
+#include "corpus/bugs.hh"
+#include "program/builder.hh"
+
+namespace stm::corpus
+{
+
+using namespace regs;
+
+namespace
+{
+
+Workload
+racy(double p, std::uint32_t quantum = 30)
+{
+    Workload w;
+    w.base.sched.preemptSharedProb = p;
+    w.base.sched.quantum = quantum;
+    return w;
+}
+
+} // namespace
+
+// RWR: if (ptr) { ... puts(ptr); } with a remote ptr = NULL between
+// check and use. Failure (crash) in the checking thread; FPE =
+// invalid read at the second fetch of ptr.
+BugSpec
+makeMicroRwr()
+{
+    ProgramBuilder b("micro-rwr");
+    b.global("ptr", 1, {0}, true);
+    b.global("data", 4, {7, 7, 7, 7}, true);
+
+    b.func("main");
+    b.line(1).lea(r4, "data");
+    b.storeg("ptr", 0, r4, r5);
+    b.movi(r10, 0);
+    b.spawn(r9, "nuller", r10);
+    b.line(3).loadg(r6, "ptr"); // a1: check
+    b.movi(r7, 0);
+    b.beginIf(Cond::Ne, r6, r7, "if (ptr)");
+    {
+        std::uint32_t a2lea = b.line(4).loadg(r8, "ptr"); // a2: use
+        b.line(5).load(r11, r8, 0); // CRASH if NULLed in between
+        b.out(r11);
+        // Stash for ground truth below via a trick: a2lea + 1.
+        (void)a2lea;
+    }
+    b.endIf();
+    b.line(7).join(r9);
+    b.halt();
+
+    b.func("nuller");
+    b.line(10).movi(r4, 0);
+    b.storeg("ptr", 0, r4, r5); // a3
+    b.ret();
+
+    BugSpec bug;
+    bug.id = "micro-rwr";
+    bug.app = "RWR";
+    bug.interleaving = InterleavingKind::RWR;
+    bug.bugClass = BugClass::AtomicityViolation;
+    bug.symptom = SymptomKind::Crash;
+    bug.isConcurrent = true;
+    bug.program = b.build();
+    bug.failing = racy(0.5);
+    bug.succeeding = racy(0.02);
+
+    // The a2 fetch is loadg("ptr") inside the if: find it.
+    for (std::uint32_t i = 0; i < bug.program->code.size(); ++i) {
+        const Instruction &inst = bug.program->code[i];
+        if (inst.op == Opcode::Load && inst.loc.line == 4)
+            bug.truth.fpeInstr = i;
+    }
+    bug.truth.fpeState = MesiState::Invalid;
+    bug.truth.fpeStore = false;
+    return bug;
+}
+
+// RWW: tmp = cnt + d1; cnt = tmp with a remote update in between.
+// Failure (wrong balance -> assert) in the writing thread; FPE =
+// invalid write at the stale store.
+BugSpec
+makeMicroRww()
+{
+    ProgramBuilder b("micro-rww");
+    b.global("cnt", 1, {0}, true);
+
+    b.func("main");
+    b.movi(r10, 0);
+    b.spawn(r9, "deposit2", r10);
+    b.line(2).loadg(r4, "cnt"); // a1
+    b.addi(r4, r4, 10);
+    b.line(4).lea(r5, "cnt");
+    b.store(r5, 0, r4); // a2: the stale store
+    b.line(6).join(r9);
+    b.loadg(r6, "cnt");
+    b.movi(r7, 15);
+    b.line(8).assertEq(r6, r7); // fails when the update was lost
+    b.halt();
+
+    b.func("deposit2");
+    b.line(12).loadg(r4, "cnt");
+    b.addi(r4, r4, 5);
+    b.storeg("cnt", 0, r4, r5); // a3
+    b.ret();
+
+    BugSpec bug;
+    bug.id = "micro-rww";
+    bug.app = "RWW";
+    bug.interleaving = InterleavingKind::RWW;
+    bug.bugClass = BugClass::AtomicityViolation;
+    bug.symptom = SymptomKind::WrongOutput;
+    bug.isConcurrent = true;
+    bug.program = b.build();
+    bug.failing = racy(0.5);
+    bug.succeeding = racy(0.02);
+
+    for (std::uint32_t i = 0; i < bug.program->code.size(); ++i) {
+        const Instruction &inst = bug.program->code[i];
+        if (inst.op == Opcode::Store && inst.loc.line == 4)
+            bug.truth.fpeInstr = i;
+    }
+    bug.truth.fpeState = MesiState::Invalid;
+    bug.truth.fpeStore = true;
+    return bug;
+}
+
+// WWR: x = A; x is remotely clobbered; read x back and act on it.
+// Failure in the reading thread; FPE = invalid read.
+BugSpec
+makeMicroWwr()
+{
+    ProgramBuilder b("micro-wwr");
+    b.global("state", 1, {0}, true);
+    b.global("table", 2, {0, 0}, true);
+
+    b.func("main");
+    b.movi(r10, 0);
+    b.spawn(r9, "resetter", r10);
+    b.movi(r4, 1);
+    b.line(2).storeg("state", 0, r4, r5); // a1: state = READY
+    b.line(4).loadg(r6, "state");         // a2: read it back
+    b.movi(r7, 0);
+    b.beginIf(Cond::Eq, r6, r7, "state lost");
+    b.line(6).logError("inconsistent engine state", "error"); // F
+    b.endIf();
+    b.line(8).join(r9);
+    b.halt();
+
+    b.func("resetter");
+    b.line(12).movi(r4, 0);
+    b.storeg("state", 0, r4, r5); // a3: state = 0
+    b.ret();
+
+    BugSpec bug;
+    bug.id = "micro-wwr";
+    bug.app = "WWR";
+    bug.interleaving = InterleavingKind::WWR;
+    bug.bugClass = BugClass::AtomicityViolation;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.isConcurrent = true;
+    bug.program = b.build();
+    bug.failing = racy(0.5);
+    bug.succeeding = racy(0.02);
+
+    for (std::uint32_t i = 0; i < bug.program->code.size(); ++i) {
+        const Instruction &inst = bug.program->code[i];
+        if (inst.op == Opcode::Load && inst.loc.line == 4)
+            bug.truth.fpeInstr = i;
+    }
+    bug.truth.fpeState = MesiState::Invalid;
+    bug.truth.fpeStore = false;
+    return bug;
+}
+
+// WRW: log = CLOSE; log = OPEN with a remote reader in between. The
+// failure occurs in the READING thread, but the failure-predicting
+// event (at the second write) is in the writer: LCR profiled in the
+// failure thread misses it ("Sometimes" in Table 3).
+BugSpec
+makeMicroWrw()
+{
+    ProgramBuilder b("micro-wrw");
+    b.global("log_state", 1, {1}, true);
+
+    b.func("main");
+    b.movi(r10, 0);
+    b.spawn(r9, "checker", r10);
+    b.movi(r4, 0);
+    b.line(2).storeg("log_state", 0, r4, r5); // a1: CLOSE
+    b.movi(r4, 1);
+    b.line(4).storeg("log_state", 0, r4, r5); // a2: OPEN
+    b.line(6).join(r9);
+    b.halt();
+
+    b.func("checker");
+    b.line(10).loadg(r4, "log_state"); // a3
+    b.movi(r5, 1);
+    b.beginIf(Cond::Ne, r4, r5, "log != OPEN");
+    b.line(12).logError("log unavailable", "error"); // F (thread 2)
+    b.endIf();
+    b.ret();
+
+    BugSpec bug;
+    bug.id = "micro-wrw";
+    bug.app = "WRW";
+    bug.interleaving = InterleavingKind::WRW;
+    bug.bugClass = BugClass::AtomicityViolation;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.isConcurrent = true;
+    bug.program = b.build();
+    bug.failing = racy(0.5);
+    bug.succeeding = racy(0.02);
+
+    // FPE: the second write (a2) — in the non-failure thread.
+    std::uint32_t stores = 0;
+    for (std::uint32_t i = 0; i < bug.program->code.size(); ++i) {
+        const Instruction &inst = bug.program->code[i];
+        if (inst.op == Opcode::Store && inst.loc.line == 4 &&
+            stores++ == 0) {
+            bug.truth.fpeInstr = i;
+        }
+    }
+    bug.truth.fpeState = MesiState::Shared;
+    bug.truth.fpeStore = true;
+    bug.truth.fpeUnreachable = true;
+    return bug;
+}
+
+// Read-too-early: the reader consumes a slot the initializer has not
+// written yet. Failure (wrong output) in the reading thread; the
+// Conf2 FPE is the exclusive read.
+BugSpec
+makeMicroReadTooEarly()
+{
+    ProgramBuilder b("micro-rte");
+    b.global("slot", 1, {0}, true);
+
+    b.func("main");
+    b.movi(r10, 0);
+    b.spawn(r9, "initializer", r10);
+    b.line(2).loadg(r4, "slot"); // B1: warms the line
+    b.line(4).loadg(r5, "slot"); // B2: the too-early read
+    b.out(r5);
+    LogSiteId checkpoint = b.line(5).logCheckpoint("value: %d");
+    b.line(6).join(r9);
+    b.halt();
+
+    b.func("initializer");
+    b.line(10).movi(r4, 42);
+    b.storeg("slot", 0, r4, r5); // A
+    b.ret();
+
+    BugSpec bug;
+    bug.id = "micro-rte";
+    bug.app = "read-too-early";
+    bug.interleaving = InterleavingKind::ReadTooEarly;
+    bug.bugClass = BugClass::OrderViolation;
+    bug.symptom = SymptomKind::WrongOutput;
+    bug.isConcurrent = true;
+    bug.program = b.build();
+    bug.failing = racy(0.02, 300);
+    bug.succeeding = racy(0.02, 20);
+    bug.failing.failureSiteHint = checkpoint;
+    bug.succeeding.failureSiteHint = checkpoint;
+    auto check = [](const RunResult &r) {
+        if (r.failStop())
+            return true;
+        return r.output.empty() || r.output[0] != 42;
+    };
+    bug.failing.isFailure = check;
+    bug.succeeding.isFailure = check;
+
+    std::uint32_t loads = 0;
+    for (std::uint32_t i = 0; i < bug.program->code.size(); ++i) {
+        const Instruction &inst = bug.program->code[i];
+        if (inst.op == Opcode::Load && inst.loc.line == 4 &&
+            loads++ == 0) {
+            bug.truth.fpeInstr = i;
+        }
+    }
+    bug.truth.fpeState = MesiState::Exclusive;
+    bug.truth.fpeStore = false;
+    return bug;
+}
+
+// Read-too-late: the reader picks up the pointer after the remote
+// teardown NULLed it. Failure (crash) in the reading thread; FPE =
+// invalid read.
+BugSpec
+makeMicroReadTooLate()
+{
+    ProgramBuilder b("micro-rtl");
+    b.global("res_ptr", 1, {0}, true);
+    b.global("resource", 2, {5, 0}, true);
+    b.global("scratchbuf", 4, {}, true);
+
+    b.func("main");
+    b.lea(r4, "resource");
+    b.storeg("res_ptr", 0, r4, r5);
+    b.lea(r4, "resource");
+    b.spawn(r9, "user", r4);
+    // Real work before the teardown, so the user's first round
+    // always gets in.
+    b.movi(r11, 0);
+    b.movi(r12, 10);
+    b.line(3).beginWhile(Cond::Lt, r11, r12, "main work");
+    {
+        b.lea(r13, "scratchbuf");
+        b.movi(r14, 8);
+        b.movi(r15, 3);
+        b.andr(r16, r11, r15);
+        b.mul(r16, r16, r14);
+        b.add(r13, r13, r16);
+        b.store(r13, 0, r11);
+        b.addi(r11, r11, 1);
+    }
+    b.endWhile();
+    b.movi(r6, 0);
+    b.line(5).storeg("res_ptr", 0, r6, r7); // A: teardown
+    b.line(7).join(r9);
+    b.halt();
+
+    b.func("user");
+    b.line(10).mov(r4, r1); // B1: healthy use of the handed-in ptr
+    b.load(r5, r4, 0);
+    // Process the resource for a while before the next round.
+    b.movi(r17, 0);
+    b.movi(r18, 8);
+    b.line(11).beginWhile(Cond::Lt, r17, r18, "user work");
+    {
+        b.load(r19, r4, 8);
+        b.addi(r17, r17, 1);
+    }
+    b.endWhile();
+    b.line(12).loadg(r6, "res_ptr"); // B3: the too-late read
+    b.line(13).load(r7, r6, 0); // CRASH when NULLed
+    b.ret();
+
+    BugSpec bug;
+    bug.id = "micro-rtl";
+    bug.app = "read-too-late";
+    bug.interleaving = InterleavingKind::ReadTooLate;
+    bug.bugClass = BugClass::OrderViolation;
+    bug.symptom = SymptomKind::Crash;
+    bug.isConcurrent = true;
+    bug.program = b.build();
+    bug.failing = racy(0.25, 25);
+    bug.succeeding = racy(0.02, 12);
+
+    std::uint32_t loads = 0;
+    for (std::uint32_t i = 0; i < bug.program->code.size(); ++i) {
+        const Instruction &inst = bug.program->code[i];
+        if (inst.op == Opcode::Load && inst.loc.line == 12 &&
+            loads++ == 0) {
+            bug.truth.fpeInstr = i;
+        }
+    }
+    bug.truth.fpeState = MesiState::Invalid;
+    bug.truth.fpeStore = false;
+    return bug;
+}
+
+} // namespace stm::corpus

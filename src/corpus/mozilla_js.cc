@@ -1,0 +1,327 @@
+/**
+ * @file
+ * The three Mozilla JavaScript-engine atomicity violations of
+ * Table 4, including the Figure 4 bug (Mozilla-JS3).
+ *
+ * All three race on a shared engine-state pointer:
+ *  - JS3 (Figure 4): InitState stores st->table (a1) and checks it
+ *    (a2); FreeState in another thread NULLs it (a3) in between, so
+ *    the check fails and ReportOutOfMemory() emits a misleading
+ *    "out of memory" — one of dozens of call sites of that logger.
+ *    WWR violation; FPE = invalid read at a2 in the failure thread.
+ *  - JS1: the same pattern but the unchecked consumer dereferences
+ *    the NULLed pointer: crash (segfault) in the failure thread.
+ *  - JS2: the racing write corrupts a computed result that is
+ *    silently written out much later: wrong output with no logging
+ *    near the root cause, which is exactly why LCRLOG/LCRA miss it
+ *    (Table 7 "-").
+ */
+
+#include "corpus/bugs.hh"
+#include "program/builder.hh"
+
+namespace stm::corpus
+{
+
+using namespace regs;
+
+namespace
+{
+
+/** Shared scaffolding: spawn FreeState, run InitState-style work. */
+struct JsProgram
+{
+    ProgramPtr program;
+    SourceBranchId checkBranch = 0;
+    std::uint32_t a1Store = 0;
+    std::uint32_t a2Load = 0;
+    std::uint32_t a3Store = 0;
+    LogSiteId oomSite = 0;
+    LogSiteId checkpoint = 0;
+};
+
+/**
+ * Build the engine skeleton. @p variant selects JS1/JS2/JS3 behavior
+ * in the consumer of st->table.
+ */
+JsProgram
+buildJs(int variant)
+{
+    JsProgram out;
+    ProgramBuilder b(variant == 1 ? "mozilla-js1"
+                                  : variant == 2 ? "mozilla-js2"
+                                                 : "mozilla-js3");
+    b.file("jsdhash.c");
+
+    b.global("st_table", 1, {0}, true);
+    b.global("gc_flag", 1, {0}, true);
+    b.global("engine_cfg", 8, {1, 2, 3, 4, 5, 6, 7, 8}, true);
+    b.global("result_acc", 1, {0}, true);
+    b.global("script_len", 1, {12});
+
+    // ---- main (thread 1): the failure thread ---------------------------
+    b.line(10);
+    b.func("main");
+    b.line(11).call("AllocBackingStore");
+    b.loadg(r8, "gc_flag"); // warmed by both threads
+    b.line(12).movi(r10, 0);
+    b.spawn(r9, "FreeState", r10);
+    b.line(14).call("InitState");
+    b.line(15).join(r9);
+    b.line(16).loadg(r4, "result_acc");
+    b.out(r4);
+    b.line(17).halt();
+
+    // ---- InitState -------------------------------------------------------------
+    b.line(30);
+    b.func("InitState");
+    // st->table = New(st);   // a1
+    b.movi(r4, 256);
+    b.syscall(SyscallNo::Alloc, r4, r5); // r5 = fresh table memory
+    b.line(32);
+    out.a1Store = b.storeg("st_table", 0, r5, r6);
+    ++out.a1Store; // storeg emits lea; the store is the next index
+
+    // Engine warm-up: read-mostly configuration scans, the realistic
+    // exclusive-load traffic that fills a Conf2 LCR (Section 4.2.2).
+    b.line(34).movi(r7, 0);
+    b.loadg(r8, "script_len");
+    b.beginWhile(Cond::Lt, r7, r8, "cfg scan");
+    {
+        b.lea(r11, "engine_cfg");
+        b.movi(r12, 8);
+        b.mod(r13, r7, r12);
+        b.mul(r13, r13, r12);
+        b.add(r11, r11, r13);
+        b.load(r14, r11, 0);
+        b.addi(r7, r7, 1);
+    }
+    b.endWhile();
+
+    if (variant == 1) {
+        // JS1 (RWR): a1' check passes, the table pointer is
+        // re-fetched (a2) and dereferenced without re-checking; the
+        // remote NULLing between check and use crashes the engine.
+        b.line(38);
+        b.loadg(r15, "st_table");
+        b.movi(r16, 0);
+        out.checkBranch =
+            b.beginIf(Cond::Eq, r15, r16, "!st->table (early)");
+        b.ret();
+        b.endIf();
+        b.line(41);
+        std::uint32_t leaIdx = b.loadg(r15, "st_table"); // a2
+        out.a2Load = leaIdx + 1;
+        // Work the consumer does before touching the table: some
+        // read-mostly state (exclusive loads in the LCR) and one
+        // genuinely shared flag.
+        b.line(40);
+        for (int i = 0; i < 5; ++i)
+            b.loadg(r14, "engine_cfg", 8 * (i % 8));
+        b.loadg(r14, "gc_flag");
+        b.line(42).load(r17, r15, 0); // CRASH when NULLed (F)
+        b.addi(r17, r17, 1);
+        b.line(43).storeg("result_acc", 0, r17, r18);
+        b.line(44).ret();
+    } else {
+        // if (!st->table) { ReportOutOfMemory(); ... }   // a2
+        b.line(40);
+        std::uint32_t leaIdx = b.loadg(r15, "st_table");
+        out.a2Load = leaIdx + 1; // loadg = lea + load
+        b.movi(r16, 0);
+        out.checkBranch =
+            b.beginIf(Cond::Eq, r15, r16, "!st->table");
+        {
+            if (variant == 3) {
+                // The error-reporting path reads engine state before
+                // the logger runs (the wrapper profiles before the
+                // actual error() body).
+                b.line(41);
+                for (int i = 0; i < 8; ++i)
+                    b.loadg(r14, "engine_cfg", 8 * (i % 8));
+                b.loadg(r14, "gc_flag");
+                b.line(42).logError("out of memory",
+                                    "JS_ReportOutOfMemory"); // F
+            } else {
+                // JS2: silently fall back to a stale buffer and keep
+                // going — corruption with no logging anywhere near.
+                b.line(42).movi(r17, 7777);
+                b.storeg("result_acc", 0, r17, r18);
+                b.line(43).ret();
+            }
+        }
+        b.endIf();
+        // Normal path: populate the table, accumulate the result.
+        b.line(46);
+        b.movi(r17, 41);
+        b.store(r15, 0, r17);
+        b.load(r18, r15, 0);
+        b.addi(r18, r18, 1);
+        b.line(49).storeg("result_acc", 0, r18, r19);
+        b.line(51).ret();
+    }
+
+    // ---- FreeState (thread 2) ------------------------------------------------
+    b.line(60);
+    b.func("FreeState");
+    b.loadg(r8, "gc_flag");
+    // Destroy(st->table); st->table = NULL;   // a3
+    b.loadg(r4, "st_table");
+    b.line(62).movi(r5, 0);
+    std::uint32_t lea3 = b.storeg("st_table", 0, r5, r6);
+    out.a3Store = lea3 + 1;
+    b.line(64).ret();
+
+    // A second "out of memory" site, so the failure location is
+    // genuinely ambiguous from the message alone (the real logger has
+    // 55 call sites).
+    b.file("jscntxt.c");
+    b.line(100);
+    b.func("AllocBackingStore");
+    b.loadg(r4, "script_len");
+    b.movi(r5, 4096);
+    b.beginIf(Cond::Gt, r4, r5, "script too large");
+    b.line(102).logError("out of memory", "JS_ReportOutOfMemory");
+    b.endIf();
+    b.line(104).ret();
+
+    out.program = b.build();
+    return out;
+}
+
+Workload
+racyWorkload(double preempt_prob, std::uint32_t quantum = 40)
+{
+    Workload w;
+    w.base.sched.preemptSharedProb = preempt_prob;
+    w.base.sched.quantum = quantum;
+    return w;
+}
+
+} // namespace
+
+BugSpec
+makeMozillaJs3()
+{
+    JsProgram js = buildJs(3);
+    BugSpec bug;
+    bug.id = "mozilla-js3";
+    bug.app = "Mozilla-JS3";
+    bug.version = "1.5";
+    bug.kloc = 107;
+    bug.bugClass = BugClass::AtomicityViolation;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.interleaving = InterleavingKind::WWR;
+    bug.paperLogPoints = 343;
+    bug.isConcurrent = true;
+    bug.program = js.program;
+
+    bug.failing = racyWorkload(0.4);
+    bug.succeeding = racyWorkload(0.005, 250);
+
+    GroundTruth &truth = bug.truth;
+    truth.fpeInstr = js.a2Load;
+    truth.fpeState = MesiState::Invalid;
+    truth.fpeStore = false;
+    truth.conf1Instr = js.a2Load;
+    truth.conf1State = MesiState::Invalid;
+    truth.conf1Store = false;
+    truth.patchLoc = SourceLoc{0, 40};
+    truth.failureLoc = SourceLoc{0, 42};
+    truth.rootCauseBranch = js.checkBranch;
+    truth.rootCauseOutcome = true;
+
+    PaperNumbers &paper = bug.paper;
+    paper.lcrlogConf1 = 3;
+    paper.lcrlogConf2 = 11;
+    paper.lcra = 1;
+    bug.notes = "Figure 4: WWR atomicity violation; FPE = invalid "
+                "read of st->table at the a2 check";
+    return bug;
+}
+
+BugSpec
+makeMozillaJs1()
+{
+    JsProgram js = buildJs(1);
+    BugSpec bug;
+    bug.id = "mozilla-js1";
+    bug.app = "Mozilla-JS1";
+    bug.version = "1.5";
+    bug.kloc = 107;
+    bug.bugClass = BugClass::AtomicityViolation;
+    bug.symptom = SymptomKind::Crash;
+    bug.interleaving = InterleavingKind::RWR;
+    bug.paperLogPoints = 343;
+    bug.isConcurrent = true;
+    bug.program = js.program;
+
+    bug.failing = racyWorkload(0.4);
+    bug.succeeding = racyWorkload(0.005, 250);
+
+    GroundTruth &truth = bug.truth;
+    truth.fpeInstr = js.a2Load;
+    truth.fpeState = MesiState::Invalid;
+    truth.fpeStore = false;
+    truth.conf1Instr = js.a2Load;
+    truth.conf1State = MesiState::Invalid;
+    truth.conf1Store = false;
+    truth.patchLoc = SourceLoc{0, 40};
+    truth.failureLoc = SourceLoc{0, 42};
+
+    PaperNumbers &paper = bug.paper;
+    paper.lcrlogConf1 = 3;
+    paper.lcrlogConf2 = 8;
+    paper.lcra = 1;
+    bug.notes = "RWR atomicity violation ending in a NULL "
+                "dereference inside the engine";
+    return bug;
+}
+
+BugSpec
+makeMozillaJs2()
+{
+    JsProgram js = buildJs(2);
+    BugSpec bug;
+    bug.id = "mozilla-js2";
+    bug.app = "Mozilla-JS2";
+    bug.version = "1.5";
+    bug.kloc = 107;
+    bug.bugClass = BugClass::AtomicityViolation;
+    bug.symptom = SymptomKind::WrongOutput;
+    bug.interleaving = InterleavingKind::RWW;
+    bug.paperLogPoints = 343;
+    bug.isConcurrent = true;
+    bug.program = js.program;
+
+    bug.failing = racyWorkload(0.4);
+    bug.succeeding = racyWorkload(0.005, 250);
+    // Wrong output: the silently-corrupted accumulator surfaces only
+    // at program exit, far from the root cause, with no logging site
+    // anywhere near a1/a2/a3 — the reason Table 7 reports "-".
+    auto wrongOutput = [](const RunResult &r) {
+        if (r.failStop())
+            return true;
+        return !r.output.empty() && r.output.front() != 42;
+    };
+    bug.failing.isFailure = wrongOutput;
+    bug.succeeding.isFailure = wrongOutput;
+
+    GroundTruth &truth = bug.truth;
+    truth.fpeInstr = js.a2Load;
+    truth.fpeState = MesiState::Invalid;
+    truth.fpeStore = false;
+    truth.fpeUnreachable = true; // no logging near the root cause
+    truth.patchLoc = SourceLoc{0, 40};
+    truth.failureLoc = SourceLoc{0, 16};
+
+    PaperNumbers &paper = bug.paper;
+    paper.lcrlogConf1 = 0; // "-"
+    paper.lcrlogConf2 = 0;
+    paper.lcra = 0;
+    bug.notes = "silent corruption: wrong output at exit; no "
+                "failure logging near the race";
+    return bug;
+}
+
+} // namespace stm::corpus

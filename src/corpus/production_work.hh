@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Production-scale workload preamble for corpus programs.
+ *
+ * Real deployments run thousands of application instructions per
+ * library call; the overhead columns of Table 6 are meaningless on a
+ * toy-sized baseline. Every sequential corpus program therefore
+ * starts with a configurable compute loop — branchy application work
+ * (parsing, checksumming, scanning) — that stands in for the
+ * production request/file processing the paper's workloads perform.
+ * The work runs before the bug logic, so it never disturbs the LBR
+ * content observed at failures (the ring only keeps the most recent
+ * 16 branches); it only gives overhead percentages a realistic
+ * denominator and CBI a realistic predicate population.
+ */
+
+#ifndef STM_CORPUS_PRODUCTION_WORK_HH
+#define STM_CORPUS_PRODUCTION_WORK_HH
+
+#include "program/builder.hh"
+
+namespace stm::corpus
+{
+
+/**
+ * Emit a production-work loop at the current position.
+ *
+ * @param b the builder (a global named "prod_state" is declared)
+ * @param iters loop iterations (roughly 8 + 4*branchy instructions
+ *        each)
+ * @param branchy extra data-dependent branches per iteration (0-3):
+ *        controls the branch density, and with it the relative cost
+ *        of CBI's per-branch instrumentation
+ */
+inline void
+emitProductionWork(ProgramBuilder &b, int iters, int branchy)
+{
+    // High registers, out of the way of the bug-logic registers.
+    constexpr RegId x = 24, i = 25, n = 26, acc = 27, t0 = 28,
+                    t1 = 29, t2 = 30;
+    // Overflow-sensitive programs pre-declare prod_state to keep
+    // their data-segment layout intact.
+    if (!b.hasGlobal("prod_state"))
+        b.global("prod_state", 4, {17, 0, 0, 0});
+
+    std::uint32_t saved_line = b.currentLine();
+    b.line(5);
+    b.loadg(x, "prod_state");
+    b.movi(i, 0);
+    b.movi(n, iters);
+    b.movi(acc, 0);
+    b.beginWhile(Cond::Lt, i, n, "production work");
+    {
+        // x = (x * 13 + 7) mod 1024
+        b.movi(t0, 13);
+        b.mul(x, x, t0);
+        b.addi(x, x, 7);
+        b.movi(t0, 1023);
+        b.andr(x, x, t0);
+        for (int j = 0; j < branchy; ++j) {
+            b.movi(t0, 1 << j);
+            b.andr(t1, x, t0);
+            b.movi(t2, 0);
+            b.beginIf(Cond::Ne, t1, t2, "work bit set");
+            b.addi(acc, acc, 1);
+            b.endIf();
+        }
+        // Every 256th round: an internal consistency check with its
+        // own failure-logging site — the kind of periodically
+        // executed guard that makes the proactive success-site
+        // scheme measurably more expensive than the reactive one.
+        b.movi(t0, 255);
+        b.andr(t1, i, t0);
+        b.movi(t2, 0);
+        b.beginIf(Cond::Eq, t1, t2, "work checkpoint round");
+        {
+            b.beginIf(Cond::Lt, acc, t2, "work accumulator corrupt");
+            b.logError("internal error: work accumulator corrupt",
+                       "error");
+            b.endIf();
+        }
+        b.endIf();
+        b.addi(i, i, 1);
+    }
+    b.endWhile();
+    b.storeg("prod_state", 8, acc, t0);
+    b.line(saved_line);
+}
+
+} // namespace stm::corpus
+
+#endif // STM_CORPUS_PRODUCTION_WORK_HH

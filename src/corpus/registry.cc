@@ -1,0 +1,90 @@
+#include "corpus/registry.hh"
+
+#include "corpus/bugs.hh"
+#include "support/logging.hh"
+
+namespace stm::corpus
+{
+
+std::vector<BugSpec>
+sequentialBugs()
+{
+    std::vector<BugSpec> bugs;
+    bugs.push_back(makeApache1());
+    bugs.push_back(makeApache2());
+    bugs.push_back(makeApache3());
+    bugs.push_back(makeCp());
+    bugs.push_back(makeCppcheck1());
+    bugs.push_back(makeCppcheck2());
+    bugs.push_back(makeCppcheck3());
+    bugs.push_back(makeLighttpd());
+    bugs.push_back(makeLn());
+    bugs.push_back(makeMv());
+    bugs.push_back(makePaste());
+    bugs.push_back(makePbzip1());
+    bugs.push_back(makePbzip2());
+    bugs.push_back(makeRm());
+    bugs.push_back(makeSort());
+    bugs.push_back(makeSquid1());
+    bugs.push_back(makeSquid2());
+    bugs.push_back(makeTac());
+    bugs.push_back(makeTar1());
+    bugs.push_back(makeTar2());
+    return bugs;
+}
+
+std::vector<BugSpec>
+concurrencyBugs()
+{
+    std::vector<BugSpec> bugs;
+    bugs.push_back(makeApache4());
+    bugs.push_back(makeApache5());
+    bugs.push_back(makeCherokee());
+    bugs.push_back(makeFft());
+    bugs.push_back(makeLu());
+    bugs.push_back(makeMozillaJs1());
+    bugs.push_back(makeMozillaJs2());
+    bugs.push_back(makeMozillaJs3());
+    bugs.push_back(makeMysql1());
+    bugs.push_back(makeMysql2());
+    bugs.push_back(makePbzip3());
+    return bugs;
+}
+
+std::vector<BugSpec>
+microBugs()
+{
+    std::vector<BugSpec> bugs;
+    bugs.push_back(makeMicroRwr());
+    bugs.push_back(makeMicroRww());
+    bugs.push_back(makeMicroWwr());
+    bugs.push_back(makeMicroWrw());
+    bugs.push_back(makeMicroReadTooEarly());
+    bugs.push_back(makeMicroReadTooLate());
+    return bugs;
+}
+
+std::vector<BugSpec>
+allBugs()
+{
+    std::vector<BugSpec> bugs = sequentialBugs();
+    for (auto &bug : concurrencyBugs())
+        bugs.push_back(std::move(bug));
+    return bugs;
+}
+
+BugSpec
+bugById(const std::string &id)
+{
+    for (auto &bug : allBugs()) {
+        if (bug.id == id)
+            return bug;
+    }
+    for (auto &bug : microBugs()) {
+        if (bug.id == id)
+            return bug;
+    }
+    fatal("unknown bug id '{}'", id);
+}
+
+} // namespace stm::corpus

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The corpus registry: enumeration of all implemented bug
+ * reproductions, mirroring Table 4.
+ */
+
+#ifndef STM_CORPUS_REGISTRY_HH
+#define STM_CORPUS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "corpus/bug.hh"
+
+namespace stm::corpus
+{
+
+/** All 20 sequential-bug entries (Table 4, top). */
+std::vector<BugSpec> sequentialBugs();
+
+/** All 11 concurrency-bug entries (Table 4, bottom). */
+std::vector<BugSpec> concurrencyBugs();
+
+/** The six Table 3 interleaving micro-bugs. */
+std::vector<BugSpec> microBugs();
+
+/** Every corpus entry (sequential + concurrency). */
+std::vector<BugSpec> allBugs();
+
+/** Build one entry by id; fatal() on unknown ids. */
+BugSpec bugById(const std::string &id);
+
+} // namespace stm::corpus
+
+#endif // STM_CORPUS_REGISTRY_HH

@@ -1,0 +1,625 @@
+/**
+ * @file
+ * The server sequential-bug failures of Table 4: Apache 1-3,
+ * Lighttpd, and Squid 1-2. These applications carry thousands of
+ * failure-logging points in reality; the reproductions keep the
+ * per-bug control-flow structure (root-cause distance, library calls,
+ * cross-file patch layout) and a representative sample of logging
+ * sites.
+ */
+
+#include "corpus/bugs.hh"
+#include "corpus/production_work.hh"
+#include "corpus/startup_checks.hh"
+#include "program/builder.hh"
+
+namespace stm::corpus
+{
+
+using namespace regs;
+
+// ------------------------------------------------------------- apache1 ----
+
+BugSpec
+makeApache1()
+{
+    ProgramBuilder b("apache1");
+    b.file("server/config.c");
+    b.global("nprocs", 1, {4});
+    b.global("max_procs", 1, {8});
+    b.global("ndirectives", 1, {6});
+    b.global("accepted_procs", 1, {0});
+    b.global("listen_port", 1, {80});
+
+    b.line(10);
+    b.func("main");
+    emitProductionWork(b, 2600, 0);
+    b.call("startup_checks");
+    b.line(11).call("read_config");
+    b.line(12).call("start_workers");
+    b.line(13).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(14).halt();
+
+    b.line(40);
+    b.func("read_config");
+    b.loadg(r4, "ndirectives");
+    b.movi(r5, 0);
+    b.line(41).beginIf(Cond::Le, r4, r5, "empty config");
+    b.line(42).logError("syntax error: empty configuration",
+                        "ap_log_error");
+    b.endIf();
+    b.loadg(r6, "listen_port");
+    b.movi(r7, 0);
+    b.line(45).beginIf(Cond::Le, r6, r7, "bad Listen port");
+    b.line(46).logError("invalid Listen directive", "ap_log_error");
+    b.endIf();
+    b.movi(r8, 65536);
+    b.line(48).beginIf(Cond::Ge, r6, r8, "port out of range");
+    b.line(49).logError("port out of range", "ap_log_error");
+    b.endIf();
+
+    // ROOT CAUSE (line 78): the StartServers validation accepts a
+    // value equal to the hard process limit — the at-limit case has
+    // its own (wrong) arm, so the configuration passes parsing and
+    // explodes at startup.
+    b.line(78);
+    b.loadg(r10, "nprocs");
+    b.loadg(r11, "max_procs");
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Ge, r10, r11,
+                  "nprocs >= max_procs (buggy: clamps nothing)");
+    {
+        // Should clamp (or reject); instead the raw value is kept.
+        b.line(79).nop();
+    }
+    b.endIf();
+    b.line(82).storeg("accepted_procs", 0, r10, r12);
+    b.line(83).ret();
+
+    b.file("server/mpm/worker.c");
+    b.line(120);
+    b.func("start_workers");
+    // Spawning the scoreboard needs one slot headroom: the at-limit
+    // configuration fails here, far from the parser.
+    b.loadg(r13, "accepted_procs");
+    b.loadg(r14, "max_procs");
+    b.line(122).beginIf(Cond::Ge, r13, r14,
+                        "no scoreboard headroom");
+    b.line(123).logError("could not create scoreboard slot",
+                         "ap_log_error");
+    b.endIf();
+    b.movi(r15, 0);
+    b.line(125).beginWhile(Cond::Lt, r15, r13, "spawn workers");
+    {
+        b.line(126).movi(r1, 2);
+        b.libcall(LibFn::Generic);
+        b.addi(r15, r15, 1);
+    }
+    b.endWhile();
+    b.line(128).ret();
+
+    BugSpec bug;
+    bug.id = "apache1";
+    bug.app = "Apache 1";
+    bug.version = "2.0.43";
+    bug.kloc = 273;
+    bug.bugClass = BugClass::Config;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.paperLogPoints = 2534;
+    emitStartupChecks(b, "ap_log_error");
+    bug.program = b.build();
+    bug.failing.base.globalOverrides = {{"nprocs", {8}}};
+    bug.succeeding.base.globalOverrides = {{"nprocs", {4}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 75};
+    bug.truth.failureLoc = SourceLoc{1, 123};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 3,
+                             .lbrlogNoTog = 3,
+                             .lbra = 1,
+                             .cbi = 2,
+                             .patchDistFailureSite = -1,
+                             .patchDistLbr = 3,
+                             .ovLbrlogTog = 0.31,
+                             .ovLbrlogNoTog = 0.11,
+                             .ovLbraReactive = 0.39,
+                             .ovLbraProactive = 3.87,
+                             .ovCbi = 3.01};
+    return bug;
+}
+
+// ------------------------------------------------------------- apache2 ----
+
+BugSpec
+makeApache2()
+{
+    ProgramBuilder b("apache2");
+    b.file("modules/http/http_request.c");
+    b.global("keepalive", 1, {0});
+    b.global("conn_state", 1, {0}); // 0 idle, 1 busy
+    b.global("nrequests", 1, {3});
+    b.global("body_len", 1, {10});
+
+    b.line(10);
+    b.func("main");
+    emitProductionWork(b, 2400, 0);
+    b.call("startup_checks");
+    b.loadg(r4, "nrequests");
+    b.movi(r5, 0);
+    b.line(11).beginIf(Cond::Le, r4, r5, "no requests");
+    b.line(12).logError("connection aborted", "ap_log_error");
+    b.endIf();
+    b.movi(r6, 0);
+    b.line(14).beginWhile(Cond::Lt, r6, r4, "per request");
+    {
+        b.line(15).call("process_request");
+        b.addi(r6, r6, 1);
+    }
+    b.endWhile();
+    b.line(17).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(18).halt();
+
+    b.line(40);
+    b.func("process_request");
+    // ROOT CAUSE (not itself a branch): on the keep-alive path the
+    // connection state is never reset to IDLE after the body is
+    // consumed — the patch adds the missing reset deep in the filter
+    // chain (http_filters.c:520).
+    b.file("modules/http/http_filters.c");
+    b.loadg(r7, "keepalive");
+    b.movi(r8, 1);
+    b.line(44).beginIf(Cond::Eq, r7, r8, "keep-alive request");
+    {
+        b.line(45).movi(r9, 1);
+        b.storeg("conn_state", 0, r9, r10); // BUSY, never cleared
+        b.line(46).movi(r1, 1);
+        b.libcall(LibFn::Generic);
+        // (missing: conn_state = IDLE)
+    }
+    b.beginElse();
+    {
+        b.line(49).movi(r9, 0);
+        b.storeg("conn_state", 0, r9, r10);
+    }
+    b.endIf();
+    b.file("modules/http/http_request.c");
+
+    // RELATED BRANCH (line 60): the stale BUSY state is what the
+    // next dispatch sees.
+    b.line(60);
+    b.loadg(r11, "conn_state");
+    b.movi(r12, 1);
+    SourceBranchId related =
+        b.beginIf(Cond::Eq, r11, r12, "conn_state == BUSY");
+    b.line(61).logError("request received while busy",
+                        "ap_log_error");
+    b.endIf();
+    b.line(63).ret();
+
+    BugSpec bug;
+    bug.id = "apache2";
+    bug.app = "Apache 2";
+    bug.version = "2.2.3";
+    bug.kloc = 311;
+    bug.bugClass = BugClass::Semantic;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.paperLogPoints = 2511;
+    emitStartupChecks(b, "ap_log_error");
+    bug.program = b.build();
+    bug.failing.base.globalOverrides = {{"keepalive", {1}}};
+    bug.succeeding.base.globalOverrides = {{"keepalive", {0}}};
+
+    bug.truth.relatedBranch = related;
+    bug.truth.relatedOutcome = true;
+    bug.truth.patchLoc = SourceLoc{1, 520}; // http_filters.c
+    bug.truth.failureLoc = SourceLoc{0, 61};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 2,
+                             .lbrlogNoTog = 2,
+                             .lbra = 2,
+                             .cbi = 0, // CBI reports nothing useful
+                             .patchDistFailureSite = -1,
+                             .patchDistLbr = 475,
+                             .ovLbrlogTog = 0.42,
+                             .ovLbrlogNoTog = 0.09,
+                             .ovLbraReactive = 0.43,
+                             .ovLbraProactive = 4.61,
+                             .ovCbi = 5.48};
+    bug.notes = "'*' case: the root cause is a missing assignment; "
+                "tools capture the stale-state branch";
+    return bug;
+}
+
+// ------------------------------------------------------------- apache3 ----
+
+BugSpec
+makeApache3()
+{
+    ProgramBuilder b("apache3");
+    b.file("server/core.c");
+    b.global("timeout", 1, {30});
+    b.global("nconns", 1, {4});
+
+    b.line(10);
+    b.func("main");
+    emitProductionWork(b, 2600, 0);
+    b.call("startup_checks");
+    b.loadg(r4, "nconns");
+    b.movi(r5, 0);
+    b.line(11).beginIf(Cond::Le, r4, r5, "no listeners");
+    b.line(12).logError("no listening sockets available",
+                        "ap_log_error");
+    b.endIf();
+    b.movi(r6, 0);
+    b.line(14).beginWhile(Cond::Lt, r6, r4, "per connection");
+    {
+        b.line(15).movi(r1, 2);
+        b.libcall(LibFn::Generic);
+        b.addi(r6, r6, 1);
+    }
+    b.endWhile();
+
+    // ROOT CAUSE (line 601): the timeout sanity check accepts zero —
+    // the zero case has its own (wrong) arm — which the poll loop
+    // right below treats as an error.
+    b.line(601);
+    b.loadg(r7, "timeout");
+    b.movi(r8, 0);
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Le, r7, r8,
+                  "timeout <= 0 treated as infinite (buggy)");
+    {
+        b.nop(); // should reject; keeps the zero
+    }
+    b.endIf();
+    b.line(602);
+    b.beginIf(Cond::Eq, r7, r8, "poll with zero timeout");
+    b.line(602).logError("poll: invalid timeout configured",
+                         "ap_log_error");
+    b.endIf();
+    b.line(604).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(605).halt();
+
+    BugSpec bug;
+    bug.id = "apache3";
+    bug.app = "Apache 3";
+    bug.version = "2.2.9";
+    bug.kloc = 333;
+    bug.bugClass = BugClass::Semantic;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.paperLogPoints = 2515;
+    emitStartupChecks(b, "ap_log_error");
+    bug.program = b.build();
+    bug.failing.base.globalOverrides = {{"timeout", {0}}};
+    bug.succeeding.base.globalOverrides = {{"timeout", {30}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 601};
+    bug.truth.failureLoc = SourceLoc{0, 602};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 2,
+                             .lbrlogNoTog = 2,
+                             .lbra = 1,
+                             .cbi = 1,
+                             .patchDistFailureSite = 1,
+                             .patchDistLbr = 1,
+                             .ovLbrlogTog = 0.33,
+                             .ovLbrlogNoTog = 0.17,
+                             .ovLbraReactive = 0.52,
+                             .ovLbraProactive = 3.43,
+                             .ovCbi = 2.70};
+    return bug;
+}
+
+// ------------------------------------------------------------ lighttpd ----
+
+BugSpec
+makeLighttpd()
+{
+    ProgramBuilder b("lighttpd");
+    b.file("src/configfile.c");
+    b.global("nmodules", 1, {1});
+    b.global("mod_ids", 8, {1, 2, 3, 0, 0, 0, 0, 0});
+    b.global("compat_mode", 1, {0});
+    b.global("loaded", 1, {0});
+
+    b.line(10);
+    b.func("main");
+    emitProductionWork(b, 2000, 1);
+    b.call("startup_checks");
+    b.loadg(r4, "nmodules");
+    b.movi(r5, 0);
+    b.line(11).beginIf(Cond::Le, r4, r5, "no modules configured");
+    b.line(12).logError("server.modules is empty", "log_error_write");
+    b.endIf();
+    b.movi(r6, 8);
+    b.line(14).beginIf(Cond::Gt, r4, r6, "too many modules");
+    b.line(15).logError("too many modules", "log_error_write");
+    b.endIf();
+
+    // ROOT CAUSE (line 31): compatibility handling inserts mod_indexfile
+    // only when compat_mode != 0, but the 1.4.16 default config relies
+    // on the implicit insertion (the condition is inverted).
+    b.line(31);
+    b.loadg(r7, "compat_mode");
+    b.movi(r8, 1);
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Eq, r7, r8, "compat insertion (inverted)");
+    {
+        b.line(32).movi(r9, 1);
+        b.storeg("loaded", 0, r9, r10);
+    }
+    b.endIf();
+
+    // Module init walk.
+    b.movi(r11, 0);
+    b.line(34).beginWhile(Cond::Lt, r11, r4, "init modules");
+    {
+        b.lea(r12, "mod_ids");
+        b.movi(r13, 8);
+        b.mul(r14, r11, r13);
+        b.add(r12, r12, r14);
+        b.load(r15, r12, 0);
+        b.addi(r11, r11, 1);
+    }
+    b.endWhile();
+
+    // The indexfile handler is missing at dispatch time.
+    b.line(40);
+    b.loadg(r16, "loaded");
+    b.movi(r17, 1);
+    b.beginIf(Cond::Ne, r16, r17, "indexfile handler missing");
+    b.line(30).logError("no handler for directory request",
+                        "log_error_write");
+    b.endIf();
+    b.line(44).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(45).halt();
+
+    BugSpec bug;
+    bug.id = "lighttpd";
+    bug.app = "Lighttpd";
+    bug.version = "1.4.16";
+    bug.kloc = 55;
+    bug.bugClass = BugClass::Config;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.paperLogPoints = 857;
+    emitStartupChecks(b, "log_error_write");
+    bug.program = b.build();
+    bug.failing.base.globalOverrides = {{"compat_mode", {0}}};
+    bug.succeeding.base.globalOverrides = {{"compat_mode", {1}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = false; // not taken => handler missing
+    bug.truth.patchLoc = SourceLoc{0, 30};
+    bug.truth.failureLoc = SourceLoc{0, 30};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 4,
+                             .lbrlogNoTog = 4,
+                             .lbra = 1,
+                             .cbi = 0, // "-"
+                             .patchDistFailureSite = 0,
+                             .patchDistLbr = 1,
+                             .ovLbrlogTog = 0.65,
+                             .ovLbrlogNoTog = 0.11,
+                             .ovLbraReactive = 0.73,
+                             .ovLbraProactive = 2.33,
+                             .ovCbi = 6.34};
+    return bug;
+}
+
+// --------------------------------------------------------------- squid1 ----
+
+BugSpec
+makeSquid1()
+{
+    ProgramBuilder b("squid1");
+    b.file("src/client_side.c");
+    b.global("acl_default", 1, {0});
+    b.global("nacls", 1, {4});
+    b.global("acl_table", 8, {1, 1, 0, 1, 0, 0, 0, 0});
+    b.global("request_class", 1, {2});
+
+    b.line(10);
+    b.func("main");
+    emitProductionWork(b, 1800, 1);
+    b.call("startup_checks");
+    b.loadg(r4, "nacls");
+    b.movi(r5, 0);
+    b.line(11).beginIf(Cond::Le, r4, r5, "no ACLs");
+    b.line(12).logError("no access controls defined", "debug");
+    b.endIf();
+
+    // ACL scan for the request class.
+    b.loadg(r6, "request_class");
+    b.movi(r7, 0);  // i
+    b.movi(r8, -1); // verdict: -1 no match
+    b.line(1982).beginWhile(Cond::Lt, r7, r4, "scan ACLs");
+    {
+        b.line(1984).beginIf(Cond::Eq, r7, r6, "ACL applies");
+        {
+            b.lea(r9, "acl_table");
+            b.movi(r10, 8);
+            b.mul(r11, r7, r10);
+            b.add(r9, r9, r11);
+            b.load(r8, r9, 0); // verdict = table[i]
+        }
+        b.endIf();
+        b.addi(r7, r7, 1);
+    }
+    b.endWhile();
+
+    // ROOT CAUSE (line 2100): an unmatched request must fall back to
+    // the configured default, but the condition tests "< 0" on a
+    // verdict that the scan left as 0-deny rather than -1-unmatched
+    // for classes beyond the table.
+    b.line(2100);
+    b.movi(r12, 0);
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Lt, r8, r12, "verdict unmatched (buggy)");
+    {
+        b.line(2101).loadg(r8, "acl_default");
+    }
+    b.endIf();
+    b.line(2103);
+    b.movi(r13, 1);
+    b.beginIf(Cond::Ne, r8, r13, "access denied");
+    b.line(2103).logError("access denied for client", "debug");
+    b.endIf();
+    b.line(2105).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(2106).halt();
+
+    BugSpec bug;
+    bug.id = "squid1";
+    bug.app = "Squid 1";
+    bug.version = "2.5.S5";
+    bug.kloc = 120;
+    bug.bugClass = BugClass::Semantic;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.paperLogPoints = 2427;
+    emitStartupChecks(b, "debug");
+    bug.program = b.build();
+    // Failing: request class 2 hits the deny hole left by the scan
+    // (verdict 0 is "deny" but should have been "unmatched").
+    bug.failing.base.globalOverrides = {{"request_class", {2}},
+                                        {"acl_default", {1}}};
+    // Succeeding: an unmatched class correctly falls back to the
+    // default-allow (the fallback branch evaluates differently).
+    bug.succeeding.base.globalOverrides = {{"request_class", {6}},
+                                           {"acl_default", {1}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = false; // fallback skipped
+    bug.truth.patchLoc = SourceLoc{0, 1980};
+    bug.truth.failureLoc = SourceLoc{0, 2103};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 2,
+                             .lbrlogNoTog = 2,
+                             .lbra = 1,
+                             .cbi = 0, // "-"
+                             .patchDistFailureSite = 123,
+                             .patchDistLbr = 2,
+                             .ovLbrlogTog = 1.26,
+                             .ovLbrlogNoTog = 0.05,
+                             .ovLbraReactive = 1.45,
+                             .ovLbraProactive = 2.79,
+                             .ovCbi = 6.29};
+    return bug;
+}
+
+// --------------------------------------------------------------- squid2 ----
+
+BugSpec
+makeSquid2()
+{
+    ProgramBuilder b("squid2");
+    b.file("src/ftp.c");
+    b.global("listing", 12, {5, 3, 8, 1, 9, 2, 7, 4, 6, 10, 11, 12});
+    b.global("nentries", 1, {2});
+    b.global("huge_entry", 1, {0});
+    b.global("prod_state", 4, {17, 0, 0, 0});
+    declareStartupGlobals(b);
+    // linebuf is the last object in the data segment: the bad bound
+    // walks the copy straight off the mapping.
+    b.global("linebuf", 2, {});
+
+    b.line(10);
+    b.func("main");
+    emitProductionWork(b, 1400, 1);
+    b.call("startup_checks");
+    b.loadg(r4, "nentries");
+    b.movi(r5, 0);
+    b.line(11).beginIf(Cond::Le, r4, r5, "empty listing");
+    b.line(12).logError("empty FTP listing", "debug");
+    b.endIf();
+
+    // ROOT CAUSE (line 1024): the copy bound for an oversized entry
+    // is clamped with the wrong comparison, leaving bound = entry
+    // length instead of the buffer size.
+    b.line(1024);
+    b.loadg(r6, "huge_entry");
+    b.movi(r7, 2);
+    b.mov(r8, r7); // bound = bufsize
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Gt, r6, r7, "entry fits? (buggy clamp)");
+    {
+        b.line(1025).mov(r8, r6); // bound = entry length (!)
+    }
+    b.endIf();
+
+    // Format the listing: per-entry work (the ~8 recorded branches
+    // that put the root cause at position ~10).
+    b.movi(r9, 0);
+    b.line(1030).beginWhile(Cond::Lt, r9, r4, "format entries");
+    {
+        b.lea(r10, "listing");
+        b.movi(r11, 8);
+        b.mul(r12, r9, r11);
+        b.add(r10, r10, r12);
+        b.load(r13, r10, 0);
+        b.line(1032).beginIf(Cond::Gt, r13, r5, "entry non-empty");
+        b.nop();
+        b.endIf();
+        b.addi(r9, r9, 1);
+    }
+    b.endWhile();
+
+    // The copy loop writes 'bound' words into linebuf: with the bad
+    // clamp it runs off the globals segment and segfaults.
+    b.line(1040);
+    b.movi(r14, 0);
+    b.lea(r15, "linebuf");
+    b.beginWhile(Cond::Lt, r14, r8, "copy entry");
+    {
+        b.movi(r16, 8);
+        b.mul(r17, r14, r16);
+        b.add(r18, r15, r17);
+        b.line(1082).store(r18, 0, r13); // CRASH past the segment
+        b.addi(r14, r14, 1);
+    }
+    b.endWhile();
+    b.line(1045).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(1046).halt();
+
+    BugSpec bug;
+    bug.id = "squid2";
+    bug.app = "Squid 2";
+    bug.version = "2.3.S4";
+    bug.kloc = 102;
+    bug.bugClass = BugClass::Memory;
+    bug.symptom = SymptomKind::Crash;
+    bug.paperLogPoints = 2096;
+    emitStartupChecks(b, "debug");
+    bug.program = b.build();
+    // Failing: an oversized entry (the buggy clamp keeps its length).
+    bug.failing.base.globalOverrides = {{"huge_entry", {4000000}}};
+    bug.succeeding.base.globalOverrides = {{"huge_entry", {1}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 1023};
+    bug.truth.failureLoc = SourceLoc{0, 1082};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 10,
+                             .lbrlogNoTog = 10,
+                             .lbra = 1,
+                             .cbi = 1,
+                             .patchDistFailureSite = 59,
+                             .patchDistLbr = 1,
+                             .ovLbrlogTog = 2.19,
+                             .ovLbrlogNoTog = 0.03,
+                             .ovLbraReactive = 2.42,
+                             .ovLbraProactive = 3.62,
+                             .ovCbi = 7.49};
+    return bug;
+}
+
+} // namespace stm::corpus

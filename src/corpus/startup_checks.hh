@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Startup-validation scaffolding for corpus programs.
+ *
+ * Real applications carry hundreds-to-thousands of failure-logging
+ * points (Table 4), most of them input/config validation that passes
+ * on every healthy run. Each sequential corpus program calls this
+ * emitted function near the top of main: a dozen guarded
+ * error-logging sites behind varied control flow (loops, nested
+ * conditionals, early returns). None of the guards fire under corpus
+ * workloads, so diagnosis results are untouched; what they provide is
+ * a realistic logging-site population for the Table 5 useful-branch
+ * analysis and for the proactive success-site scheme's overhead.
+ */
+
+#ifndef STM_CORPUS_STARTUP_CHECKS_HH
+#define STM_CORPUS_STARTUP_CHECKS_HH
+
+#include "program/builder.hh"
+
+namespace stm::corpus
+{
+
+/**
+ * Declare the option-parser globals up front; programs whose bug
+ * depends on an object being the last one in the data segment call
+ * this before declaring that object.
+ */
+inline void
+declareStartupGlobals(ProgramBuilder &b)
+{
+    b.global("cli_limits", 8, {64, 128, 256, 512, 16, 8, 4, 2});
+    b.global("cli_mode", 1, {1});
+    b.global("cli_verbosity", 1, {0});
+}
+
+/**
+ * Emit the "startup_checks" function (call it from main with
+ * b.call("startup_checks")). @p log_fn is the application's logging
+ * function name, as in Table 5's last column.
+ */
+inline void
+emitStartupChecks(ProgramBuilder &b, const std::string &log_fn)
+{
+    // Registers chosen clear of the bug-logic conventions.
+    constexpr RegId v = 21, lim = 22, i = 23, t0 = 28, t1 = 29;
+
+    // Overflow-sensitive programs pre-declare these to keep their
+    // data-segment layout intact (see declareStartupGlobals).
+    if (!b.hasGlobal("cli_limits")) {
+        b.global("cli_limits", 8, {64, 128, 256, 512, 16, 8, 4, 2});
+        b.global("cli_mode", 1, {1});
+        b.global("cli_verbosity", 1, {0});
+    }
+
+    std::uint32_t saved_line = b.currentLine();
+    // The option parser lives in its own file, like getopt-style
+    // helpers do; keeps patch-distance accounting clean.
+    b.file("cli_options.c");
+    b.line(900);
+    b.func("startup_checks");
+
+    // Mode must be one of the known values.
+    b.loadg(v, "cli_mode");
+    b.movi(t0, 0);
+    b.line(902).beginIf(Cond::Lt, v, t0, "mode negative");
+    b.logError("invalid mode: negative", log_fn);
+    b.endIf();
+    b.movi(t0, 8);
+    b.line(905).beginIf(Cond::Gt, v, t0, "mode too large");
+    b.logInfo("mode out of range: clamped", log_fn);
+    b.endIf();
+
+    // Verbosity interacts with mode.
+    b.loadg(lim, "cli_verbosity");
+    b.movi(t0, 4);
+    b.line(909).beginIf(Cond::Gt, lim, t0, "verbosity too high");
+    {
+        b.movi(t1, 2);
+        b.beginIf(Cond::Lt, v, t1, "quiet mode conflicts");
+        b.logInfo("verbosity conflicts with quiet mode", log_fn);
+        b.endIf();
+        b.logInfo("verbosity clamped", log_fn);
+    }
+    b.endIf();
+
+    // Each configured limit must be positive, a power of two, and
+    // monotone within its half of the table.
+    b.movi(i, 0);
+    b.movi(t0, 8);
+    b.line(916).beginWhile(Cond::Lt, i, t0, "per limit");
+    {
+        b.lea(t1, "cli_limits");
+        b.movi(v, 8);
+        b.mul(v, i, v);
+        b.add(t1, t1, v);
+        b.load(v, t1, 0);
+        b.movi(t1, 0);
+        b.line(920).beginIf(Cond::Le, v, t1, "limit non-positive");
+        b.logError("configuration limit must be positive", log_fn);
+        b.endIf();
+        b.movi(t1, 1 << 20);
+        b.line(923).beginIf(Cond::Gt, v, t1, "limit absurd");
+        b.logInfo("limit too large: clamped", log_fn);
+        b.endIf();
+        // Parity checks exercise both outcomes across iterations.
+        b.movi(t1, 1);
+        b.andr(t1, v, t1);
+        b.movi(lim, 0);
+        b.line(927).beginIf(Cond::Ne, t1, lim, "odd limit");
+        {
+            b.movi(lim, 1);
+            b.beginIf(Cond::Ne, v, lim, "odd and not unity");
+            b.logInfo("limit rounded to a power of two", log_fn);
+            b.endIf();
+        }
+        b.endIf();
+        b.addi(i, i, 1);
+    }
+    b.endWhile();
+
+    // Cross-field invariant with an early-out.
+    b.loadg(v, "cli_limits", 0);
+    b.loadg(lim, "cli_limits", 8);
+    b.line(934).beginIf(Cond::Gt, v, lim, "limits inverted");
+    {
+        b.logInfo("limit table not monotone: reordered", log_fn);
+    }
+    b.endIf();
+    b.loadg(v, "cli_mode");
+    b.movi(t0, 7);
+    b.line(938).beginIf(Cond::Eq, v, t0, "legacy mode");
+    b.logInfo("legacy compatibility mode enabled", log_fn);
+    b.endIf();
+    b.line(940).ret();
+    b.line(saved_line);
+}
+
+} // namespace stm::corpus
+
+#endif // STM_CORPUS_STARTUP_CHECKS_HH

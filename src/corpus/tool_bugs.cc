@@ -1,0 +1,665 @@
+/**
+ * @file
+ * The remaining sequential-bug failures of Table 4: the C++
+ * applications Cppcheck (three crashes) and PBZIP (an error-message
+ * failure and a crash), plus GNU tar (two error-message failures).
+ * CBI cannot instrument the C++ applications — the N/A cells of
+ * Table 6 — which the corpus records via BugSpec::isCpp.
+ */
+
+#include "corpus/bugs.hh"
+#include "corpus/production_work.hh"
+#include "corpus/startup_checks.hh"
+#include "program/builder.hh"
+
+namespace stm::corpus
+{
+
+using namespace regs;
+
+// ------------------------------------------------------------ cppcheck1 ----
+
+BugSpec
+makeCppcheck1()
+{
+    ProgramBuilder b("cppcheck1");
+    b.file("lib/checkother.cpp");
+    // Token stream as a linked structure: tokens[i] = (kind, next).
+    b.global("tokens", 16,
+             {1, 1, 2, 2, 3, 3, 4, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+    b.global("ntokens", 1, {4});
+    b.global("macro_depth", 1, {0});
+
+    b.line(10);
+    b.func("main");
+    emitProductionWork(b, 1500, 3);
+    b.call("startup_checks");
+    b.loadg(r4, "ntokens");
+    b.movi(r5, 0);
+    b.line(11).beginIf(Cond::Le, r4, r5, "no tokens");
+    b.line(12).logError("internal error: empty token list",
+                        "reportError");
+    b.endIf();
+    b.line(14).call("simplify_macros");
+    b.line(15).call("check_other");
+    b.line(16).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(17).halt();
+
+    // The macro simplifier: with an unterminated macro expansion the
+    // next-link of the first expanded token escapes as a wild index.
+    // The true root cause is the link arithmetic, patched in
+    // lib/mathlib.cpp — a file none of the captured branches belong
+    // to (both patch-distance columns are infinite).
+    b.file("lib/tokenize.cpp");
+    b.line(400);
+    b.func("simplify_macros");
+    b.loadg(r6, "macro_depth");
+    b.movi(r7, 0);
+    SourceBranchId related = 0;
+    b.line(402);
+    related = b.beginIf(Cond::Gt, r6, r7, "inside macro expansion");
+    {
+        // tokens[0].next = ntokens + depth * 997 (the bad arithmetic)
+        b.line(403).movi(r8, 997);
+        b.mul(r9, r6, r8);
+        b.loadg(r10, "ntokens");
+        b.add(r9, r9, r10);
+        b.lea(r11, "tokens", 8 * 1); // &tokens[0].next
+        b.store(r11, 0, r9);
+    }
+    b.endIf();
+    b.line(406).ret();
+
+    // The walker crashes chasing the wild link.
+    b.file("lib/checkother.cpp");
+    b.line(800);
+    b.func("check_other");
+    b.movi(r12, 0);  // tok
+    b.movi(r13, 0);  // steps
+    b.movi(r14, 64); // fuse
+    b.line(801).beginWhile(Cond::Lt, r13, r14, "walk tokens");
+    {
+        b.lea(r15, "tokens");
+        b.movi(r16, 16);
+        b.mul(r17, r12, r16);
+        b.add(r15, r15, r17);
+        b.line(803).load(r18, r15, 8); // tok->next (CRASH when wild)
+        b.movi(r19, 0);
+        b.line(804).beginIf(Cond::Eq, r18, r19, "end of list");
+        b.breakWhile();
+        b.endIf();
+        b.line(806).load(r20, r15, 0); // tok->kind
+        b.movi(r19, 1);
+        b.line(807).beginIf(Cond::Eq, r20, r19, "kind: name");
+        b.nop();
+        b.endIf();
+        b.movi(r19, 2);
+        b.line(809).beginIf(Cond::Eq, r20, r19, "kind: number");
+        b.nop();
+        b.endIf();
+        b.mov(r12, r18); // tok = tok->next
+        b.addi(r13, r13, 1);
+    }
+    b.endWhile();
+    b.line(816).ret();
+    b.file("lib/mathlib.cpp"); // registers the file the patch lives in
+
+    BugSpec bug;
+    bug.id = "cppcheck1";
+    bug.app = "Cppcheck 1";
+    bug.version = "1.58";
+    bug.kloc = 138;
+    bug.bugClass = BugClass::Memory;
+    bug.symptom = SymptomKind::Crash;
+    bug.paperLogPoints = 304;
+    bug.isCpp = true;
+    emitStartupChecks(b, "reportError");
+    bug.program = b.build();
+    bug.failing.base.globalOverrides = {{"macro_depth", {3}}};
+    bug.succeeding.base.globalOverrides = {{"macro_depth", {0}}};
+
+    bug.truth.relatedBranch = related;
+    bug.truth.relatedOutcome = true;
+    bug.truth.patchLoc = SourceLoc{2, 120}; // lib/mathlib.cpp
+    bug.truth.failureLoc = SourceLoc{0, 803};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 5,
+                             .lbrlogNoTog = 5,
+                             .lbra = 1,
+                             .cbi = -1, // N/A (C++)
+                             .patchDistFailureSite = -1,
+                             .patchDistLbr = -1,
+                             .ovLbrlogTog = 2.04,
+                             .ovLbrlogNoTog = 0.04,
+                             .ovLbraReactive = 2.73,
+                             .ovLbraProactive = 5.61};
+    return bug;
+}
+
+// ------------------------------------------------------------ cppcheck2 ----
+
+BugSpec
+makeCppcheck2()
+{
+    ProgramBuilder b("cppcheck2");
+    b.file("lib/checkbufferoverrun.cpp");
+    b.global("arr_index", 1, {2});
+    b.global("arr_size", 1, {8});
+    b.global("scratch", 4, {});
+
+    b.line(10);
+    b.func("main");
+    emitProductionWork(b, 2400, 1);
+    b.call("startup_checks");
+    b.loadg(r4, "arr_size");
+    b.movi(r5, 0);
+    b.line(11).beginIf(Cond::Le, r4, r5, "bad array size");
+    b.line(12).logError("internal error: bad array size",
+                        "reportError");
+    b.endIf();
+
+    // ROOT CAUSE (line 230): the in-bounds test admits index == size
+    // through its own (wrong) arm.
+    b.line(230);
+    b.loadg(r6, "arr_index");
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Ge, r6, r4, "index >= size (buggy clamp)");
+    {
+        b.nop(); // should clamp the index; keeps it
+    }
+    b.endIf();
+    b.line(231).call("record_access");
+    b.line(233).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(234).halt();
+
+    b.file("lib/symboldatabase.cpp");
+    b.line(90);
+    b.func("record_access");
+    // A wild index scaled into the access table: segfault.
+    b.lea(r8, "scratch");
+    b.movi(r9, 8);
+    b.mul(r10, r6, r9);
+    b.mul(r10, r10, r9);
+    b.mul(r10, r10, r9);
+    b.add(r8, r8, r10);
+    b.line(93).store(r8, 0, r6); // CRASH for out-of-range index
+    b.line(94).ret();
+
+    BugSpec bug;
+    bug.id = "cppcheck2";
+    bug.app = "Cppcheck 2";
+    bug.version = "1.56";
+    bug.kloc = 131;
+    bug.bugClass = BugClass::Memory;
+    bug.symptom = SymptomKind::Crash;
+    bug.paperLogPoints = 284;
+    bug.isCpp = true;
+    emitStartupChecks(b, "reportError");
+    bug.program = b.build();
+    bug.failing.base.globalOverrides = {{"arr_index", {8}}};
+    bug.succeeding.base.globalOverrides = {{"arr_index", {0}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 228};
+    bug.truth.failureLoc = SourceLoc{1, 93};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 3,
+                             .lbrlogNoTog = 3,
+                             .lbra = 1,
+                             .cbi = -1,
+                             .patchDistFailureSite = -1,
+                             .patchDistLbr = 2,
+                             .ovLbrlogTog = 0.24,
+                             .ovLbrlogNoTog = 0.02,
+                             .ovLbraReactive = 0.29,
+                             .ovLbraProactive = 2.09};
+    return bug;
+}
+
+// ------------------------------------------------------------ cppcheck3 ----
+
+BugSpec
+makeCppcheck3()
+{
+    ProgramBuilder b("cppcheck3");
+    b.file("lib/checkclass.cpp");
+    b.global("nscopes", 1, {3});
+    b.global("scope_kind", 8, {1, 2, 1, 0, 0, 0, 0, 0});
+    b.global("deep_template", 1, {0});
+    b.global("vtab", 4, {});
+
+    b.line(10);
+    b.func("main");
+    emitProductionWork(b, 1800, 2);
+    b.call("startup_checks");
+    b.loadg(r4, "nscopes");
+    b.movi(r5, 0);
+    b.line(11).beginIf(Cond::Le, r4, r5, "no scopes");
+    b.line(12).logError("internal error: no scopes", "reportError");
+    b.endIf();
+
+    // ROOT CAUSE (line 510): deeply-nested template scopes must be
+    // skipped; the buggy boundary arm keeps analyzing at exactly the
+    // sentinel depth (16), leaving a sentinel scope pointer live.
+    b.line(509);
+    b.loadg(r6, "deep_template");
+    b.movi(r7, 16);
+    b.movi(r8, 1); // analyze = true
+    b.mov(r18, r6); // scope slot
+    b.line(510);
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Ge, r6, r7,
+                  "deep template (buggy: sentinel kept live)");
+    {
+        b.line(511).movi(r18, 99999); // the sentinel slot escapes
+    }
+    b.endIf();
+
+    // Scope iteration (the records that put the root at ~6).
+    b.movi(r9, 0);
+    b.line(520).beginWhile(Cond::Lt, r9, r4, "per scope");
+    {
+        b.lea(r10, "scope_kind");
+        b.movi(r11, 8);
+        b.mul(r12, r9, r11);
+        b.add(r10, r10, r12);
+        b.load(r13, r10, 0);
+        b.addi(r9, r9, 1);
+    }
+    b.endWhile();
+
+    b.file("lib/token.cpp");
+    b.line(77);
+    b.movi(r14, 1);
+    b.beginIf(Cond::Eq, r8, r14, "analyze scope");
+    {
+        // The sentinel slot indexes the vtable: wild store.
+        b.lea(r15, "vtab");
+        b.movi(r16, 8);
+        b.mul(r17, r18, r16);
+        b.add(r15, r15, r17);
+        b.line(80).store(r15, 0, r14); // CRASH at the sentinel slot
+    }
+    b.endIf();
+    b.line(82).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(83).halt();
+
+    BugSpec bug;
+    bug.id = "cppcheck3";
+    bug.app = "Cppcheck 3";
+    bug.version = "1.52";
+    bug.kloc = 118;
+    bug.bugClass = BugClass::Memory;
+    bug.symptom = SymptomKind::Crash;
+    bug.paperLogPoints = 225;
+    bug.isCpp = true;
+    emitStartupChecks(b, "reportError");
+    bug.program = b.build();
+    bug.failing.base.globalOverrides = {{"deep_template", {16}}};
+    bug.succeeding.base.globalOverrides = {{"deep_template", {2}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 500};
+    bug.truth.failureLoc = SourceLoc{1, 80};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 6,
+                             .lbrlogNoTog = 6,
+                             .lbra = 1,
+                             .cbi = -1,
+                             .patchDistFailureSite = -1,
+                             .patchDistLbr = 10,
+                             .ovLbrlogTog = 1.16,
+                             .ovLbrlogNoTog = 0.06,
+                             .ovLbraReactive = 1.39,
+                             .ovLbraProactive = 4.68};
+    return bug;
+}
+
+// --------------------------------------------------------------- pbzip1 ----
+
+BugSpec
+makePbzip1()
+{
+    ProgramBuilder b("pbzip1");
+    b.file("pbzip2.cpp");
+    b.global("nblocks", 1, {4});
+    b.global("queue_cap", 1, {4});
+    b.global("queued", 1, {0});
+
+    b.line(10);
+    b.func("main");
+    emitProductionWork(b, 2300, 0);
+    b.call("startup_checks");
+    b.loadg(r4, "nblocks");
+    b.movi(r5, 0);
+    b.line(11).beginIf(Cond::Le, r4, r5, "nothing to compress");
+    b.line(12).logError("no input blocks", "fprintf");
+    b.endIf();
+
+    // ROOT CAUSE (line 940): the producer admits one block too many
+    // (<= instead of <) before the consumer has drained the queue.
+    b.line(940);
+    b.loadg(r6, "queue_cap");
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Le, r4, r6, "blocks fit queue (buggy)");
+    {
+        b.line(941).storeg("queued", 0, r4, r7);
+    }
+    b.beginElse();
+    {
+        b.line(943).movi(r8, 2);
+        b.storeg("queued", 0, r8, r7);
+    }
+    b.endIf();
+
+    // The compression machinery: a long library call between the
+    // admission decision and the failure report.
+    b.line(950).movi(r1, 20);
+    b.libcall(LibFn::Generic);
+
+    b.line(981);
+    b.loadg(r9, "queued");
+    b.loadg(r10, "queue_cap");
+    b.beginIf(Cond::Ge, r9, r10, "queue exhausted");
+    b.line(981).logError("could not allocate output buffer",
+                         "fprintf");
+    b.endIf();
+    b.line(983).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(984).halt();
+
+    BugSpec bug;
+    bug.id = "pbzip1";
+    bug.app = "PBZIP 1";
+    bug.version = "1.1.5";
+    bug.kloc = 5.7;
+    bug.bugClass = BugClass::Semantic;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.paperLogPoints = 305;
+    bug.isCpp = true;
+    emitStartupChecks(b, "fprintf");
+    bug.program = b.build();
+    bug.failing.base.globalOverrides = {{"nblocks", {4}}};
+    bug.succeeding.base.globalOverrides = {{"nblocks", {6}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 940};
+    bug.truth.failureLoc = SourceLoc{0, 981};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 4,
+                             .lbrlogNoTog = 0, // "-"
+                             .lbra = 1,
+                             .cbi = -1,
+                             .patchDistFailureSite = 41,
+                             .patchDistLbr = 1,
+                             .ovLbrlogTog = 0.29,
+                             .ovLbrlogNoTog = 0.07,
+                             .ovLbraReactive = 0.34,
+                             .ovLbraProactive = 5.73};
+    return bug;
+}
+
+// --------------------------------------------------------------- pbzip2 ----
+
+BugSpec
+makePbzip2()
+{
+    ProgramBuilder b("pbzip2");
+    b.file("pbzip2.cpp");
+    b.global("block_num", 1, {0});
+    b.global("max_blocks", 1, {4});
+    b.global("prod_state", 4, {17, 0, 0, 0});
+    declareStartupGlobals(b);
+    // fifo is the last object in the data segment: the phantom slot
+    // is unmapped.
+    b.global("fifo", 4, {});
+
+    b.line(10);
+    b.func("main");
+    emitProductionWork(b, 1700, 1);
+    b.call("startup_checks");
+    b.loadg(r4, "max_blocks");
+    b.movi(r5, 0);
+    b.line(11).beginIf(Cond::Le, r4, r5, "bad block count");
+    b.line(12).logError("invalid block count", "fprintf");
+    b.endIf();
+    b.line(13).movi(r1, 2);
+    b.libcall(LibFn::Generic);
+
+    // ROOT CAUSE (line 1030): when the producer wraps around the
+    // FIFO it sets the wrap flag but forgets to reset the slot
+    // index, so the store right below writes one past the ring.
+    b.line(1030);
+    b.loadg(r6, "block_num");
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Eq, r6, r4, "fifo wrap (buggy: no reset)");
+    {
+        b.line(1030).movi(r11, 1); // wrapped = true (index NOT reset)
+    }
+    b.endIf();
+    b.lea(r7, "fifo");
+    b.movi(r8, 8);
+    b.mul(r9, r6, r8);
+    b.add(r7, r7, r9);
+    b.line(1041).store(r7, 0, r6); // CRASH at the phantom slot
+    b.line(1042).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(1043).halt();
+
+    BugSpec bug;
+    bug.id = "pbzip2";
+    bug.app = "PBZIP 2";
+    bug.version = "1.1.0";
+    bug.kloc = 4.6;
+    bug.bugClass = BugClass::Memory;
+    bug.symptom = SymptomKind::Crash;
+    bug.paperLogPoints = 269;
+    bug.isCpp = true;
+    emitStartupChecks(b, "fprintf");
+    bug.program = b.build();
+    bug.failing.base.globalOverrides = {{"block_num", {4}}};
+    bug.succeeding.base.globalOverrides = {{"block_num", {0}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 1029};
+    bug.truth.failureLoc = SourceLoc{0, 1041};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 1,
+                             .lbrlogNoTog = 1,
+                             .lbra = 1,
+                             .cbi = -1,
+                             .patchDistFailureSite = 12,
+                             .patchDistLbr = 1,
+                             .ovLbrlogTog = 0.79,
+                             .ovLbrlogNoTog = 0.04,
+                             .ovLbraReactive = 0.91,
+                             .ovLbraProactive = 4.62};
+    return bug;
+}
+
+// ----------------------------------------------------------------- tar1 ----
+
+BugSpec
+makeTar1()
+{
+    ProgramBuilder b("tar1");
+    b.file("src/create.c");
+    b.global("nmembers", 1, {3});
+    b.global("member_size", 1, {100});
+    b.global("blocking", 1, {20});
+    b.global("hdr_sum", 1, {0});
+
+    b.line(10);
+    b.func("main");
+    emitProductionWork(b, 2200, 1);
+    b.call("startup_checks");
+    b.loadg(r4, "nmembers");
+    b.movi(r5, 0);
+    b.line(11).beginIf(Cond::Le, r4, r5, "empty archive");
+    b.line(12).logError("cowardly refusing to create an empty "
+                        "archive",
+                        "open_fatal");
+    b.endIf();
+
+    // ROOT CAUSE (line 530): the header checksum folds in the
+    // blocking factor only for the old format; the buggy test also
+    // applies it to POSIX archives.
+    b.line(530);
+    b.loadg(r6, "blocking");
+    b.movi(r7, 10);
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Gt, r6, r7, "old-format checksum (buggy)");
+    {
+        b.line(531).loadg(r8, "member_size");
+        b.add(r8, r8, r6);
+        b.storeg("hdr_sum", 0, r8, r9);
+    }
+    b.beginElse();
+    {
+        b.line(534).loadg(r8, "member_size");
+        b.storeg("hdr_sum", 0, r8, r9);
+    }
+    b.endIf();
+    b.line(537).call("flush_archive");
+    b.line(538).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(539).halt();
+
+    b.file("src/buffer.c");
+    b.line(210);
+    b.func("flush_archive");
+    b.loadg(r10, "hdr_sum");
+    b.loadg(r11, "member_size");
+    b.line(212).beginIf(Cond::Ne, r10, r11, "checksum mismatch");
+    b.line(212).logError("archive header checksum error",
+                         "open_fatal");
+    b.endIf();
+    b.line(214).ret();
+
+    BugSpec bug;
+    bug.id = "tar1";
+    bug.app = "tar 1";
+    bug.version = "1.22";
+    bug.kloc = 82;
+    bug.bugClass = BugClass::Semantic;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.paperLogPoints = 243;
+    emitStartupChecks(b, "open_fatal");
+    bug.program = b.build();
+    bug.failing.base.globalOverrides = {{"blocking", {20}}};
+    bug.succeeding.base.globalOverrides = {{"blocking", {10}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 528};
+    bug.truth.failureLoc = SourceLoc{1, 212};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 4,
+                             .lbrlogNoTog = 4,
+                             .lbra = 1,
+                             .cbi = 1,
+                             .patchDistFailureSite = -1,
+                             .patchDistLbr = 2,
+                             .ovLbrlogTog = 0.52,
+                             .ovLbrlogNoTog = 0.09,
+                             .ovLbraReactive = 0.73,
+                             .ovLbraProactive = 3.10,
+                             .ovCbi = 14.30};
+    return bug;
+}
+
+// ----------------------------------------------------------------- tar2 ----
+
+BugSpec
+makeTar2()
+{
+    ProgramBuilder b("tar2");
+    b.file("src/sparse.c");
+    b.global("nholes", 1, {2});
+    b.global("sparse_map", 24, {0, 10, 20, 30});
+    b.global("map_valid", 1, {0});
+
+    b.line(10);
+    b.func("main");
+    emitProductionWork(b, 2300, 0);
+    b.call("startup_checks");
+    b.loadg(r4, "nholes");
+    b.movi(r5, 0);
+    b.line(11).beginIf(Cond::Le, r4, r5, "no sparse map");
+    b.line(12).logError("invalid sparse archive member",
+                        "open_fatal");
+    b.endIf();
+
+    // ROOT CAUSE (line 72): the sparse-map fixup must run for maps
+    // with a trailing hole; the buggy condition tests the hole count
+    // instead of the final extent.
+    b.line(72);
+    b.movi(r6, 3);
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Lt, r4, r6, "skip fixup (buggy)");
+    b.beginElse();
+    {
+        b.line(75).movi(r7, 1);
+        b.storeg("map_valid", 0, r7, r8);
+    }
+    b.endIf();
+
+    // Re-blocking the sparse member: memmove between the decision
+    // and the failure (untoggled, its per-word branches evict the
+    // root cause).
+    b.line(80);
+    b.lea(r1, "sparse_map");
+    b.lea(r2, "sparse_map", 16);
+    b.movi(r3, 20);
+    b.libcall(LibFn::Memmove);
+
+    b.line(96);
+    b.loadg(r9, "map_valid");
+    b.movi(r10, 1);
+    b.beginIf(Cond::Ne, r9, r10, "unreadable sparse map");
+    b.line(96).logError("Unexpected EOF in sparse map", "open_fatal");
+    b.endIf();
+    b.line(98).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(99).halt();
+
+    BugSpec bug;
+    bug.id = "tar2";
+    bug.app = "tar 2";
+    bug.version = "1.19";
+    bug.kloc = 76;
+    bug.bugClass = BugClass::Semantic;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.paperLogPoints = 188;
+    emitStartupChecks(b, "open_fatal");
+    bug.program = b.build();
+    bug.failing.base.globalOverrides = {{"nholes", {2}}};
+    bug.succeeding.base.globalOverrides = {{"nholes", {4}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 72};
+    bug.truth.failureLoc = SourceLoc{0, 96};
+
+    bug.paper = PaperNumbers{.lbrlogTog = 2,
+                             .lbrlogNoTog = 0, // "-"
+                             .lbra = 1,
+                             .cbi = 2,
+                             .patchDistFailureSite = 24,
+                             .patchDistLbr = 0,
+                             .ovLbrlogTog = 0.40,
+                             .ovLbrlogNoTog = 0.11,
+                             .ovLbraReactive = 0.45,
+                             .ovLbraProactive = 2.63,
+                             .ovCbi = 9.91};
+    return bug;
+}
+
+} // namespace stm::corpus

@@ -1,0 +1,198 @@
+#include "diag/auto_diag.hh"
+
+#include "program/cfg.hh"
+#include "support/logging.hh"
+#include "vm/machine.hh"
+
+namespace stm
+{
+
+namespace
+{
+
+/**
+ * The profile to use from one run: prefer a snapshot at @p site with
+ * the requested success-site flag, fall back to any snapshot at the
+ * site (wrong-output checkpoints execute in both kinds of run with
+ * the failure-site flag).
+ */
+const ProfileRecord *
+pickProfile(const RunResult &run, ProfileKind kind, LogSiteId site,
+            bool prefer_success_site)
+{
+    const ProfileRecord *preferred = nullptr;
+    const ProfileRecord *fallback = nullptr;
+    for (const auto &p : run.profiles) {
+        if (p.kind != kind || p.site != site)
+            continue;
+        if (p.successSite == prefer_success_site)
+            preferred = &p;
+        else
+            fallback = &p;
+    }
+    return preferred ? preferred : fallback;
+}
+
+std::set<EventKey>
+eventsOf(const ProfileRecord &profile)
+{
+    if (profile.kind == ProfileKind::Lbr)
+        return eventsOfLbr(profile.lbr);
+    return eventsOfLcr(profile.lcr);
+}
+
+AutoDiagResult
+runAutoDiag(ProgramPtr prog, const Workload &failing,
+            const Workload &succeeding, const AutoDiagOptions &opts,
+            bool lbr)
+{
+    AutoDiagResult result;
+
+    // 1. Base log-enhancement instrumentation.
+    transform::clear(*prog);
+    if (lbr) {
+        transform::LbrLogPlan plan;
+        plan.lbrSelectMask = opts.log.lbrSelect;
+        plan.toggling = opts.log.toggling;
+        transform::applyLbrLog(*prog, plan);
+    } else {
+        transform::LcrLogPlan plan;
+        plan.lcrConfigMask = opts.log.lcrConfig.pack();
+        plan.toggling = opts.log.toggling;
+        transform::applyLcrLog(*prog, plan);
+    }
+
+    Cfg cfg(*prog);
+    if (opts.scheme == transform::SuccessSiteScheme::Proactive) {
+        transform::applySuccessSites(*prog, cfg, lbr,
+                                     transform::SuccessSiteScheme::
+                                         Proactive);
+    }
+
+    ProfileKind kind = lbr ? ProfileKind::Lbr : ProfileKind::Lcr;
+    StatisticalRanker ranker;
+
+    auto runOnce = [&](const Workload &workload, std::uint64_t i) {
+        MachineOptions machineOpts = workload.forRun(i);
+        machineOpts.lbrEntries = opts.log.lbrEntries;
+        machineOpts.lcrEntries = opts.log.lcrEntries;
+        Machine machine(prog, machineOpts);
+        return machine.run();
+    };
+
+    // 2. Observe failures; the first one pins the failure site.
+    bool haveSite = false;
+    std::uint32_t faultInstr = 0;
+    std::uint64_t attempt = 0;
+    std::uint64_t failingRunsSeen = 0;
+
+    while (result.failureRunsUsed < opts.failureProfiles &&
+           attempt < opts.maxAttempts) {
+        // Give up early if failures reproduce but never carry a
+        // profile at a usable site (silent-corruption bugs).
+        if (failingRunsSeen >=
+                std::uint64_t{5} * opts.failureProfiles + 20 &&
+            result.failureRunsUsed == 0) {
+            break;
+        }
+        RunResult run = runOnce(failing, attempt);
+        ++attempt;
+        if (!failing.isFailure(run))
+            continue;
+        ++failingRunsSeen;
+        // Silent failures (no fail-stop, no checkpoint hint) leave no
+        // profiling location at all — the Apache5/Cherokee/JS2 class.
+        if (!run.failure && !failing.failureSiteHint)
+            continue;
+
+        LogSiteId site = kSegfaultSite;
+        if (run.failure)
+            site = run.failure->site;
+        else if (failing.failureSiteHint)
+            site = *failing.failureSiteHint;
+
+        if (!haveSite) {
+            haveSite = true;
+            result.site = site;
+            if (run.failure)
+                faultInstr = run.failure->instrIndex;
+            // Reactive scheme: now that the failure location is
+            // known, instrument its success site (a code patch, or
+            // dynamic binary rewriting on the deployed binary).
+            if (opts.scheme ==
+                transform::SuccessSiteScheme::Reactive) {
+                if (result.site == kSegfaultSite) {
+                    transform::applySuccessSites(
+                        *prog, cfg, lbr,
+                        transform::SuccessSiteScheme::Reactive,
+                        kSegfaultSite, faultInstr);
+                } else {
+                    transform::applySuccessSites(
+                        *prog, cfg, lbr,
+                        transform::SuccessSiteScheme::Reactive,
+                        result.site);
+                }
+            }
+        }
+        if (site != result.site)
+            continue; // a different failure; diagnosed separately
+        // Crashes are distinguished by faulting location: a crash at
+        // a different instruction is a different failure.
+        if (site == kSegfaultSite && run.failure &&
+            run.failure->instrIndex != faultInstr) {
+            continue;
+        }
+
+        const ProfileRecord *profile =
+            pickProfile(run, kind, site, false);
+        if (!profile)
+            continue;
+        ranker.addFailureProfile(eventsOf(*profile));
+        ++result.failureRunsUsed;
+    }
+    result.failureAttempts = attempt;
+    if (!haveSite || result.failureRunsUsed == 0)
+        return result;
+
+    // 3. Collect success-run profiles at the same site.
+    std::uint64_t successAttempt = 0;
+    while (result.successRunsUsed < opts.successProfiles &&
+           successAttempt < opts.maxAttempts) {
+        RunResult run = runOnce(succeeding, 1000000 + successAttempt);
+        ++successAttempt;
+        if (succeeding.isFailure(run))
+            continue;
+        const ProfileRecord *profile =
+            pickProfile(run, kind, result.site, true);
+        if (!profile)
+            continue;
+        ranker.addSuccessProfile(eventsOf(*profile));
+        ++result.successRunsUsed;
+    }
+    result.successAttempts = successAttempt;
+    if (result.successRunsUsed == 0)
+        return result;
+
+    // 4. Rank.
+    result.ranking = ranker.rank(opts.absencePredicates);
+    result.diagnosed = true;
+    return result;
+}
+
+} // namespace
+
+AutoDiagResult
+runLbra(ProgramPtr prog, const Workload &failing,
+        const Workload &succeeding, const AutoDiagOptions &opts)
+{
+    return runAutoDiag(prog, failing, succeeding, opts, true);
+}
+
+AutoDiagResult
+runLcra(ProgramPtr prog, const Workload &failing,
+        const Workload &succeeding, const AutoDiagOptions &opts)
+{
+    return runAutoDiag(prog, failing, succeeding, opts, false);
+}
+
+} // namespace stm

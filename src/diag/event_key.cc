@@ -1,0 +1,91 @@
+#include "diag/event_key.hh"
+
+#include "support/logging.hh"
+
+namespace stm
+{
+
+std::string
+EventKey::describe(const Program &prog) const
+{
+    switch (type) {
+      case Type::SourceBranch: {
+        auto id = static_cast<SourceBranchId>(a);
+        if (id >= prog.branches.size())
+            return strfmt("branch#{}={}", a, b ? "T" : "F");
+        const SourceBranchInfo &info = prog.branches[id];
+        return strfmt("branch '{}' at {}:{} = {}",
+                      info.note.empty() ? "?" : info.note,
+                      prog.fileName(info.loc.file), info.loc.line,
+                      b ? "true" : "false");
+      }
+      case Type::RawBranch: {
+        Addr ip = a;
+        if (ip >= layout::kLibraryBase && ip < layout::kGlobalBase) {
+            auto fn = static_cast<LibFn>(
+                (ip - layout::kLibraryBase) / 0x100);
+            return strfmt("library branch in {}", libFnName(fn));
+        }
+        if (ip >= layout::kKernelText)
+            return "kernel branch";
+        return strfmt("branch at ip 0x{}", ip);
+      }
+      case Type::Coherence: {
+        MesiState state = static_cast<MesiState>(b >> 1);
+        bool store = (b & 1) != 0;
+        Addr pc = a;
+        std::string what = strfmt("{} observing {}",
+                                  store ? "store" : "load",
+                                  mesiName(state));
+        if (pc >= layout::kCodeBase && pc < layout::kLibraryBase) {
+            std::uint32_t idx = static_cast<std::uint32_t>(
+                (pc - layout::kCodeBase) / 4);
+            if (idx < prog.code.size()) {
+                const SourceLoc &loc = prog.code[idx].loc;
+                return strfmt("{} at {}:{}", what,
+                              prog.fileName(loc.file), loc.line);
+            }
+        }
+        if (pc >= layout::kLibraryBase && pc < layout::kGlobalBase)
+            return strfmt("{} in library/driver code", what);
+        return strfmt("{} at pc 0x{}", what, pc);
+      }
+    }
+    return "?";
+}
+
+EventKey
+eventOfBranchRecord(const BranchRecord &record)
+{
+    if (record.srcBranch != kNoSourceBranch)
+        return EventKey::sourceBranch(record.srcBranch,
+                                      record.outcome);
+    return EventKey::rawBranch(record.fromIp);
+}
+
+EventKey
+eventOfLcrRecord(const LcrRecord &record)
+{
+    return EventKey::coherence(record.pc, record.observed,
+                               record.store);
+}
+
+std::set<EventKey>
+eventsOfLbr(const std::vector<BranchRecord> &records)
+{
+    std::set<EventKey> events;
+    for (const auto &r : records)
+        events.insert(eventOfBranchRecord(r));
+    return events;
+}
+
+std::set<EventKey>
+eventsOfLcr(const std::vector<LcrRecord> &records)
+{
+    std::set<EventKey> events;
+    for (const auto &r : records)
+        events.insert(eventOfLcrRecord(r));
+    return events;
+}
+
+} // namespace stm

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Canonical event identities for statistical failure diagnosis.
+ *
+ * A success/failure-run profile is "a set of events recorded in LBR
+ * and LCR" (Section 5.2). This header defines the event identities:
+ *  - a source-level branch outcome (an LBR record mapped back through
+ *    debug info),
+ *  - a raw branch address (an LBR record with no source mapping, e.g.
+ *    a library branch recorded with toggling off),
+ *  - a coherence event: (instruction, observed MESI state, load or
+ *    store) — an LCR record.
+ */
+
+#ifndef STM_DIAG_EVENT_KEY_HH
+#define STM_DIAG_EVENT_KEY_HH
+
+#include <compare>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hw/lbr.hh"
+#include "hw/lcr.hh"
+#include "program/program.hh"
+
+namespace stm
+{
+
+/** One diagnosable event identity. */
+struct EventKey
+{
+    enum class Type : std::uint8_t {
+        SourceBranch, //!< a = source branch id, b = outcome
+        RawBranch,    //!< a = from-ip
+        Coherence,    //!< a = pc, b = (state << 1) | store
+    };
+
+    Type type = Type::SourceBranch;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+
+    auto operator<=>(const EventKey &) const = default;
+
+    static EventKey
+    sourceBranch(SourceBranchId branch, bool outcome)
+    {
+        return EventKey{Type::SourceBranch, branch,
+                        outcome ? 1u : 0u};
+    }
+
+    static EventKey
+    rawBranch(Addr from_ip)
+    {
+        return EventKey{Type::RawBranch, from_ip, 0};
+    }
+
+    static EventKey
+    coherence(Addr pc, MesiState state, bool store)
+    {
+        return EventKey{Type::Coherence, pc,
+                        (static_cast<std::uint64_t>(state) << 1) |
+                            (store ? 1u : 0u)};
+    }
+
+    /** Human-readable description with source mapping. */
+    std::string describe(const Program &prog) const;
+};
+
+/** The event set of one LBR snapshot. */
+std::set<EventKey> eventsOfLbr(const std::vector<BranchRecord> &records);
+
+/** The event set of one LCR snapshot. */
+std::set<EventKey> eventsOfLcr(const std::vector<LcrRecord> &records);
+
+/** The event identity of one LBR record. */
+EventKey eventOfBranchRecord(const BranchRecord &record);
+
+/** The event identity of one LCR record. */
+EventKey eventOfLcrRecord(const LcrRecord &record);
+
+} // namespace stm
+
+#endif // STM_DIAG_EVENT_KEY_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The statistical fault-localization model of Section 5.2.
+ *
+ * Given failure-run profiles and success-run profiles (each a set of
+ * events), every candidate event e is scored by the harmonic mean of
+ * its expected prediction precision |F&e| / |e| and recall
+ * |F&e| / |F|; the highest-ranked event is the best failure
+ * predictor.
+ *
+ * For order-violation concurrency bugs under the space-saving LCR
+ * configuration, the discriminating observation can be the *absence*
+ * of an event (Section 4.2.2: "failures are highly correlated with B2
+ * not encountering a shared state"); the ranker therefore optionally
+ * scores absence predicates over the same event universe.
+ */
+
+#ifndef STM_DIAG_RANKER_HH
+#define STM_DIAG_RANKER_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "diag/event_key.hh"
+
+namespace stm
+{
+
+/** One scored predictor. */
+struct RankedEvent
+{
+    EventKey event;
+    /** Predicate is "event absent from the profile". */
+    bool absence = false;
+    std::uint64_t failureRuns = 0; //!< |F & e|
+    std::uint64_t successRuns = 0; //!< |S & e|
+    double precision = 0.0;        //!< |F&e| / |e|
+    double recall = 0.0;           //!< |F&e| / |F|
+    double score = 0.0;            //!< harmonic mean
+};
+
+/** Accumulates profiles and ranks candidate failure predictors. */
+class StatisticalRanker
+{
+  public:
+    void addFailureProfile(const std::set<EventKey> &events);
+    void addSuccessProfile(const std::set<EventKey> &events);
+
+    std::uint64_t failureProfiles() const { return failures_; }
+    std::uint64_t successProfiles() const { return successes_; }
+
+    /**
+     * Rank all events (and, optionally, absence predicates) by
+     * score, descending, with deterministic tie-breaking.
+     */
+    std::vector<RankedEvent>
+    rank(bool include_absence = false) const;
+
+    /**
+     * 1-based rank of the predictor for @p event (presence form) in
+     * @p ranking; 0 if it does not appear.
+     */
+    static std::size_t positionOf(const std::vector<RankedEvent> &ranking,
+                                  const EventKey &event,
+                                  bool absence = false);
+
+  private:
+    struct Tally
+    {
+        std::uint64_t inFailures = 0;
+        std::uint64_t inSuccesses = 0;
+    };
+
+    std::map<EventKey, Tally> tallies_;
+    std::uint64_t failures_ = 0;
+    std::uint64_t successes_ = 0;
+};
+
+} // namespace stm
+
+#endif // STM_DIAG_RANKER_HH

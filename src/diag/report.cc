@@ -1,0 +1,95 @@
+#include "diag/report.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace stm
+{
+
+int
+patchDistance(const SourceLoc &event, const SourceLoc &patch)
+{
+    if (event.file != patch.file)
+        return -1;
+    return std::abs(static_cast<int>(event.line) -
+                    static_cast<int>(patch.line));
+}
+
+std::string
+patchDistanceString(int distance)
+{
+    if (distance < 0)
+        return "inf";
+    return std::to_string(distance);
+}
+
+void
+printLbrLogReport(std::ostream &os, const Program &prog,
+                  const LbrLogReport &report)
+{
+    if (!report.failed) {
+        os << "LBRLOG: no failure observed\n";
+        return;
+    }
+    os << "LBRLOG: failure ("
+       << runOutcomeName(report.run.outcome) << ") at ";
+    if (report.site == kSegfaultSite) {
+        os << "segfault handler";
+    } else {
+        const LogSiteInfo &site = prog.logSite(report.site);
+        os << site.logFunction << "(\"" << site.message << "\") at "
+           << prog.fileName(site.loc.file) << ':' << site.loc.line;
+    }
+    os << "\n  LBR record (latest first, " << report.record.size()
+       << " entries):\n";
+    for (std::size_t i = 0; i < report.record.size(); ++i) {
+        os << "   [" << i + 1 << "] "
+           << eventOfBranchRecord(report.record[i]).describe(prog)
+           << '\n';
+    }
+}
+
+void
+printLcrLogReport(std::ostream &os, const Program &prog,
+                  const LcrLogReport &report)
+{
+    if (!report.failed) {
+        os << "LCRLOG: no failure observed\n";
+        return;
+    }
+    os << "LCRLOG: failure ("
+       << runOutcomeName(report.run.outcome) << ") in thread "
+       << report.failureThread << "\n  LCR record (latest first, "
+       << report.record.size() << " entries):\n";
+    for (std::size_t i = 0; i < report.record.size(); ++i) {
+        os << "   [" << i + 1 << "] "
+           << eventOfLcrRecord(report.record[i]).describe(prog)
+           << '\n';
+    }
+}
+
+void
+printRanking(std::ostream &os, const Program &prog,
+             const AutoDiagResult &result, std::size_t top_n)
+{
+    if (!result.diagnosed) {
+        os << "auto-diagnosis: could not collect enough profiles\n";
+        return;
+    }
+    os << "auto-diagnosis: " << result.failureRunsUsed
+       << " failure profiles (from " << result.failureAttempts
+       << " attempts), " << result.successRunsUsed
+       << " success profiles\n";
+    for (std::size_t i = 0; i < result.ranking.size() && i < top_n;
+         ++i) {
+        const RankedEvent &r = result.ranking[i];
+        os << "  #" << i + 1 << ' '
+           << (r.absence ? "[absent] " : "")
+           << r.event.describe(prog) << "  (precision "
+           << r.precision << ", recall " << r.recall << ", score "
+           << r.score << ")\n";
+    }
+}
+
+} // namespace stm

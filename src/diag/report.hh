@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Human-readable diagnosis reports and the patch-distance metric of
+ * Table 6.
+ */
+
+#ifndef STM_DIAG_REPORT_HH
+#define STM_DIAG_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "diag/auto_diag.hh"
+#include "diag/log_enhance.hh"
+#include "program/program.hh"
+
+namespace stm
+{
+
+/**
+ * Distance in lines between an event and the bug's patch; returns -1
+ * (rendered as the paper's "∞") when they are in different files.
+ */
+int patchDistance(const SourceLoc &event, const SourceLoc &patch);
+
+/** Render -1 as "inf", everything else as the number. */
+std::string patchDistanceString(int distance);
+
+/** Print the LBR record captured at a failure site. */
+void printLbrLogReport(std::ostream &os, const Program &prog,
+                       const LbrLogReport &report);
+
+/** Print the LCR record captured at a failure site. */
+void printLcrLogReport(std::ostream &os, const Program &prog,
+                       const LcrLogReport &report);
+
+/** Print the top @p top_n ranked failure predictors. */
+void printRanking(std::ostream &os, const Program &prog,
+                  const AutoDiagResult &result,
+                  std::size_t top_n = 5);
+
+} // namespace stm
+
+#endif // STM_DIAG_REPORT_HH

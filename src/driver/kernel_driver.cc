@@ -1,0 +1,182 @@
+#include "driver/kernel_driver.hh"
+
+#include "vm/machine.hh"
+
+namespace stm::driver
+{
+
+namespace
+{
+
+/** Synthetic pc for the driver's user-level wrapper code. */
+constexpr Addr kWrapperPc = layout::kLibraryBase + 0xF000;
+
+/** Inject one user-level pollution read into the LCR ring. */
+void
+pollute(Machine &machine, ThreadId tid, MesiState state)
+{
+    CoherenceEvent event;
+    event.pc = kWrapperPc;
+    event.observed = state;
+    event.store = false;
+    event.kernel = false;
+    machine.lcrDomain().retire(tid, event);
+}
+
+} // namespace
+
+void
+chargeIoctl(Machine &machine, ThreadId tid,
+            bool count_as_instrumentation)
+{
+    IoctlCost cost;
+    // Retire the driver's ring-0 branches (subject to the LBR
+    // ring-0 filter) without attributing their cost yet.
+    machine.chargeKernel(tid, 0, cost.kernelBranches);
+    std::uint64_t work =
+        cost.kernelInstructions + cost.userWrapperInstructions;
+    if (count_as_instrumentation)
+        machine.chargeInstrumentation(work);
+    else
+        machine.chargeKernel(tid, work, 0);
+}
+
+// ---- LBR --------------------------------------------------------------------
+
+void
+cleanLbr(Machine &machine, ThreadId tid)
+{
+    chargeIoctl(machine, tid);
+    machine.pmuOf(tid).lbr().clear();
+}
+
+void
+configLbr(Machine &machine, ThreadId tid, std::uint64_t select)
+{
+    chargeIoctl(machine, tid);
+    machine.pmuOf(tid).lbr().writeSelect(select);
+}
+
+void
+enableLbr(Machine &machine, ThreadId tid)
+{
+    chargeIoctl(machine, tid);
+    machine.pmuOf(tid).lbr().writeDebugCtl(msr::kDebugCtlEnableLbr);
+}
+
+void
+disableLbr(Machine &machine, ThreadId tid)
+{
+    chargeIoctl(machine, tid);
+    machine.pmuOf(tid).lbr().writeDebugCtl(msr::kDebugCtlDisableLbr);
+}
+
+ProfileRecord
+profileLbr(Machine &machine, ThreadId tid, LogSiteId site,
+           bool success_site)
+{
+    // "We always disable LBR right before we read LBR. Our
+    // LBR-disabling code does not contain any user-level branches."
+    LastBranchRecord &lbr = machine.pmuOf(tid).lbr();
+    bool was_enabled = lbr.enabled();
+    lbr.writeDebugCtl(msr::kDebugCtlDisableLbr);
+
+    ProfileRecord record;
+    record.kind = ProfileKind::Lbr;
+    record.site = site;
+    record.successSite = success_site;
+    record.thread = tid;
+    record.step = machine.steps();
+    record.lbr = lbr.snapshot();
+
+    chargeIoctl(machine, tid);
+    if (was_enabled)
+        lbr.writeDebugCtl(msr::kDebugCtlEnableLbr);
+
+    machine.appendProfile(record);
+    return record;
+}
+
+// ---- LCR --------------------------------------------------------------------
+
+void
+cleanLcr(Machine &machine, ThreadId tid)
+{
+    chargeIoctl(machine, tid);
+    machine.lcrDomain().clean();
+}
+
+void
+configLcr(Machine &machine, ThreadId tid, std::uint64_t config)
+{
+    chargeIoctl(machine, tid);
+    machine.lcrDomain().configure(LcrConfig::unpack(config));
+}
+
+void
+enableLcr(Machine &machine, ThreadId tid)
+{
+    chargeIoctl(machine, tid);
+    machine.lcrDomain().enable();
+    // Pollution model (Section 4.3): the enabling ioctl introduces
+    // two user-level exclusive reads.
+    pollute(machine, tid, MesiState::Exclusive);
+    pollute(machine, tid, MesiState::Exclusive);
+}
+
+void
+disableLcr(Machine &machine, ThreadId tid)
+{
+    chargeIoctl(machine, tid);
+    // Pollution model: two user-level exclusive reads and one
+    // user-level shared read land in the ring before it freezes.
+    pollute(machine, tid, MesiState::Exclusive);
+    pollute(machine, tid, MesiState::Exclusive);
+    pollute(machine, tid, MesiState::Shared);
+    machine.lcrDomain().disable();
+}
+
+ProfileRecord
+profileLcr(Machine &machine, ThreadId tid, LogSiteId site,
+           bool success_site)
+{
+    LcrDomain &lcr = machine.lcrDomain();
+    bool was_enabled = lcr.enabled();
+    if (was_enabled)
+        disableLcr(machine, tid);
+
+    ProfileRecord record;
+    record.kind = ProfileKind::Lcr;
+    record.site = site;
+    record.successSite = success_site;
+    record.thread = tid;
+    record.step = machine.steps();
+    record.lcr = lcr.snapshot(tid);
+
+    chargeIoctl(machine, tid);
+    if (was_enabled)
+        enableLcr(machine, tid);
+
+    machine.appendProfile(record);
+    return record;
+}
+
+// ---- traditional logging cost models ---------------------------------------
+
+std::uint64_t
+logCallStack(Machine &machine, ThreadId tid)
+{
+    TraditionalLoggingCost cost;
+    machine.chargeKernel(tid, cost.callStackInstructions, 0);
+    return cost.callStackInstructions;
+}
+
+std::uint64_t
+dumpCore(Machine &machine, ThreadId tid)
+{
+    TraditionalLoggingCost cost;
+    machine.chargeKernel(tid, cost.coreDumpInstructions, 0);
+    return cost.coreDumpInstructions;
+}
+
+} // namespace stm::driver

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The simulated kernel module of Figure 7: ioctl-style services that
+ * clean, configure, enable, disable, and profile the LBR and the
+ * proposed LCR on behalf of user code.
+ *
+ * Every service charges its ring-0 instruction cost (the rdmsr/wrmsr
+ * wrapper work) plus a small user-level wrapper cost, and retires the
+ * corresponding kernel branches through the PMU — so enabling the
+ * ring-0 filter bit in LBR_SELECT is what keeps driver activity out
+ * of the precious 16 entries, exactly as in the paper (Section 4.3).
+ *
+ * The LCR services reproduce the paper's pollution model: the enable
+ * ioctl introduces two user-level exclusive reads into the calling
+ * thread's ring, and the disable ioctl introduces two user-level
+ * exclusive reads and one user-level shared read.
+ */
+
+#ifndef STM_DRIVER_KERNEL_DRIVER_HH
+#define STM_DRIVER_KERNEL_DRIVER_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+#include "isa/types.hh"
+#include "vm/run_result.hh"
+
+namespace stm
+{
+
+class Machine;
+
+namespace driver
+{
+
+/** Cost model of one ioctl round trip. */
+struct IoctlCost
+{
+    std::uint64_t kernelInstructions = 20;
+    std::uint32_t kernelBranches = 2;
+    std::uint64_t userWrapperInstructions = 4;
+};
+
+/** Cost model of the traditional logging alternatives (Section 5.3). */
+struct TraditionalLoggingCost
+{
+    /** Simulated instructions to record a call stack (~200 us). */
+    std::uint64_t callStackInstructions = 30000;
+    /** Simulated instructions to dump a core image (~200 ms). */
+    std::uint64_t coreDumpInstructions = 30000000;
+};
+
+/** Charged for every driver ioctl; tracked as instrumentation cost. */
+void chargeIoctl(Machine &machine, ThreadId tid,
+                 bool count_as_instrumentation = true);
+
+// ---- LBR services (Figure 7) ------------------------------------------
+
+void cleanLbr(Machine &machine, ThreadId tid);
+void configLbr(Machine &machine, ThreadId tid, std::uint64_t select);
+void enableLbr(Machine &machine, ThreadId tid);
+void disableLbr(Machine &machine, ThreadId tid);
+
+/**
+ * DRIVER_PROFILE_LBR: disable recording (the disabling code contains
+ * no user-level branches), snapshot the calling thread's LBR into the
+ * run profile, re-enable, and return the record.
+ */
+ProfileRecord profileLbr(Machine &machine, ThreadId tid, LogSiteId site,
+                         bool success_site);
+
+// ---- LCR services ---------------------------------------------------------
+
+void cleanLcr(Machine &machine, ThreadId tid);
+void configLcr(Machine &machine, ThreadId tid, std::uint64_t config);
+
+/** Enable LCR; injects 2 user-level exclusive reads (pollution). */
+void enableLcr(Machine &machine, ThreadId tid);
+
+/**
+ * Disable LCR; injects 2 user-level exclusive reads and 1 user-level
+ * shared read before freezing (pollution).
+ */
+void disableLcr(Machine &machine, ThreadId tid);
+
+/** DRIVER_PROFILE_LCR: disable, snapshot calling thread, re-enable. */
+ProfileRecord profileLcr(Machine &machine, ThreadId tid, LogSiteId site,
+                         bool success_site);
+
+// ---- traditional logging cost models (Section 5.3 comparison) ---------
+
+/** Record the calling thread's call stack; returns instructions spent. */
+std::uint64_t logCallStack(Machine &machine, ThreadId tid);
+
+/** Dump a core image; returns instructions spent. */
+std::uint64_t dumpCore(Machine &machine, ThreadId tid);
+
+} // namespace driver
+
+} // namespace stm
+
+#endif // STM_DRIVER_KERNEL_DRIVER_HH

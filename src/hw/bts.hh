@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Branch Trace Store (BTS) — the other Intel branch-tracing facility
+ * discussed in Section 2.1: instead of a 16-register ring, BTS spills
+ * every retired branch record to a cache/DRAM-resident buffer. It can
+ * hold the whole execution's branch history, but each record costs a
+ * memory write, which is why the paper reports 20-100% overhead and
+ * rejects BTS for production use.
+ *
+ * The reproduction implements BTS as an unbounded trace with a
+ * per-record instruction charge; `bench_ablation_bts` plays it
+ * against LBR on the corpus: BTS always contains the root cause, at
+ * an overhead orders of magnitude above LBRLOG's.
+ */
+
+#ifndef STM_HW_BTS_HH
+#define STM_HW_BTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/lbr.hh"
+#include "isa/types.hh"
+
+namespace stm
+{
+
+/** One BTS entry: the branch record plus the thread that retired it. */
+struct BtsEntry
+{
+    ThreadId thread = 0;
+    BranchRecord record;
+};
+
+/**
+ * The machine-wide BTS buffer. Unlike LBR there is no eviction: once
+ * enabled, every retired taken branch is appended (subject to the
+ * same LBR_SELECT-style class filtering), and each append costs a
+ * memory write.
+ */
+class BranchTraceStore
+{
+  public:
+    /** Instruction cost of spilling one record (store + bookkeeping). */
+    static constexpr std::uint64_t kPerRecordCost = 4;
+
+    void enable() { enabled_ = true; }
+    void disable() { enabled_ = false; }
+    bool enabled() const { return enabled_; }
+
+    /** Class filter, same encoding and semantics as LBR_SELECT. */
+    void writeSelect(std::uint64_t mask) { select_ = mask; }
+    std::uint64_t readSelect() const { return select_; }
+
+    void clear() { trace_.clear(); }
+
+    /**
+     * Append a retired branch; returns the instruction cost to
+     * charge (0 when disabled or class-filtered).
+     */
+    std::uint64_t
+    retire(ThreadId thread, const BranchRecord &record)
+    {
+        if (!enabled_ || lbrClassFilteredOut(select_, record))
+            return 0;
+        trace_.push_back(BtsEntry{thread, record});
+        return kPerRecordCost;
+    }
+
+    std::size_t size() const { return trace_.size(); }
+    const std::vector<BtsEntry> &trace() const { return trace_; }
+
+    /**
+     * 1-based position (counting back from the end of the trace) of
+     * the newest record implementing source branch @p branch as
+     * executed by @p thread; 0 if absent. The BTS analogue of
+     * LbrLogReport::positionOfBranch, without the 16-entry horizon.
+     */
+    std::size_t
+    positionOfBranch(ThreadId thread, SourceBranchId branch) const
+    {
+        std::size_t pos = 0;
+        for (auto it = trace_.rbegin(); it != trace_.rend(); ++it) {
+            if (it->thread != thread)
+                continue;
+            ++pos;
+            if (it->record.srcBranch == branch)
+                return pos;
+        }
+        return 0;
+    }
+
+  private:
+    bool enabled_ = false;
+    std::uint64_t select_ = 0;
+    std::vector<BtsEntry> trace_;
+};
+
+} // namespace stm
+
+#endif // STM_HW_BTS_HH

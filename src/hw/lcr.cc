@@ -1,0 +1,101 @@
+#include "hw/lcr.hh"
+
+namespace stm
+{
+
+namespace
+{
+constexpr std::uint64_t kFilterKernelBit = 1ULL << 8;
+constexpr std::uint64_t kFilterUserBit = 1ULL << 9;
+} // namespace
+
+std::uint64_t
+LcrConfig::pack() const
+{
+    std::uint64_t value = 0;
+    value |= static_cast<std::uint64_t>(loadMask & 0xF);
+    value |= static_cast<std::uint64_t>(storeMask & 0xF) << 4;
+    if (filterKernel)
+        value |= kFilterKernelBit;
+    if (filterUser)
+        value |= kFilterUserBit;
+    return value;
+}
+
+LcrConfig
+LcrConfig::unpack(std::uint64_t value)
+{
+    LcrConfig config;
+    config.loadMask = static_cast<std::uint8_t>(value & 0xF);
+    config.storeMask = static_cast<std::uint8_t>((value >> 4) & 0xF);
+    config.filterKernel = (value & kFilterKernelBit) != 0;
+    config.filterUser = (value & kFilterUserBit) != 0;
+    return config;
+}
+
+bool
+LcrConfig::matches(const CoherenceEvent &event) const
+{
+    if (event.kernel && filterKernel)
+        return false;
+    if (!event.kernel && filterUser)
+        return false;
+    std::uint8_t mask = event.store ? storeMask : loadMask;
+    return (mask & mesiUnitMask(event.observed)) != 0;
+}
+
+LcrConfig
+lcrConfSpaceConsuming()
+{
+    LcrConfig config;
+    config.loadMask = msr::kUmaskInvalid | msr::kUmaskExclusive;
+    config.storeMask = msr::kUmaskInvalid;
+    config.filterKernel = true;
+    return config;
+}
+
+LcrConfig
+lcrConfSpaceSaving()
+{
+    LcrConfig config;
+    config.loadMask = msr::kUmaskInvalid | msr::kUmaskShared;
+    config.storeMask = msr::kUmaskInvalid;
+    config.filterKernel = true;
+    return config;
+}
+
+LcrDomain::LcrDomain(std::size_t entries) : entries_(entries)
+{
+}
+
+void
+LcrDomain::clean()
+{
+    rings_.clear();
+}
+
+void
+LcrDomain::retire(ThreadId tid, const CoherenceEvent &event)
+{
+    if (!enabled_)
+        return;
+    if (!config_.matches(event))
+        return;
+    auto it = rings_.find(tid);
+    if (it == rings_.end()) {
+        it = rings_.emplace(tid, RingBuffer<LcrRecord>(entries_))
+                 .first;
+    }
+    it->second.push(LcrRecord{event.pc, event.observed, event.store});
+}
+
+std::vector<LcrRecord>
+LcrDomain::snapshot(ThreadId tid) const
+{
+    auto it = rings_.find(tid);
+    if (it == rings_.end())
+        return {};
+    return it->second.snapshotNewestFirst();
+}
+
+} // namespace stm

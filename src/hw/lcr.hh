@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Last Cache-coherence Record (LCR): the hardware extension the paper
+ * proposes for concurrency-bug failure diagnosis (Section 4.2).
+ *
+ * LCR records, per thread, the last K L1 data-cache accesses whose
+ * pre-access MESI state matches a configurable event mask. The
+ * supported events are exactly those the existing performance
+ * counters can count (Table 2): loads/stores observing I/S/E/M. Each
+ * record holds (program counter, observed state); memory addresses
+ * are deliberately not recorded (footnote 2 — privacy).
+ *
+ * Following the paper's PIN-based simulator (Section 4.3), records
+ * are kept in per-thread circular buffers and the
+ * configure/enable/disable operations act on all threads at once;
+ * profiling retrieves only the calling thread's buffer.
+ */
+
+#ifndef STM_HW_LCR_HH
+#define STM_HW_LCR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/coherence_event.hh"
+#include "hw/msr.hh"
+#include "isa/types.hh"
+#include "support/ring_buffer.hh"
+
+namespace stm
+{
+
+/**
+ * The LCR configuration register: which pre-access states to record
+ * for loads and for stores, and privilege-level filtering, packed
+ * into one machine word.
+ */
+struct LcrConfig
+{
+    /** Unit-mask of pre-access states recorded for loads (Table 2). */
+    std::uint8_t loadMask = 0;
+    /** Unit-mask of pre-access states recorded for stores. */
+    std::uint8_t storeMask = 0;
+    /** Suppress ring-0 accesses. */
+    bool filterKernel = true;
+    /** Suppress user-level accesses. */
+    bool filterUser = false;
+
+    /** Pack into the register encoding. */
+    std::uint64_t pack() const;
+    /** Unpack from the register encoding. */
+    static LcrConfig unpack(std::uint64_t value);
+
+    /** Does @p event match this configuration? */
+    bool matches(const CoherenceEvent &event) const;
+
+    bool operator==(const LcrConfig &) const = default;
+};
+
+/**
+ * Conf2 in Table 7 (the "space-consuming" configuration of
+ * Section 4.2.2): invalid loads, invalid stores, and exclusive loads.
+ * Covers every failure-predicting event class of Table 3.
+ */
+LcrConfig lcrConfSpaceConsuming();
+
+/**
+ * Conf1 in Table 7 (the "space-saving" configuration): invalid loads,
+ * invalid stores, and shared loads — exclusive loads are replaced by
+ * shared loads so stack accesses do not flood the record.
+ */
+LcrConfig lcrConfSpaceSaving();
+
+/** One LCR entry: program counter plus the observed pre-access state. */
+struct LcrRecord
+{
+    Addr pc = 0;
+    MesiState observed = MesiState::Invalid;
+    bool store = false;
+};
+
+/**
+ * The machine-wide LCR domain: global configuration and enable state,
+ * per-thread record rings.
+ */
+class LcrDomain
+{
+  public:
+    explicit LcrDomain(std::size_t entries = 16);
+
+    /** Program the configuration register (DRIVER_CONFIG_LCR). */
+    void configure(const LcrConfig &config) { config_ = config; }
+    const LcrConfig &config() const { return config_; }
+
+    void enable() { enabled_ = true; }
+    void disable() { enabled_ = false; }
+    bool enabled() const { return enabled_; }
+
+    /** Reset every thread's entries (DRIVER_CLEAN_LCR). */
+    void clean();
+
+    /** Records per thread (K, default 16 as on Nehalem's LBR). */
+    std::size_t capacity() const { return entries_; }
+
+    /**
+     * Called for every retired data-cache access; records into the
+     * executing thread's ring when enabled and matching.
+     */
+    void retire(ThreadId tid, const CoherenceEvent &event);
+
+    /** The calling thread's records, newest first. */
+    std::vector<LcrRecord> snapshot(ThreadId tid) const;
+
+  private:
+    std::size_t entries_;
+    bool enabled_ = false;
+    LcrConfig config_;
+    std::unordered_map<ThreadId, RingBuffer<LcrRecord>> rings_;
+};
+
+} // namespace stm
+
+#endif // STM_HW_LCR_HH

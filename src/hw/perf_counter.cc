@@ -1,0 +1,87 @@
+#include "hw/perf_counter.hh"
+
+namespace stm
+{
+
+void
+PerfCounter::configure(std::uint8_t event_code, std::uint8_t unit_mask,
+                       bool count_kernel, bool count_user)
+{
+    eventCode_ = event_code;
+    unitMask_ = unit_mask;
+    countKernel_ = count_kernel;
+    countUser_ = count_user;
+    count_ = 0;
+    sinceOverflow_ = 0;
+}
+
+std::uint64_t
+PerfCounter::nextThreshold()
+{
+    // xorshift64: deterministic jitter in [p/2, p/2 + p] around the
+    // programmed period p (period 1 stays exact). Wide randomization
+    // keeps fixed-period sampling from aliasing against periodic
+    // event streams, as hardware PEBS randomization does.
+    jitterState_ ^= jitterState_ << 13;
+    jitterState_ ^= jitterState_ >> 7;
+    jitterState_ ^= jitterState_ << 17;
+    if (period_ <= 1)
+        return period_;
+    std::uint64_t base = period_ / 2;
+    if (base == 0)
+        base = 1;
+    return base + jitterState_ % (period_ + 1);
+}
+
+void
+PerfCounter::seedJitter(std::uint64_t seed)
+{
+    jitterState_ = seed | 1;
+    // Scramble: a zero-entropy seed must not degenerate.
+    jitterState_ *= 0x9E3779B97F4A7C15ULL;
+    jitterState_ ^= jitterState_ >> 32;
+    if (jitterState_ == 0)
+        jitterState_ = 0x9E3779B97F4A7C15ULL;
+    if (period_ > 1)
+        threshold_ = nextThreshold();
+}
+
+void
+PerfCounter::setSampling(std::uint64_t period, OverflowHandler handler)
+{
+    period_ = period;
+    handler_ = std::move(handler);
+    sinceOverflow_ = 0;
+    threshold_ = period == 0 ? 0 : nextThreshold();
+}
+
+bool
+PerfCounter::matches(const CoherenceEvent &event) const
+{
+    if (event.kernel && !countKernel_)
+        return false;
+    if (!event.kernel && !countUser_)
+        return false;
+    std::uint8_t expected =
+        event.store ? msr::kEventStore : msr::kEventLoad;
+    if (eventCode_ != expected)
+        return false;
+    return (unitMask_ & mesiUnitMask(event.observed)) != 0;
+}
+
+void
+PerfCounter::observe(const CoherenceEvent &event)
+{
+    if (!enabled_ || !matches(event))
+        return;
+    ++count_;
+    if (period_ != 0 && handler_) {
+        if (++sinceOverflow_ >= threshold_) {
+            sinceOverflow_ = 0;
+            threshold_ = nextThreshold();
+            handler_(event);
+        }
+    }
+}
+
+} // namespace stm

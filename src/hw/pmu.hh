@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The per-core performance monitoring unit: the LBR plus a small bank
+ * of programmable performance counters, as on the paper's Nehalem
+ * machines. (The proposed LCR lives in a machine-wide LcrDomain with
+ * per-thread rings; see hw/lcr.hh.)
+ */
+
+#ifndef STM_HW_PMU_HH
+#define STM_HW_PMU_HH
+
+#include <array>
+
+#include "hw/lbr.hh"
+#include "hw/perf_counter.hh"
+
+namespace stm
+{
+
+/** Per-core PMU. */
+class Pmu
+{
+  public:
+    /** Number of programmable counters per core (Nehalem has 4). */
+    static constexpr std::size_t kNumCounters = 4;
+
+    explicit Pmu(std::size_t lbr_entries = 16) : lbr_(lbr_entries) {}
+
+    LastBranchRecord &lbr() { return lbr_; }
+    const LastBranchRecord &lbr() const { return lbr_; }
+
+    PerfCounter &counter(std::size_t i) { return counters_.at(i); }
+
+    /** Feed a retired taken branch to the LBR. */
+    void retireBranch(const BranchRecord &record)
+    {
+        lbr_.retire(record);
+    }
+
+    /** Feed a retired data-cache access to every counter. */
+    void
+    observeAccess(const CoherenceEvent &event)
+    {
+        for (auto &c : counters_)
+            c.observe(event);
+    }
+
+  private:
+    LastBranchRecord lbr_;
+    std::array<PerfCounter, kNumCounters> counters_;
+};
+
+} // namespace stm
+
+#endif // STM_HW_PMU_HH

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Pretty printer for MiniVM instructions.
+ */
+
+#ifndef STM_ISA_DISASSEMBLER_HH
+#define STM_ISA_DISASSEMBLER_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace stm
+{
+
+/**
+ * Render @p inst as a human-readable line, e.g.
+ * "br lt r1, r2 -> @42   ; line 17 (srcbr 3/T)".
+ */
+std::string disassemble(const Instruction &inst);
+
+} // namespace stm
+
+#endif // STM_ISA_DISASSEMBLER_HH

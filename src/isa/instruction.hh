@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The MiniVM instruction word.
+ *
+ * Besides the architectural fields (opcode, registers, immediate,
+ * branch target), every instruction carries the metadata a real
+ * deployment recovers offline from debug information: a source
+ * location and, for machine branches, the identity and outcome of the
+ * source-level conditional branch it implements. The paper relies on
+ * exactly this machine-branch-to-source-branch mapping (its Figure 2
+ * discussion and the fall-through normalization of [40]); carrying the
+ * mapping on the instruction is this reproduction's equivalent of
+ * consulting DWARF line tables.
+ */
+
+#ifndef STM_ISA_INSTRUCTION_HH
+#define STM_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "isa/opcode.hh"
+#include "isa/types.hh"
+
+namespace stm
+{
+
+/** Identifier of a source-level conditional branch within a program. */
+using SourceBranchId = std::uint32_t;
+
+/** Sentinel: this machine branch implements no source-level branch. */
+constexpr SourceBranchId kNoSourceBranch =
+    std::numeric_limits<SourceBranchId>::max();
+
+/** Identifier of a logging site within a program. */
+using LogSiteId = std::uint32_t;
+
+/** Sentinel log-site id used for the segmentation-fault handler. */
+constexpr LogSiteId kSegfaultSite =
+    std::numeric_limits<LogSiteId>::max();
+
+/** One MiniVM instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    Cond cond = Cond::Eq;
+    RegId rd = 0;
+    RegId ra = 0;
+    RegId rb = 0;
+    std::int64_t imm = 0;
+
+    /** Branch/call target as an instruction index. */
+    std::uint32_t target = 0;
+
+    /** Symbol index for Lea. */
+    std::uint32_t symId = 0;
+
+    /** True for ring-0 (kernel) instructions. */
+    bool kernel = false;
+
+    /** Synthetic source position. */
+    SourceLoc loc;
+
+    /**
+     * For machine branches that implement one edge of a source-level
+     * conditional: which source branch, and which outcome taking this
+     * machine branch implies. kNoSourceBranch otherwise.
+     */
+    SourceBranchId srcBranch = kNoSourceBranch;
+    bool outcomeWhenTaken = false;
+
+    /** For LogError/LogInfo: the log-site id (also mirrored in imm). */
+    LogSiteId logSite = 0;
+
+    /** The branch class of this instruction. */
+    BranchKind branchKind() const { return branchKindOf(op); }
+
+    /** True if this instruction accesses data memory. */
+    bool
+    accessesMemory() const
+    {
+        return op == Opcode::Load || op == Opcode::Store ||
+               op == Opcode::Lock || op == Opcode::Unlock;
+    }
+};
+
+} // namespace stm
+
+#endif // STM_ISA_INSTRUCTION_HH

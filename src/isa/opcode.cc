@@ -1,0 +1,179 @@
+#include "isa/opcode.hh"
+
+#include "support/logging.hh"
+
+namespace stm
+{
+
+bool
+isBranchOpcode(Opcode op)
+{
+    return branchKindOf(op) != BranchKind::None;
+}
+
+BranchKind
+branchKindOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Br:
+        return BranchKind::Conditional;
+      case Opcode::Jmp:
+        return BranchKind::NearRelativeJump;
+      case Opcode::IJmp:
+        return BranchKind::NearIndirectJump;
+      case Opcode::Call:
+        return BranchKind::NearRelativeCall;
+      case Opcode::ICall:
+        return BranchKind::NearIndirectCall;
+      case Opcode::Ret:
+        return BranchKind::NearReturn;
+      case Opcode::Syscall:
+        return BranchKind::FarBranch;
+      default:
+        return BranchKind::None;
+    }
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Movi: return "movi";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Addi: return "addi";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Mod: return "mod";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Not: return "not";
+      case Opcode::Neg: return "neg";
+      case Opcode::Lea: return "lea";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Br: return "br";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::IJmp: return "ijmp";
+      case Opcode::Call: return "call";
+      case Opcode::ICall: return "icall";
+      case Opcode::Ret: return "ret";
+      case Opcode::Lock: return "lock";
+      case Opcode::Unlock: return "unlock";
+      case Opcode::Spawn: return "spawn";
+      case Opcode::Join: return "join";
+      case Opcode::Yield: return "yield";
+      case Opcode::Syscall: return "syscall";
+      case Opcode::LibCall: return "libcall";
+      case Opcode::LogError: return "log_error";
+      case Opcode::LogInfo: return "log_info";
+      case Opcode::Out: return "out";
+      case Opcode::AssertEq: return "assert_eq";
+      case Opcode::Halt: return "halt";
+    }
+    return "unknown";
+}
+
+std::string
+condName(Cond cond)
+{
+    switch (cond) {
+      case Cond::Eq: return "eq";
+      case Cond::Ne: return "ne";
+      case Cond::Lt: return "lt";
+      case Cond::Le: return "le";
+      case Cond::Gt: return "gt";
+      case Cond::Ge: return "ge";
+    }
+    return "??";
+}
+
+std::string
+branchKindName(BranchKind kind)
+{
+    switch (kind) {
+      case BranchKind::None: return "none";
+      case BranchKind::Conditional: return "conditional";
+      case BranchKind::NearRelativeJump: return "near-rel-jmp";
+      case BranchKind::NearIndirectJump: return "near-ind-jmp";
+      case BranchKind::NearRelativeCall: return "near-rel-call";
+      case BranchKind::NearIndirectCall: return "near-ind-call";
+      case BranchKind::NearReturn: return "near-ret";
+      case BranchKind::FarBranch: return "far";
+    }
+    return "??";
+}
+
+std::string
+libFnName(LibFn fn)
+{
+    switch (fn) {
+      case LibFn::Memmove: return "memmove";
+      case LibFn::Memcpy: return "memcpy";
+      case LibFn::Memset: return "memset";
+      case LibFn::StrCmp: return "strcmp";
+      case LibFn::Printf: return "printf";
+      case LibFn::Open: return "open";
+      case LibFn::Close: return "close";
+      case LibFn::Time: return "time";
+      case LibFn::Generic: return "libgeneric";
+    }
+    return "??";
+}
+
+std::string
+syscallName(SyscallNo no)
+{
+    switch (no) {
+      case SyscallNo::CleanLbr: return "DRIVER_CLEAN_LBR";
+      case SyscallNo::ConfigLbr: return "DRIVER_CONFIG_LBR";
+      case SyscallNo::EnableLbr: return "DRIVER_ENABLE_LBR";
+      case SyscallNo::DisableLbr: return "DRIVER_DISABLE_LBR";
+      case SyscallNo::ProfileLbr: return "DRIVER_PROFILE_LBR";
+      case SyscallNo::CleanLcr: return "DRIVER_CLEAN_LCR";
+      case SyscallNo::ConfigLcr: return "DRIVER_CONFIG_LCR";
+      case SyscallNo::EnableLcr: return "DRIVER_ENABLE_LCR";
+      case SyscallNo::DisableLcr: return "DRIVER_DISABLE_LCR";
+      case SyscallNo::ProfileLcr: return "DRIVER_PROFILE_LCR";
+      case SyscallNo::DumpCore: return "DUMP_CORE";
+      case SyscallNo::LogCallStack: return "LOG_CALL_STACK";
+      case SyscallNo::Alloc: return "ALLOC";
+      case SyscallNo::ThreadExit: return "THREAD_EXIT";
+    }
+    return "??";
+}
+
+bool
+evalCond(Cond cond, std::int64_t a, std::int64_t b)
+{
+    switch (cond) {
+      case Cond::Eq: return a == b;
+      case Cond::Ne: return a != b;
+      case Cond::Lt: return a < b;
+      case Cond::Le: return a <= b;
+      case Cond::Gt: return a > b;
+      case Cond::Ge: return a >= b;
+    }
+    panic("invalid condition code {}", static_cast<int>(cond));
+}
+
+Cond
+negateCond(Cond cond)
+{
+    switch (cond) {
+      case Cond::Eq: return Cond::Ne;
+      case Cond::Ne: return Cond::Eq;
+      case Cond::Lt: return Cond::Ge;
+      case Cond::Le: return Cond::Gt;
+      case Cond::Gt: return Cond::Le;
+      case Cond::Ge: return Cond::Lt;
+    }
+    panic("invalid condition code {}", static_cast<int>(cond));
+}
+
+} // namespace stm

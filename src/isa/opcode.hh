@@ -1,0 +1,140 @@
+/**
+ * @file
+ * MiniVM opcode set, condition codes, branch taxonomy, and syscall and
+ * library-function numbering.
+ *
+ * The branch taxonomy deliberately mirrors the branch classes that the
+ * Intel LBR_SELECT register can filter (Table 1 of the paper), so the
+ * simulated LBR filter masks are load-bearing.
+ */
+
+#ifndef STM_ISA_OPCODE_HH
+#define STM_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace stm
+{
+
+/** MiniVM operations. */
+enum class Opcode : std::uint8_t {
+    Nop,
+    Movi,     //!< rd <- imm
+    Mov,      //!< rd <- ra
+    Add,      //!< rd <- ra + rb
+    Addi,     //!< rd <- ra + imm
+    Sub,      //!< rd <- ra - rb
+    Mul,      //!< rd <- ra * rb
+    Div,      //!< rd <- ra / rb (rb == 0 raises an arithmetic fault)
+    Mod,      //!< rd <- ra % rb
+    And,      //!< rd <- ra & rb
+    Or,       //!< rd <- ra | rb
+    Xor,      //!< rd <- ra ^ rb
+    Shl,      //!< rd <- ra << (rb & 63)
+    Shr,      //!< rd <- ra >> (rb & 63), arithmetic
+    Not,      //!< rd <- ~ra
+    Neg,      //!< rd <- -ra
+    Lea,      //!< rd <- address of symbol(symId) + imm
+    Load,     //!< rd <- mem[ra + imm] (one word, through the L1 cache)
+    Store,    //!< mem[ra + imm] <- rb (one word, through the L1 cache)
+    Br,       //!< if cond(ra, rb) goto target  (conditional branch)
+    Jmp,      //!< goto target                  (near relative jump)
+    IJmp,     //!< goto ra                      (near indirect jump)
+    Call,     //!< call function at target      (near relative call)
+    ICall,    //!< call function at address ra  (near indirect call)
+    Ret,      //!< return                       (near return)
+    Lock,     //!< acquire mutex whose word lives at address ra
+    Unlock,   //!< release mutex whose word lives at address ra
+    Spawn,    //!< rd <- tid of new thread running function target, r1=ra
+    Join,     //!< wait for thread ra to finish
+    Yield,    //!< scheduler hint: give up the remaining quantum
+    Syscall,  //!< kernel service, number = imm (far branch into ring 0)
+    LibCall,  //!< library function call, id = imm (see LibFn)
+    LogError, //!< failure-logging call (error(), ap_log_error(), ...)
+    LogInfo,  //!< non-failure logging call
+    Out,      //!< append the value of ra to the program output
+    AssertEq, //!< fail the run if ra != rb
+    Halt,     //!< terminate the whole program normally
+};
+
+/** Comparison condition for Br. */
+enum class Cond : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+/**
+ * Branch classes, mirroring the classes LBR_SELECT can filter.
+ * (Table 1: conditional, near relative/indirect calls, near returns,
+ * near unconditional indirect/relative jumps, far branches.)
+ */
+enum class BranchKind : std::uint8_t {
+    None,             //!< not a branch
+    Conditional,      //!< JCC
+    NearRelativeJump, //!< JMP rel
+    NearIndirectJump, //!< JMP r/m
+    NearRelativeCall, //!< CALL rel
+    NearIndirectCall, //!< CALL r/m
+    NearReturn,       //!< RET
+    FarBranch,        //!< far transfers (syscall/sysret, interrupts)
+};
+
+/** Kernel services reachable via Syscall (Figure 7's ioctl interface). */
+enum class SyscallNo : std::uint16_t {
+    CleanLbr,    //!< DRIVER_CLEAN_LBR: reset LBR entries
+    ConfigLbr,   //!< DRIVER_CONFIG_LBR: program LBR_SELECT (arg = mask)
+    EnableLbr,   //!< DRIVER_ENABLE_LBR
+    DisableLbr,  //!< DRIVER_DISABLE_LBR
+    ProfileLbr,  //!< DRIVER_PROFILE_LBR: copy LBR into the run profile
+    CleanLcr,    //!< same five services for the proposed LCR
+    ConfigLcr,   //!< arg = packed LcrConfig mask
+    EnableLcr,
+    DisableLcr,
+    ProfileLcr,
+    DumpCore,     //!< traditional logging: dump a core image
+    LogCallStack, //!< traditional logging: record the call stack
+    Alloc,        //!< rd <- heap allocation of ra bytes
+    ThreadExit,   //!< terminate the calling thread
+};
+
+/** Simulated library functions callable via LibCall. */
+enum class LibFn : std::uint16_t {
+    Memmove, //!< r1=dst, r2=src, r3=word count; overlapping-safe copy
+    Memcpy,  //!< r1=dst, r2=src, r3=word count
+    Memset,  //!< r1=dst, r2=value, r3=word count
+    StrCmp,  //!< r1, r2 NUL(0)-terminated word strings; rd <- sign
+    Printf,  //!< r1 = number of formatted items (cost model only)
+    Open,    //!< generic syscall-backed library work (cost model)
+    Close,
+    Time,
+    Generic, //!< r1 = amount of internal work (cost model only)
+};
+
+/** True if executing @p op can transfer control. */
+bool isBranchOpcode(Opcode op);
+
+/** Branch class of @p op (BranchKind::None for non-branches). */
+BranchKind branchKindOf(Opcode op);
+
+/** Mnemonic of @p op. */
+std::string opcodeName(Opcode op);
+
+/** Mnemonic of @p cond. */
+std::string condName(Cond cond);
+
+/** Human-readable name of @p kind. */
+std::string branchKindName(BranchKind kind);
+
+/** Human-readable name of @p fn. */
+std::string libFnName(LibFn fn);
+
+/** Human-readable name of @p no. */
+std::string syscallName(SyscallNo no);
+
+/** Evaluate a comparison condition. */
+bool evalCond(Cond cond, std::int64_t a, std::int64_t b);
+
+/** The condition that is true exactly when @p cond is false. */
+Cond negateCond(Cond cond);
+
+} // namespace stm
+
+#endif // STM_ISA_OPCODE_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fundamental MiniVM types shared across the simulator: addresses,
+ * machine words, register ids, and source locations.
+ *
+ * MiniVM is the execution substrate this reproduction uses in place of
+ * running real x86 binaries under PIN: a small register machine whose
+ * cores retire branch and memory-access events into the simulated
+ * hardware monitoring units (LBR / LCR).
+ */
+
+#ifndef STM_ISA_TYPES_HH
+#define STM_ISA_TYPES_HH
+
+#include <cstdint>
+
+namespace stm
+{
+
+/** A byte address in the simulated flat virtual address space. */
+using Addr = std::uint64_t;
+
+/** A machine word: all registers and memory cells hold one of these. */
+using Word = std::int64_t;
+
+/** A general-purpose register index. */
+using RegId = std::uint8_t;
+
+/** Number of general-purpose registers per thread. */
+constexpr RegId kNumRegs = 32;
+
+/** Conventional stack-pointer register (initialized to stack top). */
+constexpr RegId kStackPointer = 31;
+
+/** Thread identifier. */
+using ThreadId = std::uint32_t;
+
+/**
+ * Simulated address-space layout. Code lives in its own region so
+ * instruction addresses (reported by LBR) never collide with data.
+ */
+namespace layout
+{
+constexpr Addr kCodeBase = 0x400000;     //!< instruction i -> base + 4*i
+constexpr Addr kLibraryBase = 0x500000;  //!< synthetic library code
+constexpr Addr kGlobalBase = 0x600000;   //!< globals segment
+constexpr Addr kHeapBase = 0x800000;     //!< bump-allocated heap
+constexpr Addr kStackBase = 0x7F000000;  //!< per-thread stacks
+constexpr Addr kStackSize = 0x10000;     //!< bytes per thread stack
+constexpr Addr kKernelText = 0xFFFF0000; //!< ring-0 code addresses
+
+/** Code address of instruction index @p idx. */
+constexpr Addr
+codeAddr(std::uint32_t idx)
+{
+    return kCodeBase + 4ULL * idx;
+}
+
+/** Stack segment base for thread @p tid. */
+constexpr Addr
+stackBase(ThreadId tid)
+{
+    return kStackBase + static_cast<Addr>(tid) * kStackSize;
+}
+} // namespace layout
+
+/** A (file, line) position in the synthetic source of a program. */
+struct SourceLoc
+{
+    std::uint16_t file = 0;
+    std::uint32_t line = 0;
+
+    bool
+    operator==(const SourceLoc &other) const
+    {
+        return file == other.file && line == other.line;
+    }
+};
+
+} // namespace stm
+
+#endif // STM_ISA_TYPES_HH

@@ -1,0 +1,679 @@
+#include "program/builder.hh"
+
+#include "support/logging.hh"
+
+namespace stm
+{
+
+ProgramBuilder::ProgramBuilder(std::string program_name)
+    : prog_(std::make_shared<Program>())
+{
+    prog_->name = std::move(program_name);
+    // File 0 is created by the first file() call; programs that
+    // never set a file get "<name>.c" registered at build().
+}
+
+ProgramBuilder &
+ProgramBuilder::file(const std::string &filename)
+{
+    for (std::uint16_t i = 0; i < prog_->files.size(); ++i) {
+        if (prog_->files[i] == filename) {
+            fileId_ = i;
+            return *this;
+        }
+    }
+    fileId_ = static_cast<std::uint16_t>(prog_->files.size());
+    prog_->files.push_back(filename);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::line(std::uint32_t l)
+{
+    line_ = l;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::lineStep(std::uint32_t delta)
+{
+    line_ += delta;
+    return *this;
+}
+
+void
+ProgramBuilder::global(const std::string &gname, std::uint64_t words,
+                       std::vector<Word> init, bool cache_line_align)
+{
+    for (const auto &s : prog_->symbols) {
+        if (s.name == gname)
+            panic("duplicate global '{}'", gname);
+    }
+    Symbol sym;
+    sym.name = gname;
+    sym.sizeWords = words;
+    sym.init = std::move(init);
+    // Address assignment happens in build(); remember the alignment
+    // request by tagging sizeWords' sign bit is ugly, so keep a side
+    // list instead.
+    prog_->symbols.push_back(std::move(sym));
+    if (cache_line_align)
+        alignRequests_.push_back(prog_->symbols.size() - 1);
+}
+
+bool
+ProgramBuilder::hasGlobal(const std::string &gname) const
+{
+    for (const auto &sym : prog_->symbols) {
+        if (sym.name == gname)
+            return true;
+    }
+    return false;
+}
+
+void
+ProgramBuilder::func(const std::string &fname)
+{
+    closeFunction();
+    inFunction_ = true;
+    currentFunction_ = fname;
+    functionStart_ = here();
+}
+
+void
+ProgramBuilder::closeFunction()
+{
+    if (!inFunction_)
+        return;
+    Function f;
+    f.name = currentFunction_;
+    f.entry = functionStart_;
+    f.end = here();
+    prog_->functions.push_back(std::move(f));
+    inFunction_ = false;
+}
+
+Label
+ProgramBuilder::newLabel()
+{
+    labelTargets_.push_back(-1);
+    return Label{static_cast<std::uint32_t>(labelTargets_.size() - 1)};
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    if (label.id >= labelTargets_.size())
+        panic("bind: unknown label {}", label.id);
+    if (labelTargets_[label.id] >= 0)
+        panic("bind: label {} bound twice", label.id);
+    labelTargets_[label.id] = static_cast<std::int64_t>(here());
+}
+
+std::uint32_t
+ProgramBuilder::here() const
+{
+    return static_cast<std::uint32_t>(prog_->code.size());
+}
+
+std::uint32_t
+ProgramBuilder::emit(Instruction inst)
+{
+    if (built_)
+        panic("emit after build()");
+    inst.loc = SourceLoc{fileId_, line_};
+    prog_->code.push_back(inst);
+    return here() - 1;
+}
+
+std::uint32_t
+ProgramBuilder::emitBranchTo(Opcode op, Label target, Instruction inst)
+{
+    inst.op = op;
+    std::uint32_t idx = emit(inst);
+    labelFixups_.push_back(LabelFixup{idx, target.id});
+    return idx;
+}
+
+// ---- plain instructions ---------------------------------------------------
+
+std::uint32_t
+ProgramBuilder::nop()
+{
+    return emit(Instruction{.op = Opcode::Nop});
+}
+
+std::uint32_t
+ProgramBuilder::movi(RegId rd, Word value)
+{
+    return emit(Instruction{.op = Opcode::Movi, .rd = rd, .imm = value});
+}
+
+std::uint32_t
+ProgramBuilder::mov(RegId rd, RegId ra)
+{
+    return emit(Instruction{.op = Opcode::Mov, .rd = rd, .ra = ra});
+}
+
+#define STM_BINOP(method, opcode)                                        \
+    std::uint32_t ProgramBuilder::method(RegId rd, RegId ra, RegId rb)   \
+    {                                                                    \
+        return emit(Instruction{                                         \
+            .op = Opcode::opcode, .rd = rd, .ra = ra, .rb = rb});        \
+    }
+
+STM_BINOP(add, Add)
+STM_BINOP(sub, Sub)
+STM_BINOP(mul, Mul)
+STM_BINOP(div, Div)
+STM_BINOP(mod, Mod)
+STM_BINOP(andr, And)
+STM_BINOP(orr, Or)
+STM_BINOP(xorr, Xor)
+STM_BINOP(shl, Shl)
+STM_BINOP(shr, Shr)
+
+#undef STM_BINOP
+
+std::uint32_t
+ProgramBuilder::addi(RegId rd, RegId ra, std::int64_t imm)
+{
+    return emit(
+        Instruction{.op = Opcode::Addi, .rd = rd, .ra = ra, .imm = imm});
+}
+
+std::uint32_t
+ProgramBuilder::notr(RegId rd, RegId ra)
+{
+    return emit(Instruction{.op = Opcode::Not, .rd = rd, .ra = ra});
+}
+
+std::uint32_t
+ProgramBuilder::neg(RegId rd, RegId ra)
+{
+    return emit(Instruction{.op = Opcode::Neg, .rd = rd, .ra = ra});
+}
+
+// ---- memory ---------------------------------------------------------------
+
+std::uint32_t
+ProgramBuilder::lea(RegId rd, const std::string &gname, std::int64_t off)
+{
+    std::uint32_t symId = 0;
+    bool found = false;
+    for (std::uint32_t i = 0; i < prog_->symbols.size(); ++i) {
+        if (prog_->symbols[i].name == gname) {
+            symId = i;
+            found = true;
+            break;
+        }
+    }
+    if (!found)
+        panic("lea: unknown global '{}'", gname);
+    return emit(Instruction{
+        .op = Opcode::Lea, .rd = rd, .imm = off, .symId = symId});
+}
+
+std::uint32_t
+ProgramBuilder::load(RegId rd, RegId ra, std::int64_t off)
+{
+    return emit(
+        Instruction{.op = Opcode::Load, .rd = rd, .ra = ra, .imm = off});
+}
+
+std::uint32_t
+ProgramBuilder::store(RegId ra, std::int64_t off, RegId rb)
+{
+    return emit(
+        Instruction{.op = Opcode::Store, .ra = ra, .rb = rb, .imm = off});
+}
+
+std::uint32_t
+ProgramBuilder::loadg(RegId rd, const std::string &gname,
+                      std::int64_t off)
+{
+    std::uint32_t idx = lea(rd, gname, off);
+    load(rd, rd, 0);
+    return idx;
+}
+
+std::uint32_t
+ProgramBuilder::storeg(const std::string &gname, std::int64_t off,
+                       RegId rs, RegId scratch)
+{
+    std::uint32_t idx = lea(scratch, gname, off);
+    store(scratch, 0, rs);
+    return idx;
+}
+
+std::uint32_t
+ProgramBuilder::localLoad(RegId rd, std::int64_t off)
+{
+    return load(rd, kStackPointer, off);
+}
+
+std::uint32_t
+ProgramBuilder::localStore(std::int64_t off, RegId rs)
+{
+    return store(kStackPointer, off, rs);
+}
+
+// ---- raw control flow -------------------------------------------------------
+
+SourceBranchId
+ProgramBuilder::emitCondBranch(Cond cond, RegId ra, RegId rb,
+                               Label target, bool outcome_when_taken,
+                               const std::string &note)
+{
+    SourceBranchId id =
+        static_cast<SourceBranchId>(prog_->branches.size());
+
+    Instruction br;
+    br.op = Opcode::Br;
+    br.cond = cond;
+    br.ra = ra;
+    br.rb = rb;
+    br.srcBranch = id;
+    br.outcomeWhenTaken = outcome_when_taken;
+    std::uint32_t brIdx = emitBranchTo(Opcode::Br, target, br);
+
+    // Fall-through normalization jump ([40] / Figure 2): a harmless
+    // unconditional jump to the next instruction, recording the
+    // opposite outcome of the same source branch.
+    Instruction ft;
+    ft.op = Opcode::Jmp;
+    ft.srcBranch = id;
+    ft.outcomeWhenTaken = !outcome_when_taken;
+    ft.target = here() + 1;
+    emit(ft);
+
+    SourceBranchInfo info;
+    info.id = id;
+    info.loc = SourceLoc{fileId_, line_};
+    info.note = note;
+    info.brIndex = brIdx;
+    prog_->branches.push_back(std::move(info));
+    return id;
+}
+
+SourceBranchId
+ProgramBuilder::brIf(Cond cond, RegId ra, RegId rb, Label target,
+                     const std::string &note)
+{
+    return emitCondBranch(cond, ra, rb, target, true, note);
+}
+
+std::uint32_t
+ProgramBuilder::jmp(Label target)
+{
+    return emitBranchTo(Opcode::Jmp, target, Instruction{});
+}
+
+std::uint32_t
+ProgramBuilder::call(const std::string &fname)
+{
+    std::uint32_t idx = emit(Instruction{.op = Opcode::Call});
+    callFixups_.push_back(CallFixup{idx, fname});
+    return idx;
+}
+
+std::uint32_t
+ProgramBuilder::icall(RegId ra)
+{
+    return emit(Instruction{.op = Opcode::ICall, .ra = ra});
+}
+
+std::uint32_t
+ProgramBuilder::ijmp(RegId ra)
+{
+    return emit(Instruction{.op = Opcode::IJmp, .ra = ra});
+}
+
+std::uint32_t
+ProgramBuilder::leaFunction(RegId rd, const std::string &fname)
+{
+    // Emits movi rd, <code address>; the function entry is patched
+    // at build() like a call target.
+    std::uint32_t idx =
+        emit(Instruction{.op = Opcode::Movi, .rd = rd});
+    functionAddrFixups_.push_back(CallFixup{idx, fname});
+    return idx;
+}
+
+std::uint32_t
+ProgramBuilder::ret()
+{
+    return emit(Instruction{.op = Opcode::Ret});
+}
+
+// ---- structured control flow ------------------------------------------------
+
+SourceBranchId
+ProgramBuilder::beginIf(Cond cond, RegId ra, RegId rb,
+                        const std::string &note)
+{
+    IfFrame frame;
+    frame.elseOrEnd = newLabel();
+    frame.end = Label{0};
+    // Branch taken when the source condition is FALSE, skipping the
+    // then-block (Figure 2's je label<else>).
+    SourceBranchId id = emitCondBranch(negateCond(cond), ra, rb,
+                                       frame.elseOrEnd, false, note);
+    ifStack_.push_back(frame);
+    return id;
+}
+
+void
+ProgramBuilder::beginElse()
+{
+    if (ifStack_.empty())
+        panic("beginElse outside if");
+    IfFrame &frame = ifStack_.back();
+    if (frame.hasElse)
+        panic("duplicate else");
+    frame.end = newLabel();
+    jmp(frame.end); // exit of the then-block
+    bind(frame.elseOrEnd);
+    frame.hasElse = true;
+}
+
+void
+ProgramBuilder::endIf()
+{
+    if (ifStack_.empty())
+        panic("endIf outside if");
+    IfFrame frame = ifStack_.back();
+    ifStack_.pop_back();
+    bind(frame.hasElse ? frame.end : frame.elseOrEnd);
+}
+
+SourceBranchId
+ProgramBuilder::beginWhile(Cond cond, RegId ra, RegId rb,
+                           const std::string &note)
+{
+    WhileFrame frame;
+    frame.body = newLabel();
+    frame.test = newLabel();
+    frame.end = newLabel();
+    frame.cond = cond;
+    frame.ra = ra;
+    frame.rb = rb;
+    frame.note = note;
+    // Rotated loop: jump straight to the bottom test.
+    jmp(frame.test);
+    bind(frame.body);
+    whileStack_.push_back(frame);
+    // The branch id is only known at endWhile(); reserve it now so the
+    // caller can use the returned id as ground truth. We pre-allocate
+    // by recording the future id: branches are appended in order, but
+    // the body may contain branches too. Instead, allocate the info
+    // eagerly with a placeholder brIndex patched in endWhile().
+    SourceBranchInfo info;
+    info.id = static_cast<SourceBranchId>(prog_->branches.size());
+    info.loc = SourceLoc{fileId_, line_};
+    info.note = note;
+    info.brIndex = 0; // patched by endWhile()
+    prog_->branches.push_back(info);
+    whileStack_.back().branchId = info.id;
+    return info.id;
+}
+
+void
+ProgramBuilder::endWhile()
+{
+    if (whileStack_.empty())
+        panic("endWhile outside while");
+    WhileFrame frame = whileStack_.back();
+    whileStack_.pop_back();
+    bind(frame.test);
+
+    // Bottom-of-loop test: taken => another iteration.
+    Instruction br;
+    br.op = Opcode::Br;
+    br.cond = frame.cond;
+    br.ra = frame.ra;
+    br.rb = frame.rb;
+    br.srcBranch = frame.branchId;
+    br.outcomeWhenTaken = true;
+    std::uint32_t brIdx = emitBranchTo(Opcode::Br, frame.body, br);
+    prog_->branches[frame.branchId].brIndex = brIdx;
+
+    // Fall-through normalization jump: loop exit (outcome false).
+    Instruction ft;
+    ft.op = Opcode::Jmp;
+    ft.srcBranch = frame.branchId;
+    ft.outcomeWhenTaken = false;
+    ft.target = here() + 1;
+    emit(ft);
+
+    bind(frame.end);
+}
+
+std::uint32_t
+ProgramBuilder::breakWhile()
+{
+    if (whileStack_.empty())
+        panic("breakWhile outside while");
+    return jmp(whileStack_.back().end);
+}
+
+std::uint32_t
+ProgramBuilder::continueWhile()
+{
+    if (whileStack_.empty())
+        panic("continueWhile outside while");
+    return jmp(whileStack_.back().test);
+}
+
+// ---- threads, OS, libraries --------------------------------------------------
+
+std::uint32_t
+ProgramBuilder::spawn(RegId rd, const std::string &fname, RegId ra)
+{
+    std::uint32_t idx =
+        emit(Instruction{.op = Opcode::Spawn, .rd = rd, .ra = ra});
+    callFixups_.push_back(CallFixup{idx, fname});
+    return idx;
+}
+
+std::uint32_t
+ProgramBuilder::join(RegId ra)
+{
+    return emit(Instruction{.op = Opcode::Join, .ra = ra});
+}
+
+std::uint32_t
+ProgramBuilder::lockAddr(RegId ra)
+{
+    return emit(Instruction{.op = Opcode::Lock, .ra = ra});
+}
+
+std::uint32_t
+ProgramBuilder::unlockAddr(RegId ra)
+{
+    return emit(Instruction{.op = Opcode::Unlock, .ra = ra});
+}
+
+std::uint32_t
+ProgramBuilder::yield()
+{
+    return emit(Instruction{.op = Opcode::Yield});
+}
+
+std::uint32_t
+ProgramBuilder::syscall(SyscallNo no, RegId ra, RegId rd)
+{
+    return emit(Instruction{.op = Opcode::Syscall,
+                            .rd = rd,
+                            .ra = ra,
+                            .imm = static_cast<std::int64_t>(no)});
+}
+
+std::uint32_t
+ProgramBuilder::libcall(LibFn fn)
+{
+    return emit(Instruction{.op = Opcode::LibCall,
+                            .imm = static_cast<std::int64_t>(fn)});
+}
+
+// ---- logging, output, termination ------------------------------------------
+
+LogSiteId
+ProgramBuilder::logError(const std::string &message,
+                         const std::string &log_function)
+{
+    LogSiteId id = static_cast<LogSiteId>(prog_->logSites.size());
+    Instruction inst;
+    inst.op = Opcode::LogError;
+    inst.imm = id;
+    inst.logSite = id;
+    std::uint32_t idx = emit(inst);
+
+    LogSiteInfo site;
+    site.id = id;
+    site.loc = SourceLoc{fileId_, line_};
+    site.message = message;
+    site.logFunction = log_function;
+    site.failureSite = true;
+    site.instrIndex = idx;
+    prog_->logSites.push_back(std::move(site));
+    return id;
+}
+
+LogSiteId
+ProgramBuilder::logInfo(const std::string &message,
+                        const std::string &log_function)
+{
+    LogSiteId id = static_cast<LogSiteId>(prog_->logSites.size());
+    Instruction inst;
+    inst.op = Opcode::LogInfo;
+    inst.imm = id;
+    inst.logSite = id;
+    std::uint32_t idx = emit(inst);
+
+    LogSiteInfo site;
+    site.id = id;
+    site.loc = SourceLoc{fileId_, line_};
+    site.message = message;
+    site.logFunction = log_function;
+    site.failureSite = false;
+    site.instrIndex = idx;
+    prog_->logSites.push_back(std::move(site));
+    return id;
+}
+
+LogSiteId
+ProgramBuilder::logCheckpoint(const std::string &message,
+                              const std::string &log_function)
+{
+    LogSiteId id = static_cast<LogSiteId>(prog_->logSites.size());
+    Instruction inst;
+    inst.op = Opcode::LogInfo;
+    inst.imm = id;
+    inst.logSite = id;
+    std::uint32_t idx = emit(inst);
+
+    LogSiteInfo site;
+    site.id = id;
+    site.loc = SourceLoc{fileId_, line_};
+    site.message = message;
+    site.logFunction = log_function;
+    site.failureSite = true; // profiled like a failure-logging site
+    site.instrIndex = idx;
+    prog_->logSites.push_back(std::move(site));
+    return id;
+}
+
+std::uint32_t
+ProgramBuilder::out(RegId ra)
+{
+    return emit(Instruction{.op = Opcode::Out, .ra = ra});
+}
+
+std::uint32_t
+ProgramBuilder::assertEq(RegId ra, RegId rb)
+{
+    return emit(Instruction{.op = Opcode::AssertEq, .ra = ra, .rb = rb});
+}
+
+std::uint32_t
+ProgramBuilder::halt()
+{
+    return emit(Instruction{.op = Opcode::Halt});
+}
+
+// ---- finalization -----------------------------------------------------------
+
+ProgramPtr
+ProgramBuilder::build()
+{
+    if (built_)
+        panic("build() called twice");
+    if (!ifStack_.empty() || !whileStack_.empty())
+        panic("build() with unclosed control-flow blocks");
+    closeFunction();
+    built_ = true;
+
+    if (prog_->files.empty())
+        prog_->files.push_back(prog_->name + ".c");
+
+    // Lay out globals.
+    Addr next = layout::kGlobalBase;
+    for (std::uint32_t i = 0; i < prog_->symbols.size(); ++i) {
+        Symbol &sym = prog_->symbols[i];
+        bool align = false;
+        for (auto req : alignRequests_) {
+            if (req == i)
+                align = true;
+        }
+        if (align)
+            next = (next + 63) & ~Addr{63};
+        sym.addr = next;
+        next += 8 * sym.sizeWords;
+    }
+
+    // Resolve labels.
+    for (const auto &fix : labelFixups_) {
+        std::int64_t target = labelTargets_[fix.label];
+        if (target < 0)
+            panic("program '{}': unbound label {}", prog_->name,
+                  fix.label);
+        prog_->code[fix.instr].target =
+            static_cast<std::uint32_t>(target);
+    }
+
+    // Resolve calls and spawns.
+    for (const auto &fix : callFixups_) {
+        const Function &f = prog_->functionByName(fix.callee);
+        prog_->code[fix.instr].target = f.entry;
+    }
+    // Resolve function-address materializations (function pointers).
+    for (const auto &fix : functionAddrFixups_) {
+        const Function &f = prog_->functionByName(fix.callee);
+        prog_->code[fix.instr].imm = static_cast<std::int64_t>(
+            layout::codeAddr(f.entry));
+    }
+
+    // Entry point.
+    prog_->entry = prog_->functionByName("main").entry;
+
+    // Validate targets.
+    for (const auto &inst : prog_->code) {
+        switch (inst.op) {
+          case Opcode::Br:
+          case Opcode::Jmp:
+          case Opcode::Call:
+          case Opcode::Spawn:
+            if (inst.target > prog_->code.size())
+                panic("program '{}': branch target out of range",
+                      prog_->name);
+            break;
+          default:
+            break;
+        }
+    }
+
+    return prog_;
+}
+
+} // namespace stm

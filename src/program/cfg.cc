@@ -1,0 +1,163 @@
+#include "program/cfg.hh"
+
+#include <deque>
+
+#include "support/logging.hh"
+
+namespace stm
+{
+
+Cfg::Cfg(const Program &prog)
+    : prog_(prog),
+      succs_(prog.code.size()),
+      preds_(prog.code.size()),
+      leaders_(prog.code.size(), false)
+{
+    const auto &code = prog.code;
+    std::uint32_t n = static_cast<std::uint32_t>(code.size());
+
+    auto valid = [n](std::uint32_t idx) { return idx < n; };
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const Instruction &inst = code[i];
+        switch (inst.op) {
+          case Opcode::Br:
+            if (valid(inst.target))
+                addEdge(i, inst.target, EdgeKind::CondTaken);
+            if (valid(i + 1))
+                addEdge(i, i + 1, EdgeKind::Fallthrough);
+            break;
+          case Opcode::Jmp:
+            if (valid(inst.target))
+                addEdge(i, inst.target, EdgeKind::JumpTaken);
+            break;
+          case Opcode::Call:
+          case Opcode::Spawn:
+            if (valid(inst.target))
+                addEdge(i, inst.target, EdgeKind::Call);
+            if (valid(i + 1))
+                addEdge(i, i + 1, EdgeKind::Fallthrough);
+            break;
+          case Opcode::Ret:
+          case Opcode::Halt:
+          case Opcode::LogError:
+            // LogError is fail-stop in this VM: no successors.
+            break;
+          case Opcode::IJmp:
+          case Opcode::ICall:
+            // Not used by the corpus; treated as opaque.
+            if (valid(i + 1) && inst.op == Opcode::ICall)
+                addEdge(i, i + 1, EdgeKind::Fallthrough);
+            break;
+          default:
+            if (valid(i + 1))
+                addEdge(i, i + 1, EdgeKind::Fallthrough);
+            break;
+        }
+    }
+
+    // Return edges: each Ret in function f flows to every call site of
+    // f plus one (context-insensitive).
+    for (const auto &f : prog.functions) {
+        std::vector<std::uint32_t> rets;
+        for (std::uint32_t i = f.entry; i < f.end && i < n; ++i) {
+            if (code[i].op == Opcode::Ret)
+                rets.push_back(i);
+        }
+        if (rets.empty())
+            continue;
+        for (std::uint32_t c = 0; c < n; ++c) {
+            if (code[c].op == Opcode::Call &&
+                code[c].target == f.entry && valid(c + 1)) {
+                for (auto r : rets)
+                    addEdge(r, c + 1, EdgeKind::Return);
+            }
+        }
+    }
+
+    // Block leaders.
+    for (const auto &f : prog.functions) {
+        if (f.entry < n)
+            leaders_[f.entry] = true;
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const Instruction &inst = code[i];
+        switch (inst.op) {
+          case Opcode::Br:
+          case Opcode::Jmp:
+          case Opcode::Call:
+          case Opcode::Spawn:
+            if (valid(inst.target))
+                leaders_[inst.target] = true;
+            if (valid(i + 1))
+                leaders_[i + 1] = true;
+            break;
+          case Opcode::Ret:
+          case Opcode::Halt:
+            if (valid(i + 1))
+                leaders_[i + 1] = true;
+            break;
+          default:
+            break;
+        }
+    }
+    if (n > 0)
+        leaders_[0] = true;
+}
+
+void
+Cfg::addEdge(std::uint32_t from, std::uint32_t to, EdgeKind kind)
+{
+    succs_[from].push_back(CfgEdge{to, kind});
+    preds_[to].push_back(CfgEdge{from, kind});
+}
+
+const std::vector<CfgEdge> &
+Cfg::succs(std::uint32_t i) const
+{
+    if (i >= succs_.size())
+        panic("cfg: instruction index {} out of range", i);
+    return succs_[i];
+}
+
+const std::vector<CfgEdge> &
+Cfg::preds(std::uint32_t i) const
+{
+    if (i >= preds_.size())
+        panic("cfg: instruction index {} out of range", i);
+    return preds_[i];
+}
+
+std::vector<bool>
+Cfg::canReach(std::uint32_t site) const
+{
+    std::vector<bool> reach(preds_.size(), false);
+    if (site >= preds_.size())
+        return reach;
+    std::deque<std::uint32_t> queue;
+    reach[site] = true;
+    queue.push_back(site);
+    while (!queue.empty()) {
+        std::uint32_t cur = queue.front();
+        queue.pop_front();
+        for (const auto &edge : preds_[cur]) {
+            // In preds_ lists, 'to' holds the predecessor instruction.
+            std::uint32_t pred = edge.to;
+            if (!reach[pred]) {
+                reach[pred] = true;
+                queue.push_back(pred);
+            }
+        }
+    }
+    return reach;
+}
+
+std::uint32_t
+Cfg::blockLeader(std::uint32_t i) const
+{
+    while (i > 0 && !leaders_[i])
+        --i;
+    return i;
+}
+
+} // namespace stm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Interprocedural control-flow graph over a MiniVM program.
+ *
+ * Used by the static useful-branch analyzer (the reproduction of the
+ * paper's LLVM-based analyzer for Table 5) and by the instrumentation
+ * transforms (to locate the branches entering a failure block,
+ * Figure 8).
+ */
+
+#ifndef STM_PROGRAM_CFG_HH
+#define STM_PROGRAM_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "program/program.hh"
+
+namespace stm
+{
+
+/** Classification of CFG edges. */
+enum class EdgeKind : std::uint8_t {
+    Fallthrough, //!< sequential execution
+    CondTaken,   //!< taken edge of a conditional Br
+    JumpTaken,   //!< taken edge of an unconditional Jmp
+    Call,        //!< call site -> callee entry (also spawn -> thread fn)
+    Return,      //!< Ret -> instruction after a matching call site
+};
+
+/** One directed CFG edge endpoint. */
+struct CfgEdge
+{
+    std::uint32_t to = 0;
+    EdgeKind kind = EdgeKind::Fallthrough;
+};
+
+/**
+ * The control-flow graph: per-instruction successor and predecessor
+ * edge lists, including interprocedural call/return edges.
+ */
+class Cfg
+{
+  public:
+    explicit Cfg(const Program &prog);
+
+    const std::vector<CfgEdge> &succs(std::uint32_t i) const;
+    const std::vector<CfgEdge> &preds(std::uint32_t i) const;
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(succs_.size());
+    }
+
+    /**
+     * The set of instructions that can reach @p site along forward
+     * control flow (computed by a backward BFS from the site). Entry
+     * @p site itself is included.
+     */
+    std::vector<bool> canReach(std::uint32_t site) const;
+
+    /**
+     * Basic-block leaders: instruction i starts a block if it is a
+     * function entry, a branch target, or follows a control transfer.
+     */
+    const std::vector<bool> &leaders() const { return leaders_; }
+
+    /** The leader of the basic block containing @p i. */
+    std::uint32_t blockLeader(std::uint32_t i) const;
+
+  private:
+    void addEdge(std::uint32_t from, std::uint32_t to, EdgeKind kind);
+
+    const Program &prog_;
+    std::vector<std::vector<CfgEdge>> succs_;
+    std::vector<std::vector<CfgEdge>> preds_;
+    std::vector<bool> leaders_;
+};
+
+} // namespace stm
+
+#endif // STM_PROGRAM_CFG_HH

@@ -1,0 +1,114 @@
+#include "program/program.hh"
+
+#include "support/logging.hh"
+
+namespace stm
+{
+
+const Function &
+Program::functionByName(const std::string &fname) const
+{
+    for (const auto &f : functions) {
+        if (f.name == fname)
+            return f;
+    }
+    panic("program '{}' has no function '{}'", name, fname);
+}
+
+const Symbol &
+Program::symbolByName(const std::string &sname) const
+{
+    for (const auto &s : symbols) {
+        if (s.name == sname)
+            return s;
+    }
+    panic("program '{}' has no symbol '{}'", name, sname);
+}
+
+Addr
+Program::symbolAddr(const std::string &sname, std::uint64_t word) const
+{
+    return symbolByName(sname).addr + 8 * word;
+}
+
+Addr
+Program::globalsEnd() const
+{
+    Addr end = layout::kGlobalBase;
+    for (const auto &s : symbols) {
+        Addr e = s.addr + 8 * s.sizeWords;
+        if (e > end)
+            end = e;
+    }
+    return end;
+}
+
+const Function *
+Program::functionContaining(std::uint32_t index) const
+{
+    for (const auto &f : functions) {
+        if (index >= f.entry && index < f.end)
+            return &f;
+    }
+    return nullptr;
+}
+
+const LogSiteInfo &
+Program::logSite(LogSiteId id) const
+{
+    if (id >= logSites.size())
+        panic("program '{}': log site {} out of range", name, id);
+    return logSites[id];
+}
+
+const SourceBranchInfo &
+Program::branch(SourceBranchId id) const
+{
+    if (id >= branches.size())
+        panic("program '{}': branch {} out of range", name, id);
+    return branches[id];
+}
+
+std::vector<const LogSiteInfo *>
+Program::failureSites() const
+{
+    std::vector<const LogSiteInfo *> out;
+    for (const auto &site : logSites) {
+        if (site.failureSite)
+            out.push_back(&site);
+    }
+    return out;
+}
+
+std::string
+Program::fileName(std::uint16_t fileId) const
+{
+    if (fileId < files.size())
+        return files[fileId];
+    return "?";
+}
+
+bool
+Program::isNormalized() const
+{
+    for (std::uint32_t i = 0; i < code.size(); ++i) {
+        const Instruction &inst = code[i];
+        if (inst.op != Opcode::Br || inst.srcBranch == kNoSourceBranch)
+            continue;
+        if (i + 1 >= code.size())
+            return false;
+        const Instruction &next = code[i + 1];
+        if (next.op != Opcode::Jmp ||
+            next.srcBranch != inst.srcBranch ||
+            next.outcomeWhenTaken == inst.outcomeWhenTaken) {
+            return false;
+        }
+        // The normalization jump must be "harmless": it targets the
+        // instruction right after itself.
+        if (next.target != i + 2)
+            return false;
+    }
+    return true;
+}
+
+} // namespace stm

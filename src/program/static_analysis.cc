@@ -1,0 +1,168 @@
+#include "program/static_analysis.hh"
+
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace stm
+{
+
+UsefulBranchAnalyzer::UsefulBranchAnalyzer(const Program &prog,
+                                           const Cfg &cfg)
+    : prog_(prog), cfg_(cfg)
+{
+}
+
+namespace
+{
+
+/**
+ * One backward DFS frame: we are at instruction @c at, having already
+ * accumulated @c records LBR records of which @c useful are useful.
+ */
+struct Frame
+{
+    std::uint32_t at;
+    std::uint32_t nextPred; //!< next predecessor edge to explore
+    std::uint16_t records;
+    std::uint16_t useful;
+};
+
+} // namespace
+
+UsefulBranchStats
+UsefulBranchAnalyzer::analyzeSite(std::uint32_t instrIndex,
+                                  const UsefulBranchOptions &opts) const
+{
+    UsefulBranchStats stats;
+    if (instrIndex >= prog_.code.size())
+        panic("analyzeSite: instruction {} out of range", instrIndex);
+
+    // Which instructions can reach the logging site at all?
+    std::vector<bool> reach = cfg_.canReach(instrIndex);
+
+    const auto &code = prog_.code;
+
+    // Usefulness of traversing edge (pred -> cur) backward. Returns
+    // {isRecord, isUseful}.
+    auto classify = [&](const CfgEdge &edge,
+                        std::uint32_t pred) -> std::pair<bool, bool> {
+        switch (edge.kind) {
+          case EdgeKind::CondTaken: {
+            // A taken conditional branch: recorded. Useful iff the
+            // fall-through (opposite outcome) can also reach the site.
+            bool useful =
+                pred + 1 < code.size() && reach[pred + 1];
+            return {true, useful};
+          }
+          case EdgeKind::JumpTaken: {
+            const Instruction &jmpInst = code[pred];
+            if (jmpInst.srcBranch == kNoSourceBranch) {
+                // Plain unconditional jump: taken-ness is trivially
+                // inferable.
+                return {true, false};
+            }
+            // Fall-through normalization jump: the opposite outcome is
+            // the paired Br's taken edge (the Br sits right before the
+            // jump).
+            bool useful = false;
+            if (pred > 0 && code[pred - 1].op == Opcode::Br &&
+                code[pred - 1].srcBranch == jmpInst.srcBranch) {
+                std::uint32_t oppTarget = code[pred - 1].target;
+                useful = oppTarget < code.size() && reach[oppTarget];
+            }
+            return {true, useful};
+          }
+          case EdgeKind::Fallthrough:
+          case EdgeKind::Call:
+          case EdgeKind::Return:
+            // Calls, returns and far branches are filtered out by the
+            // paper's LBR_SELECT configuration; fall-through edges
+            // retire no branch.
+            return {false, false};
+        }
+        return {false, false};
+    };
+
+    std::uint64_t steps = 0;
+    double ratioSum = 0.0;
+
+    auto finishPath = [&](std::uint16_t records, std::uint16_t useful) {
+        if (records == 0)
+            return; // no LBR content on this degenerate path
+        ++stats.paths;
+        stats.totalRecords += records;
+        stats.usefulRecords += useful;
+        ratioSum += static_cast<double>(useful) / records;
+    };
+
+    std::vector<Frame> stack;
+    stack.push_back(Frame{instrIndex, 0, 0, 0});
+
+    while (!stack.empty()) {
+        if (stats.paths >= opts.maxPaths || steps >= opts.maxSteps) {
+            stats.truncated = true;
+            break;
+        }
+        Frame &frame = stack.back();
+        const auto &preds = cfg_.preds(frame.at);
+        if (frame.nextPred >= preds.size()) {
+            // No (more) predecessors: if none at all, the path ends at
+            // program start with fewer than lbrDepth records.
+            if (preds.empty())
+                finishPath(frame.records, frame.useful);
+            stack.pop_back();
+            continue;
+        }
+        const CfgEdge &edge = preds[frame.nextPred++];
+        std::uint32_t pred = edge.to; // predecessor instruction
+        ++steps;
+
+        auto [isRecord, isUseful] = classify(edge, pred);
+        std::uint16_t records =
+            frame.records + (isRecord ? 1 : 0);
+        std::uint16_t useful = frame.useful + (isUseful ? 1 : 0);
+
+        if (records >= opts.lbrDepth) {
+            finishPath(records, useful);
+            continue;
+        }
+        if (stack.size() >= 4096) {
+            // Pathological depth (loops with no recordable edges are
+            // impossible in builder output, but stay safe).
+            finishPath(records, useful);
+            stats.truncated = true;
+            continue;
+        }
+        stack.push_back(Frame{pred, 0, records, useful});
+    }
+
+    if (stats.paths > 0)
+        stats.ratio = ratioSum / static_cast<double>(stats.paths);
+    return stats;
+}
+
+UsefulBranchStats
+UsefulBranchAnalyzer::analyzeAllSites(
+    const UsefulBranchOptions &opts) const
+{
+    UsefulBranchStats total;
+    double ratioSum = 0.0;
+    std::uint64_t sites = 0;
+    for (const auto &site : prog_.logSites) {
+        UsefulBranchStats s = analyzeSite(site.instrIndex, opts);
+        if (s.paths == 0)
+            continue;
+        ++sites;
+        ratioSum += s.ratio;
+        total.paths += s.paths;
+        total.totalRecords += s.totalRecords;
+        total.usefulRecords += s.usefulRecords;
+        total.truncated = total.truncated || s.truncated;
+    }
+    if (sites > 0)
+        total.ratio = ratioSum / static_cast<double>(sites);
+    return total;
+}
+
+} // namespace stm

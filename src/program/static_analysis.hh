@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Static useful-branch analysis — the reproduction of the paper's
+ * LLVM-based analyzer behind Table 5.
+ *
+ * For a logging site l, a branch record in LBR is *useful* if the
+ * taken-ness of that branch cannot be inferred, by static control-flow
+ * analysis, from the fact that execution reached l. The analyzer
+ * explores backward along all paths from l until each path has
+ * accumulated enough branch records to fill LBR (16 by default) and
+ * computes the fraction of useful records, averaged over paths and
+ * then over the logging sites of an application (Section 7.1.1).
+ *
+ * A record for one edge of a source-level conditional is useful iff
+ * the opposite edge of the same source branch can also reach l; an
+ * unconditional jump that maps to no source branch (loop preheader,
+ * then-block exit) is trivially inferable and never useful.
+ */
+
+#ifndef STM_PROGRAM_STATIC_ANALYSIS_HH
+#define STM_PROGRAM_STATIC_ANALYSIS_HH
+
+#include <cstdint>
+
+#include "program/cfg.hh"
+#include "program/program.hh"
+
+namespace stm
+{
+
+/** Result of analyzing one logging site (or one whole application). */
+struct UsefulBranchStats
+{
+    std::uint64_t paths = 0;        //!< backward paths explored
+    std::uint64_t totalRecords = 0; //!< LBR records across paths
+    std::uint64_t usefulRecords = 0;
+    double ratio = 0.0;             //!< mean per-path useful fraction
+    bool truncated = false;         //!< hit the exploration budget
+};
+
+/** Exploration budgets and LBR geometry for the analyzer. */
+struct UsefulBranchOptions
+{
+    int lbrDepth = 16;          //!< records per path (LBR capacity)
+    std::uint64_t maxPaths = 2048;
+    std::uint64_t maxSteps = 200000; //!< total backward steps per site
+};
+
+/**
+ * The Table 5 analyzer. Construct once per program; query per logging
+ * site or averaged across all of an application's logging sites.
+ */
+class UsefulBranchAnalyzer
+{
+  public:
+    UsefulBranchAnalyzer(const Program &prog, const Cfg &cfg);
+
+    /** Analyze the site whose logging call is at @p instrIndex. */
+    UsefulBranchStats
+    analyzeSite(std::uint32_t instrIndex,
+                const UsefulBranchOptions &opts = {}) const;
+
+    /**
+     * Average the per-site ratio over every logging site in the
+     * program (the "Useful br. ratio" column of Table 5).
+     */
+    UsefulBranchStats
+    analyzeAllSites(const UsefulBranchOptions &opts = {}) const;
+
+  private:
+    const Program &prog_;
+    const Cfg &cfg_;
+};
+
+} // namespace stm
+
+#endif // STM_PROGRAM_STATIC_ANALYSIS_HH

@@ -1,0 +1,196 @@
+#include "program/transform.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace stm::transform
+{
+
+namespace
+{
+
+/** Add @p hook to @p hooks unless an identical one is present. */
+void
+addUnique(std::vector<Hook> &hooks, const Hook &hook)
+{
+    for (const auto &h : hooks) {
+        if (h.action == hook.action && h.site == hook.site &&
+            h.successSite == hook.successSite) {
+            return;
+        }
+    }
+    hooks.push_back(hook);
+}
+
+void
+profileAtFailureSites(Program &prog, HookAction action)
+{
+    for (const auto &site : prog.logSites) {
+        if (!site.failureSite)
+            continue;
+        addUnique(prog.instrumentation.before[site.instrIndex],
+                  Hook{action, site.id, false});
+    }
+}
+
+void
+attachSuccessSiteForLogSite(Program &prog, const Cfg &cfg,
+                            HookAction action, const LogSiteInfo &site)
+{
+    std::uint32_t leader = cfg.blockLeader(site.instrIndex);
+    bool attached = false;
+    for (const auto &edge : cfg.preds(leader)) {
+        std::uint32_t pred = edge.to; // predecessor instruction
+        Hook hook{action, site.id, true};
+        switch (edge.kind) {
+          case EdgeKind::JumpTaken:
+            // If the entering jump is the fall-through normalization
+            // jump of a conditional, hoist the profile onto the Br
+            // itself: Figure 8 places the success-site profile
+            // *before the condition is decided*, so it must run on
+            // every evaluation, not only on the failing outcome.
+            if (prog.code[pred].srcBranch != kNoSourceBranch &&
+                pred > 0 && prog.code[pred - 1].op == Opcode::Br &&
+                prog.code[pred - 1].srcBranch ==
+                    prog.code[pred].srcBranch) {
+                addUnique(prog.instrumentation.before[pred - 1],
+                          hook);
+            } else {
+                addUnique(prog.instrumentation.before[pred], hook);
+            }
+            attached = true;
+            break;
+          case EdgeKind::CondTaken:
+          case EdgeKind::Call:
+            addUnique(prog.instrumentation.before[pred], hook);
+            attached = true;
+            break;
+          case EdgeKind::Fallthrough:
+          case EdgeKind::Return:
+            addUnique(prog.instrumentation.after[pred], hook);
+            attached = true;
+            break;
+        }
+    }
+    if (!attached) {
+        warn("program '{}': failure site {} has no predecessors; no "
+             "success site attached",
+             prog.name, site.id);
+    }
+}
+
+} // namespace
+
+void
+applyLbrLog(Program &prog, const LbrLogPlan &plan)
+{
+    Instrumentation &instr = prog.instrumentation;
+    instr.enableLbrAtMain = true;
+    instr.lbrSelectMask = plan.lbrSelectMask;
+    instr.toggleLbrAroundLibraries = plan.toggling;
+    instr.segfaultProfilesLbr = plan.segfaultHandler;
+    profileAtFailureSites(prog, HookAction::ProfileLbr);
+}
+
+void
+applyLcrLog(Program &prog, const LcrLogPlan &plan)
+{
+    Instrumentation &instr = prog.instrumentation;
+    instr.enableLcrAtMain = true;
+    instr.lcrConfigMask = plan.lcrConfigMask;
+    instr.toggleLcrAroundLibraries = plan.toggling;
+    instr.segfaultProfilesLcr = plan.segfaultHandler;
+    profileAtFailureSites(prog, HookAction::ProfileLcr);
+}
+
+void
+applySuccessSites(Program &prog, const Cfg &cfg, bool lbr,
+                  SuccessSiteScheme scheme, LogSiteId observedSite,
+                  std::optional<std::uint32_t> faultingInstr)
+{
+    HookAction action =
+        lbr ? HookAction::ProfileLbr : HookAction::ProfileLcr;
+
+    if (scheme == SuccessSiteScheme::Proactive) {
+        // Instrument every failure-logging site's success site. The
+        // proactive scheme cannot cover segfaults: faults manifest at
+        // unexpected locations (Section 5.2).
+        for (const auto &site : prog.logSites) {
+            if (site.failureSite)
+                attachSuccessSiteForLogSite(prog, cfg, action, site);
+        }
+        return;
+    }
+
+    // Reactive: only the observed failure location.
+    if (observedSite == kSegfaultSite) {
+        if (!faultingInstr)
+            fatal("reactive segfault success site needs the faulting "
+                  "instruction");
+        if (*faultingInstr >= prog.code.size())
+            fatal("faulting instruction {} out of range",
+                  *faultingInstr);
+        // Success site: right after the instruction that faulted in
+        // the failing runs.
+        addUnique(prog.instrumentation.after[*faultingInstr],
+                  Hook{action, kSegfaultSite, true});
+        return;
+    }
+
+    if (observedSite >= prog.logSites.size())
+        fatal("reactive success site: unknown log site {}",
+              observedSite);
+    attachSuccessSiteForLogSite(prog, cfg, action,
+                                prog.logSites[observedSite]);
+}
+
+void
+applyCbi(Program &prog, double mean_period)
+{
+    Instrumentation &instr = prog.instrumentation;
+    instr.cbiEnabled = true;
+    instr.cbiMeanPeriod = mean_period;
+    for (std::uint32_t i = 0; i < prog.code.size(); ++i) {
+        const Instruction &inst = prog.code[i];
+        if (inst.op == Opcode::Br &&
+            inst.srcBranch != kNoSourceBranch) {
+            addUnique(instr.before[i],
+                      Hook{HookAction::CbiSample, inst.srcBranch,
+                           false});
+        }
+    }
+}
+
+void
+applyCci(Program &prog, double mean_period)
+{
+    prog.instrumentation.cciEnabled = true;
+    prog.instrumentation.cciMeanPeriod = mean_period;
+}
+
+void
+applyPbi(Program &prog, std::uint8_t load_mask,
+         std::uint8_t store_mask, std::uint64_t period)
+{
+    Instrumentation &instr = prog.instrumentation;
+    instr.pbiEnabled = true;
+    instr.pbiLoadMask = load_mask;
+    instr.pbiStoreMask = store_mask;
+    instr.pbiPeriod = period;
+}
+
+void
+applyBts(Program &prog, std::uint64_t select_mask)
+{
+    prog.instrumentation.btsEnabled = true;
+    prog.instrumentation.btsSelectMask = select_mask;
+}
+
+void
+clear(Program &prog)
+{
+    prog.instrumentation = Instrumentation{};
+}
+
+} // namespace stm::transform

@@ -1,0 +1,20 @@
+#include "support/logging.hh"
+
+#include <iostream>
+
+namespace stm
+{
+
+void
+warnMessage(const std::string &message)
+{
+    std::cerr << "warn: " << message << std::endl;
+}
+
+void
+informMessage(const std::string &message)
+{
+    std::cerr << "info: " << message << std::endl;
+}
+
+} // namespace stm

@@ -1,0 +1,17 @@
+#include "support/random.hh"
+
+#include <cmath>
+
+namespace stm
+{
+
+std::uint64_t
+Pcg32::geometricSteps(double u, double p)
+{
+    double steps = std::floor(std::log1p(-u) / std::log1p(-p));
+    if (steps < 0.0)
+        steps = 0.0;
+    return static_cast<std::uint64_t>(steps);
+}
+
+} // namespace stm

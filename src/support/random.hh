@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every source of randomness in the simulator (scheduler preemption,
+ * CBI sampling countdowns, workload generators) draws from a seeded
+ * Pcg32 instance so that every experiment in the paper reproduction is
+ * replayable bit-for-bit. Wall-clock seeding is deliberately not
+ * provided.
+ */
+
+#ifndef STM_SUPPORT_RANDOM_HH
+#define STM_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+
+namespace stm
+{
+
+/**
+ * PCG32 generator (O'Neill, 2014): small, fast, statistically solid,
+ * and fully deterministic given (seed, stream).
+ */
+class Pcg32
+{
+  public:
+    /** Construct from a seed and an optional stream selector. */
+    explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 1)
+        : state_(0), inc_((stream << 1u) | 1u)
+    {
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /** Next raw 32-bit value. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
+
+    /** Uniform integer in [0, bound) with rejection to avoid bias. */
+    std::uint32_t
+    nextBounded(std::uint32_t bound)
+    {
+        if (bound <= 1)
+            return 0;
+        std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint32_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** Bernoulli draw: true with probability @p p. */
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
+
+    /**
+     * Sample a geometric countdown with mean @p mean (support {1,2,..}).
+     * Used by the CBI baseline's sampling transformation: the countdown
+     * to the next sampled instrumentation site.
+     */
+    std::uint32_t
+    nextGeometric(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        // Inverse-CDF sampling of Geometric(p = 1/mean).
+        double u = nextDouble();
+        // Guard against log(0).
+        if (u >= 0.999999999)
+            u = 0.999999999;
+        double p = 1.0 / mean;
+        return static_cast<std::uint32_t>(1 + geometricSteps(u, p));
+    }
+
+  private:
+    static std::uint64_t geometricSteps(double u, double p);
+
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace stm
+
+#endif // STM_SUPPORT_RANDOM_HH

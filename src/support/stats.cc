@@ -1,0 +1,14 @@
+#include "support/stats.hh"
+
+namespace stm
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_)
+        os << name_ << '.' << kv.first << ' ' << kv.second.value()
+           << '\n';
+}
+
+} // namespace stm

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Lightweight named statistics, in the spirit of gem5's stats package:
+ * scalar counters and simple distributions that simulator components
+ * register and the harness dumps.
+ */
+
+#ifndef STM_SUPPORT_STATS_HH
+#define STM_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace stm
+{
+
+/** A named monotonically increasing counter. */
+class Counter
+{
+  public:
+    Counter() : value_(0) {}
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_;
+};
+
+/**
+ * A registry of counters owned by one simulated component. Components
+ * create counters lazily by name; the harness dumps them all.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Fetch (creating if needed) the counter called @p stat. */
+    Counter &counter(const std::string &stat) { return counters_[stat]; }
+
+    /** Value of @p stat, or 0 if it was never touched. */
+    std::uint64_t
+    value(const std::string &stat) const
+    {
+        auto it = counters_.find(stat);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Reset every counter in the group. */
+    void
+    reset()
+    {
+        for (auto &kv : counters_)
+            kv.second.reset();
+    }
+
+    /** Dump "group.stat value" lines. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+};
+
+} // namespace stm
+
+#endif // STM_SUPPORT_STATS_HH

@@ -1,0 +1,925 @@
+#include "vm/machine.hh"
+
+#include <utility>
+
+#include "driver/kernel_driver.hh"
+#include "support/logging.hh"
+
+namespace stm
+{
+
+namespace
+{
+
+/** Synthetic library code addresses, one small region per LibFn. */
+Addr
+libPc(LibFn fn, std::uint32_t off = 0)
+{
+    return layout::kLibraryBase +
+           0x100 * static_cast<Addr>(fn) + 4 * off;
+}
+
+} // namespace
+
+Machine::Machine(ProgramPtr prog, MachineOptions opts)
+    : prog_(std::move(prog)),
+      opts_(std::move(opts)),
+      rng_(opts_.sched.seed, 7),
+      bus_(opts_.cache),
+      lcr_(opts_.lcrEntries)
+{
+    if (!prog_)
+        fatal("Machine requires a program");
+}
+
+Machine::~Machine() = default;
+
+Pmu &
+Machine::pmuOf(ThreadId tid)
+{
+    if (tid >= pmus_.size())
+        panic("no PMU for thread {}", tid);
+    return *pmus_[tid];
+}
+
+Thread &
+Machine::threadRef(ThreadId tid)
+{
+    if (tid >= threads_.size())
+        panic("no thread {}", tid);
+    return *threads_[tid];
+}
+
+void
+Machine::chargeKernel(ThreadId tid, std::uint64_t instrs,
+                      std::uint32_t branches)
+{
+    result_.stats.kernelInstructions += instrs;
+    // Kernel work retires ring-0 conditional branches; whether they
+    // land in LBR depends on the ring-0 filter bit.
+    Pmu &pmu = pmuOf(tid);
+    for (std::uint32_t i = 0; i < branches; ++i) {
+        BranchRecord record;
+        record.fromIp = layout::kKernelText + 8 * i;
+        record.toIp = layout::kKernelText + 8 * i + 4;
+        record.kind = BranchKind::Conditional;
+        record.kernel = true;
+        pmu.retireBranch(record);
+    }
+}
+
+void
+Machine::chargeUser(std::uint64_t instrs)
+{
+    result_.stats.userInstructions += instrs;
+}
+
+void
+Machine::chargeInstrumentation(std::uint64_t instrs)
+{
+    result_.stats.instrumentationInstructions += instrs;
+}
+
+void
+Machine::appendProfile(ProfileRecord record)
+{
+    result_.profiles.push_back(std::move(record));
+}
+
+bool
+Machine::validAddress(ThreadId tid, Addr addr) const
+{
+    (void)tid; // any thread may touch any mapped segment
+    if (addr >= layout::kGlobalBase && addr < prog_->globalsEnd())
+        return true;
+    if (addr >= layout::kHeapBase && addr < heapBrk_)
+        return true;
+    for (const auto &t : threads_) {
+        if (addr >= t->stackLow() && addr < t->stackHigh())
+            return true;
+    }
+    return false;
+}
+
+void
+Machine::raiseSegfault(ThreadId tid, const std::string &message)
+{
+    profileOnFault(tid);
+    endRun(RunOutcome::SegFault, tid, threadRef(tid).pc, kSegfaultSite,
+           message);
+}
+
+bool
+Machine::dataAccess(ThreadId tid, Addr pc, Addr addr, bool is_store,
+                    Word *value_in_out, bool kernel)
+{
+    if (!validAddress(tid, addr)) {
+        raiseSegfault(tid, strfmt("invalid {} at address 0x{}",
+                                  is_store ? "store" : "load", addr));
+        return false;
+    }
+    MesiState observed = bus_.access(tid, addr, is_store);
+
+    CoherenceEvent event;
+    event.pc = pc;
+    event.observed = observed;
+    event.store = is_store;
+    event.kernel = kernel;
+    lcr_.retire(tid, event);
+    pmuOf(tid).observeAccess(event);
+    ++result_.stats.memoryAccesses;
+
+    // CCI baseline: heavyweight software sampling of interleaving
+    // predicates at (user, application-code) memory accesses.
+    const Instrumentation &instr = prog_->instrumentation;
+    if (instr.cciEnabled && !kernel && pc >= layout::kCodeBase &&
+        pc < layout::kLibraryBase) {
+        chargeInstrumentation(5); // per-access fast path
+        Thread &t = threadRef(tid);
+        if (t.cciCountdown == 0)
+            t.cciCountdown = rng_.nextGeometric(instr.cciMeanPeriod);
+        if (--t.cciCountdown == 0) {
+            t.cciCountdown = rng_.nextGeometric(instr.cciMeanPeriod);
+            chargeInstrumentation(20);
+            bool remote = observed == MesiState::Invalid ||
+                          observed == MesiState::Shared;
+            ++result_.cciSiteSamples[pc];
+            ++result_.cciCounts[{pc, remote}];
+        }
+    }
+
+    Addr cell = addr & ~Addr{7};
+    if (is_store) {
+        memory_[cell] = *value_in_out;
+    } else {
+        auto it = memory_.find(cell);
+        *value_in_out = it == memory_.end() ? 0 : it->second;
+    }
+    return true;
+}
+
+void
+Machine::retireLibraryBranch(ThreadId tid, Addr from_ip, Addr to_ip)
+{
+    BranchRecord record;
+    record.fromIp = from_ip;
+    record.toIp = to_ip;
+    record.kind = BranchKind::Conditional;
+    record.kernel = false;
+    pmuOf(tid).retireBranch(record);
+    chargeInstrumentation(bts_.retire(tid, record));
+    ++result_.stats.branchesRetired;
+}
+
+void
+Machine::initMemoryImage()
+{
+    for (const auto &sym : prog_->symbols) {
+        for (std::uint64_t w = 0; w < sym.sizeWords; ++w) {
+            Word value =
+                w < sym.init.size() ? sym.init[w] : Word{0};
+            if (value != 0)
+                memory_[sym.addr + 8 * w] = value;
+        }
+    }
+    for (const auto &[symName, values] : opts_.globalOverrides) {
+        const Symbol &sym = prog_->symbolByName(symName);
+        for (std::uint64_t w = 0;
+             w < values.size() && w < sym.sizeWords; ++w) {
+            memory_[sym.addr + 8 * w] = values[w];
+        }
+    }
+}
+
+Thread &
+Machine::spawnThread(std::uint32_t entry_pc, Word arg)
+{
+    ThreadId tid = static_cast<ThreadId>(threads_.size());
+    auto thread = std::make_unique<Thread>();
+    thread->id = tid;
+    thread->pc = entry_pc;
+    thread->regs[1] = arg;
+    thread->regs[kStackPointer] =
+        static_cast<Word>(thread->stackHigh() - 8);
+    threads_.push_back(std::move(thread));
+
+    auto pmu = std::make_unique<Pmu>(opts_.lbrEntries);
+    // Threads created after main enabled LBR inherit the per-core
+    // configuration (the driver enables recording on every core).
+    if (tid > 0 && prog_->instrumentation.enableLbrAtMain) {
+        pmu->lbr().writeSelect(prog_->instrumentation.lbrSelectMask);
+        pmu->lbr().writeDebugCtl(msr::kDebugCtlEnableLbr);
+    }
+    // PBI baseline: program two counters (loads, stores) to sample
+    // the pc of matching coherence events on overflow interrupts.
+    const Instrumentation &instr = prog_->instrumentation;
+    if (instr.pbiEnabled) {
+        auto sampler = [this](const CoherenceEvent &event) {
+            // ~interrupt + handler cost
+            chargeInstrumentation(30);
+            std::uint8_t key = static_cast<std::uint8_t>(
+                (static_cast<std::uint8_t>(event.observed) << 1) |
+                (event.store ? 1 : 0));
+            ++result_.pbiSamples[{event.pc, key}];
+        };
+        pmu->counter(0).configure(msr::kEventLoad, instr.pbiLoadMask,
+                                  false, true);
+        pmu->counter(0).setSampling(instr.pbiPeriod, sampler);
+        pmu->counter(0).seedJitter(opts_.sched.seed * 31 + tid);
+        pmu->counter(0).enable();
+        pmu->counter(1).configure(msr::kEventStore,
+                                  instr.pbiStoreMask, false, true);
+        pmu->counter(1).setSampling(instr.pbiPeriod, sampler);
+        pmu->counter(1).seedJitter(opts_.sched.seed * 37 + tid);
+        pmu->counter(1).enable();
+    }
+    pmus_.push_back(std::move(pmu));
+    bus_.addCore(tid);
+    return *threads_.back();
+}
+
+bool
+Machine::anyOtherRunnable(ThreadId tid) const
+{
+    for (const auto &t : threads_) {
+        if (t->id != tid && t->runnable())
+            return true;
+    }
+    return false;
+}
+
+ThreadId
+Machine::pickNext(ThreadId current) const
+{
+    std::uint32_t n = static_cast<std::uint32_t>(threads_.size());
+    for (std::uint32_t i = 1; i <= n; ++i) {
+        ThreadId candidate = (current + i) % n;
+        if (threads_[candidate]->runnable())
+            return candidate;
+    }
+    return current; // caller checks runnability
+}
+
+void
+Machine::endRun(RunOutcome outcome, ThreadId tid,
+                std::uint32_t instr_index, LogSiteId site,
+                const std::string &message)
+{
+    if (ended_)
+        return;
+    ended_ = true;
+    result_.outcome = outcome;
+    if (outcome != RunOutcome::Completed) {
+        FailureInfo info;
+        info.kind = outcome;
+        info.thread = tid;
+        info.instrIndex = instr_index;
+        info.site = site;
+        info.message = message;
+        result_.failure = info;
+    }
+}
+
+void
+Machine::profileOnFault(ThreadId tid)
+{
+    const Instrumentation &instr = prog_->instrumentation;
+    if (instr.segfaultProfilesLbr)
+        driver::profileLbr(*this, tid, kSegfaultSite, false);
+    if (instr.segfaultProfilesLcr)
+        driver::profileLcr(*this, tid, kSegfaultSite, false);
+}
+
+RunResult
+Machine::run()
+{
+    initMemoryImage();
+
+    Thread &main = spawnThread(prog_->entry, 0);
+    for (std::size_t i = 0;
+         i < opts_.mainArgs.size() && i + 1 < kNumRegs; ++i) {
+        main.regs[i + 1] = opts_.mainArgs[i];
+    }
+
+    // Inserted configure/enable code at the entry of main (Figure 7).
+    const Instrumentation &instr = prog_->instrumentation;
+    if (instr.enableLbrAtMain) {
+        driver::cleanLbr(*this, main.id);
+        driver::configLbr(*this, main.id, instr.lbrSelectMask);
+        driver::enableLbr(*this, main.id);
+    }
+    if (instr.enableLcrAtMain) {
+        driver::cleanLcr(*this, main.id);
+        driver::configLcr(*this, main.id, instr.lcrConfigMask);
+        driver::enableLcr(*this, main.id);
+    }
+    if (instr.btsEnabled) {
+        bts_.writeSelect(instr.btsSelectMask);
+        bts_.enable();
+    }
+    result_.stats.setupInstructions =
+        result_.stats.instrumentationInstructions;
+
+    ThreadId current = 0;
+    std::uint32_t quantumLeft = opts_.sched.quantum;
+
+    while (!ended_) {
+        if (steps_ >= opts_.maxSteps) {
+            // Hang: the "paste"-style symptom. Profile whoever runs.
+            profileOnFault(current);
+            endRun(RunOutcome::StepLimit, current,
+                   threadRef(current).pc, kSegfaultSite,
+                   "step limit exceeded (hang)");
+            break;
+        }
+
+        Thread &t = threadRef(current);
+        if (!t.runnable() || quantumLeft == 0) {
+            ThreadId next = pickNext(current);
+            if (!threadRef(next).runnable()) {
+                bool allDone = true;
+                for (const auto &th : threads_) {
+                    if (th->state != ThreadState::Done)
+                        allDone = false;
+                }
+                if (allDone) {
+                    endRun(RunOutcome::Completed, current, 0, 0, "");
+                } else {
+                    profileOnFault(0);
+                    endRun(RunOutcome::Deadlock, current,
+                           threadRef(current).pc, kSegfaultSite,
+                           "deadlock: all live threads blocked");
+                }
+                break;
+            }
+            if (next != current)
+                ++result_.stats.contextSwitches;
+            current = next;
+            quantumLeft = opts_.sched.quantum;
+            continue;
+        }
+
+        // Seeded preemption right before shared-memory accesses: the
+        // mechanism that makes concurrency bugs manifest.
+        if (opts_.sched.preemptSharedProb > 0.0 &&
+            t.pc < prog_->code.size()) {
+            const Instruction &inst = prog_->code[t.pc];
+            if (inst.accessesMemory() && anyOtherRunnable(current)) {
+                Addr ea;
+                if (inst.op == Opcode::Load ||
+                    inst.op == Opcode::Store) {
+                    ea = static_cast<Addr>(t.regs[inst.ra]) +
+                         static_cast<Addr>(inst.imm);
+                } else {
+                    ea = static_cast<Addr>(t.regs[inst.ra]);
+                }
+                bool shared = ea >= layout::kGlobalBase &&
+                              ea < layout::kStackBase;
+                if (shared &&
+                    rng_.nextBool(opts_.sched.preemptSharedProb)) {
+                    quantumLeft = 0;
+                    continue;
+                }
+            }
+        }
+
+        StepStatus status = executeOne(t);
+        if (status == StepStatus::RunEnded || ended_)
+            break;
+        if (status == StepStatus::SwitchThread) {
+            quantumLeft = 0;
+            continue;
+        }
+        --quantumLeft;
+    }
+
+    if (!ended_)
+        endRun(RunOutcome::Completed, 0, 0, 0, "");
+    if (prog_->instrumentation.btsEnabled)
+        result_.btsTrace = bts_.trace();
+    return std::move(result_);
+}
+
+Machine::StepStatus
+Machine::executeOne(Thread &t)
+{
+    if (t.pc >= prog_->code.size()) {
+        raiseSegfault(t.id, "execution fell off the code segment");
+        return StepStatus::RunEnded;
+    }
+    std::uint32_t pc = t.pc;
+    const Instruction &inst = prog_->code[pc];
+    const Instrumentation &instrumentation = prog_->instrumentation;
+
+    auto beforeIt = instrumentation.before.find(pc);
+    if (beforeIt != instrumentation.before.end()) {
+        runHooks(t, beforeIt->second);
+        if (ended_)
+            return StepStatus::RunEnded;
+    }
+
+    ++steps_;
+    ++result_.stats.userInstructions;
+
+    StepStatus status = StepStatus::Continue;
+    auto &regs = t.regs;
+
+    switch (inst.op) {
+      case Opcode::Nop:
+        t.pc = pc + 1;
+        break;
+      case Opcode::Movi:
+        regs[inst.rd] = inst.imm;
+        t.pc = pc + 1;
+        break;
+      case Opcode::Mov:
+        regs[inst.rd] = regs[inst.ra];
+        t.pc = pc + 1;
+        break;
+      case Opcode::Add:
+        regs[inst.rd] = regs[inst.ra] + regs[inst.rb];
+        t.pc = pc + 1;
+        break;
+      case Opcode::Addi:
+        regs[inst.rd] = regs[inst.ra] + inst.imm;
+        t.pc = pc + 1;
+        break;
+      case Opcode::Sub:
+        regs[inst.rd] = regs[inst.ra] - regs[inst.rb];
+        t.pc = pc + 1;
+        break;
+      case Opcode::Mul:
+        regs[inst.rd] = regs[inst.ra] * regs[inst.rb];
+        t.pc = pc + 1;
+        break;
+      case Opcode::Div:
+      case Opcode::Mod:
+        if (regs[inst.rb] == 0) {
+            profileOnFault(t.id);
+            endRun(RunOutcome::ArithmeticFault, t.id, pc,
+                   kSegfaultSite, "division by zero");
+            return StepStatus::RunEnded;
+        }
+        regs[inst.rd] = inst.op == Opcode::Div
+                            ? regs[inst.ra] / regs[inst.rb]
+                            : regs[inst.ra] % regs[inst.rb];
+        t.pc = pc + 1;
+        break;
+      case Opcode::And:
+        regs[inst.rd] = regs[inst.ra] & regs[inst.rb];
+        t.pc = pc + 1;
+        break;
+      case Opcode::Or:
+        regs[inst.rd] = regs[inst.ra] | regs[inst.rb];
+        t.pc = pc + 1;
+        break;
+      case Opcode::Xor:
+        regs[inst.rd] = regs[inst.ra] ^ regs[inst.rb];
+        t.pc = pc + 1;
+        break;
+      case Opcode::Shl:
+        regs[inst.rd] = regs[inst.ra]
+                        << (regs[inst.rb] & 63);
+        t.pc = pc + 1;
+        break;
+      case Opcode::Shr:
+        regs[inst.rd] = regs[inst.ra] >> (regs[inst.rb] & 63);
+        t.pc = pc + 1;
+        break;
+      case Opcode::Not:
+        regs[inst.rd] = ~regs[inst.ra];
+        t.pc = pc + 1;
+        break;
+      case Opcode::Neg:
+        regs[inst.rd] = -regs[inst.ra];
+        t.pc = pc + 1;
+        break;
+      case Opcode::Lea:
+        regs[inst.rd] = static_cast<Word>(
+            prog_->symbols[inst.symId].addr + inst.imm);
+        t.pc = pc + 1;
+        break;
+
+      case Opcode::Load:
+      case Opcode::Store:
+        status = execMemory(t, inst);
+        break;
+
+      case Opcode::Br:
+      case Opcode::Jmp:
+      case Opcode::IJmp:
+      case Opcode::Call:
+      case Opcode::ICall:
+      case Opcode::Ret:
+      case Opcode::Halt:
+        status = execControl(t, inst);
+        break;
+
+      case Opcode::Lock:
+      case Opcode::Unlock:
+      case Opcode::Spawn:
+      case Opcode::Join:
+      case Opcode::Yield:
+        status = execSync(t, inst);
+        break;
+
+      case Opcode::Syscall:
+        status = execSyscall(t, inst);
+        break;
+      case Opcode::LibCall:
+        status = execLibCall(t, inst);
+        break;
+
+      case Opcode::LogError: {
+        const LogSiteInfo &site = prog_->logSite(inst.logSite);
+        endRun(RunOutcome::ErrorLogged, t.id, pc, site.id,
+               site.message);
+        return StepStatus::RunEnded;
+      }
+      case Opcode::LogInfo: {
+        // Informational logging: a printf-like library body.
+        bool togLbr = instrumentation.toggleLbrAroundLibraries;
+        bool togLcr = instrumentation.toggleLcrAroundLibraries;
+        if (togLbr)
+            driver::disableLbr(*this, t.id);
+        if (togLcr)
+            driver::disableLcr(*this, t.id);
+        chargeUser(15);
+        if (!togLbr) {
+            retireLibraryBranch(t.id, libPc(LibFn::Printf, 1),
+                                libPc(LibFn::Printf, 2));
+            retireLibraryBranch(t.id, libPc(LibFn::Printf, 3),
+                                libPc(LibFn::Printf, 1));
+        }
+        if (togLcr)
+            driver::enableLcr(*this, t.id);
+        if (togLbr)
+            driver::enableLbr(*this, t.id);
+        t.pc = pc + 1;
+        break;
+      }
+      case Opcode::Out:
+        result_.output.push_back(regs[inst.ra]);
+        t.pc = pc + 1;
+        break;
+      case Opcode::AssertEq:
+        if (regs[inst.ra] != regs[inst.rb]) {
+            profileOnFault(t.id);
+            endRun(RunOutcome::AssertFailed, t.id, pc, kSegfaultSite,
+                   "assertion failed");
+            return StepStatus::RunEnded;
+        }
+        t.pc = pc + 1;
+        break;
+    }
+
+    if (ended_)
+        return StepStatus::RunEnded;
+
+    auto afterIt = instrumentation.after.find(pc);
+    if (afterIt != instrumentation.after.end()) {
+        runHooks(t, afterIt->second);
+        if (ended_)
+            return StepStatus::RunEnded;
+    }
+    return status;
+}
+
+void
+Machine::retireTakenBranch(Thread &thread, const Instruction &inst,
+                           std::uint32_t from_idx,
+                           std::uint32_t to_idx)
+{
+    BranchRecord record;
+    record.fromIp = layout::codeAddr(from_idx);
+    record.toIp = layout::codeAddr(to_idx);
+    record.kind = inst.branchKind();
+    record.kernel = inst.kernel;
+    record.srcBranch = inst.srcBranch;
+    record.outcome = inst.outcomeWhenTaken;
+    pmuOf(thread.id).retireBranch(record);
+    chargeInstrumentation(bts_.retire(thread.id, record));
+    ++result_.stats.branchesRetired;
+}
+
+Machine::StepStatus
+Machine::execControl(Thread &t, const Instruction &inst)
+{
+    std::uint32_t pc = t.pc;
+    auto &regs = t.regs;
+
+    switch (inst.op) {
+      case Opcode::Br: {
+        bool taken =
+            evalCond(inst.cond, regs[inst.ra], regs[inst.rb]);
+        if (taken) {
+            retireTakenBranch(t, inst, pc, inst.target);
+            t.pc = inst.target;
+        } else {
+            t.pc = pc + 1;
+        }
+        return StepStatus::Continue;
+      }
+      case Opcode::Jmp:
+        retireTakenBranch(t, inst, pc, inst.target);
+        t.pc = inst.target;
+        return StepStatus::Continue;
+      case Opcode::IJmp: {
+        Addr target = static_cast<Addr>(regs[inst.ra]);
+        std::uint32_t idx =
+            static_cast<std::uint32_t>((target - layout::kCodeBase) /
+                                       4);
+        if (target < layout::kCodeBase ||
+            idx >= prog_->code.size()) {
+            raiseSegfault(t.id, "indirect jump to invalid address");
+            return StepStatus::RunEnded;
+        }
+        retireTakenBranch(t, inst, pc, idx);
+        t.pc = idx;
+        return StepStatus::Continue;
+      }
+      case Opcode::Call:
+        retireTakenBranch(t, inst, pc, inst.target);
+        t.callStack.push_back(pc + 1);
+        t.pc = inst.target;
+        return StepStatus::Continue;
+      case Opcode::ICall: {
+        Addr target = static_cast<Addr>(regs[inst.ra]);
+        std::uint32_t idx =
+            static_cast<std::uint32_t>((target - layout::kCodeBase) /
+                                       4);
+        if (target < layout::kCodeBase ||
+            idx >= prog_->code.size()) {
+            raiseSegfault(t.id, "indirect call to invalid address");
+            return StepStatus::RunEnded;
+        }
+        retireTakenBranch(t, inst, pc, idx);
+        t.callStack.push_back(pc + 1);
+        t.pc = idx;
+        return StepStatus::Continue;
+      }
+      case Opcode::Ret:
+        if (t.callStack.empty()) {
+            // Returning from the thread's entry function.
+            t.state = ThreadState::Done;
+            for (auto &other : threads_) {
+                if (other->state == ThreadState::BlockedOnJoin &&
+                    other->joinTarget == t.id) {
+                    other->state = ThreadState::Ready;
+                }
+            }
+            return StepStatus::SwitchThread;
+        }
+        retireTakenBranch(t, inst, pc, t.callStack.back());
+        t.pc = t.callStack.back();
+        t.callStack.pop_back();
+        return StepStatus::Continue;
+      case Opcode::Halt:
+        endRun(RunOutcome::Completed, t.id, pc, 0, "");
+        return StepStatus::RunEnded;
+      default:
+        panic("execControl: not a control op");
+    }
+}
+
+Machine::StepStatus
+Machine::execMemory(Thread &t, const Instruction &inst)
+{
+    std::uint32_t pc = t.pc;
+    auto &regs = t.regs;
+    Addr ea = static_cast<Addr>(regs[inst.ra]) +
+              static_cast<Addr>(inst.imm);
+    bool isStore = inst.op == Opcode::Store;
+    Word value = isStore ? regs[inst.rb] : 0;
+    if (!dataAccess(t.id, layout::codeAddr(pc), ea, isStore, &value,
+                    inst.kernel)) {
+        return StepStatus::RunEnded;
+    }
+    if (!isStore)
+        regs[inst.rd] = value;
+    t.pc = pc + 1;
+    return StepStatus::Continue;
+}
+
+Machine::StepStatus
+Machine::execSync(Thread &t, const Instruction &inst)
+{
+    std::uint32_t pc = t.pc;
+    auto &regs = t.regs;
+
+    switch (inst.op) {
+      case Opcode::Lock: {
+        Addr addr = static_cast<Addr>(regs[inst.ra]);
+        if (addr == 0 || !validAddress(t.id, addr)) {
+            raiseSegfault(t.id, "lock on invalid mutex address");
+            return StepStatus::RunEnded;
+        }
+        // The lock acquisition is an atomic read-modify-write on the
+        // mutex word: one store-type access for coherence purposes.
+        Word one = 1;
+        if (!dataAccess(t.id, layout::codeAddr(pc), addr, true, &one))
+            return StepStatus::RunEnded;
+        Mutex &mutex = mutexes_[addr];
+        if (mutex.locked && mutex.owner != t.id) {
+            t.state = ThreadState::BlockedOnMutex;
+            t.waitMutex = addr;
+            // pc unchanged: the acquisition retries on wake-up.
+            return StepStatus::SwitchThread;
+        }
+        mutex.locked = true;
+        mutex.owner = t.id;
+        t.pc = pc + 1;
+        return StepStatus::Continue;
+      }
+      case Opcode::Unlock: {
+        Addr addr = static_cast<Addr>(regs[inst.ra]);
+        if (addr == 0 || !validAddress(t.id, addr)) {
+            raiseSegfault(t.id, "unlock on invalid mutex address");
+            return StepStatus::RunEnded;
+        }
+        Word zero = 0;
+        if (!dataAccess(t.id, layout::codeAddr(pc), addr, true,
+                        &zero)) {
+            return StepStatus::RunEnded;
+        }
+        Mutex &mutex = mutexes_[addr];
+        mutex.locked = false;
+        for (auto &other : threads_) {
+            if (other->state == ThreadState::BlockedOnMutex &&
+                other->waitMutex == addr) {
+                other->state = ThreadState::Ready;
+            }
+        }
+        t.pc = pc + 1;
+        return StepStatus::Continue;
+      }
+      case Opcode::Spawn: {
+        Word arg = regs[inst.ra];
+        Thread &child = spawnThread(inst.target, arg);
+        regs[inst.rd] = static_cast<Word>(child.id);
+        t.pc = pc + 1;
+        // pthread_create does real kernel work.
+        chargeKernel(t.id, 60, 4);
+        return StepStatus::Continue;
+      }
+      case Opcode::Join: {
+        ThreadId target = static_cast<ThreadId>(regs[inst.ra]);
+        if (target >= threads_.size()) {
+            raiseSegfault(t.id, "join on invalid thread id");
+            return StepStatus::RunEnded;
+        }
+        if (threads_[target]->state == ThreadState::Done) {
+            t.pc = pc + 1;
+            return StepStatus::Continue;
+        }
+        t.state = ThreadState::BlockedOnJoin;
+        t.joinTarget = target;
+        // pc unchanged: re-checked on wake-up.
+        return StepStatus::SwitchThread;
+      }
+      case Opcode::Yield:
+        t.pc = pc + 1;
+        return StepStatus::SwitchThread;
+      default:
+        panic("execSync: not a sync op");
+    }
+}
+
+Machine::StepStatus
+Machine::execSyscall(Thread &t, const Instruction &inst)
+{
+    std::uint32_t pc = t.pc;
+    auto &regs = t.regs;
+    auto no = static_cast<SyscallNo>(inst.imm);
+
+    // The syscall instruction itself retires a far branch.
+    BranchRecord far;
+    far.fromIp = layout::codeAddr(pc);
+    far.toIp = layout::kKernelText;
+    far.kind = BranchKind::FarBranch;
+    far.kernel = false;
+    pmuOf(t.id).retireBranch(far);
+
+    switch (no) {
+      case SyscallNo::CleanLbr:
+        driver::cleanLbr(*this, t.id);
+        break;
+      case SyscallNo::ConfigLbr:
+        driver::configLbr(*this, t.id,
+                          static_cast<std::uint64_t>(regs[inst.ra]));
+        break;
+      case SyscallNo::EnableLbr:
+        driver::enableLbr(*this, t.id);
+        break;
+      case SyscallNo::DisableLbr:
+        driver::disableLbr(*this, t.id);
+        break;
+      case SyscallNo::ProfileLbr:
+        driver::profileLbr(*this, t.id,
+                           static_cast<LogSiteId>(regs[inst.ra]),
+                           false);
+        break;
+      case SyscallNo::CleanLcr:
+        driver::cleanLcr(*this, t.id);
+        break;
+      case SyscallNo::ConfigLcr:
+        driver::configLcr(*this, t.id,
+                          static_cast<std::uint64_t>(regs[inst.ra]));
+        break;
+      case SyscallNo::EnableLcr:
+        driver::enableLcr(*this, t.id);
+        break;
+      case SyscallNo::DisableLcr:
+        driver::disableLcr(*this, t.id);
+        break;
+      case SyscallNo::ProfileLcr:
+        driver::profileLcr(*this, t.id,
+                           static_cast<LogSiteId>(regs[inst.ra]),
+                           false);
+        break;
+      case SyscallNo::DumpCore:
+        driver::dumpCore(*this, t.id);
+        break;
+      case SyscallNo::LogCallStack:
+        driver::logCallStack(*this, t.id);
+        break;
+      case SyscallNo::Alloc: {
+        chargeKernel(t.id, 30, 3);
+        Addr bytes = static_cast<Addr>(regs[inst.ra]);
+        regs[inst.rd] = static_cast<Word>(heapBrk_);
+        heapBrk_ += (bytes + 7) & ~Addr{7};
+        break;
+      }
+      case SyscallNo::ThreadExit:
+        t.state = ThreadState::Done;
+        for (auto &other : threads_) {
+            if (other->state == ThreadState::BlockedOnJoin &&
+                other->joinTarget == t.id) {
+                other->state = ThreadState::Ready;
+            }
+        }
+        t.pc = pc + 1;
+        return StepStatus::SwitchThread;
+    }
+    t.pc = pc + 1;
+    return StepStatus::Continue;
+}
+
+void
+Machine::runHooks(Thread &t, const std::vector<Hook> &hooks)
+{
+    for (const auto &hook : hooks) {
+        switch (hook.action) {
+          case HookAction::ProfileLbr:
+            driver::profileLbr(*this, t.id, hook.site,
+                               hook.successSite);
+            break;
+          case HookAction::ProfileLcr:
+            driver::profileLcr(*this, t.id, hook.site,
+                               hook.successSite);
+            break;
+          case HookAction::DisableLbr:
+            driver::disableLbr(*this, t.id);
+            break;
+          case HookAction::EnableLbr:
+            driver::enableLbr(*this, t.id);
+            break;
+          case HookAction::DisableLcr:
+            driver::disableLcr(*this, t.id);
+            break;
+          case HookAction::EnableLcr:
+            driver::enableLcr(*this, t.id);
+            break;
+          case HookAction::CbiSample:
+            cbiSample(t, hook);
+            break;
+        }
+        if (ended_)
+            return;
+    }
+}
+
+void
+Machine::cbiSample(Thread &t, const Hook &hook)
+{
+    const Instrumentation &instr = prog_->instrumentation;
+    // Fast path: a decrement-and-test on the sampling countdown.
+    chargeInstrumentation(1);
+    if (t.cbiCountdown == 0) {
+        t.cbiCountdown = rng_.nextGeometric(instr.cbiMeanPeriod);
+    }
+    if (--t.cbiCountdown != 0)
+        return;
+    t.cbiCountdown = rng_.nextGeometric(instr.cbiMeanPeriod);
+    // Slow path: evaluate and record the branch predicate.
+    chargeInstrumentation(15);
+    const Instruction &br = prog_->code[t.pc];
+    if (br.op != Opcode::Br)
+        return;
+    bool taken = evalCond(br.cond, t.regs[br.ra], t.regs[br.rb]);
+    bool outcome = taken == br.outcomeWhenTaken;
+    ++result_.cbiSiteSamples[hook.site];
+    ++result_.cbiCounts[CbiPredicate{hook.site, outcome}];
+}
+
+} // namespace stm

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The MiniVM machine: the execution substrate standing in for running
+ * real x86 binaries on the paper's Intel Core i7 testbed (for LBR) and
+ * under the PIN-based simulator (for LCR).
+ *
+ * The machine interprets a Program over any number of threads, each
+ * pinned to its own core with a private L1-D cache (MESI over a
+ * snooping bus) and a private PMU (LBR + performance counters);
+ * per-thread LCR rings live in a machine-wide LcrDomain. Every
+ * retired taken branch and data access is fed to the monitoring
+ * hardware, instrumentation hooks are executed through the simulated
+ * kernel driver with their full instruction cost, and failures
+ * (segfaults, assertion violations, failure-logging calls, deadlocks,
+ * hangs) are detected and profiled exactly as the paper's deployment
+ * would.
+ */
+
+#ifndef STM_VM_MACHINE_HH
+#define STM_VM_MACHINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/bus.hh"
+#include "hw/bts.hh"
+#include "hw/lcr.hh"
+#include "hw/pmu.hh"
+#include "program/program.hh"
+#include "support/random.hh"
+#include "vm/options.hh"
+#include "vm/run_result.hh"
+#include "vm/thread.hh"
+
+namespace stm
+{
+
+/** The simulated machine. One Machine executes one run. */
+class Machine
+{
+  public:
+    Machine(ProgramPtr prog, MachineOptions opts = {});
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Execute the program to completion or failure. */
+    RunResult run();
+
+    // ---- services used by the kernel driver and library models ----
+
+    const Program &program() const { return *prog_; }
+    const MachineOptions &options() const { return opts_; }
+
+    Pmu &pmuOf(ThreadId tid);
+    LcrDomain &lcrDomain() { return lcr_; }
+    Thread &threadRef(ThreadId tid);
+    std::uint64_t steps() const { return steps_; }
+
+    /** Charge ring-0 work and retire that many kernel branches. */
+    void chargeKernel(ThreadId tid, std::uint64_t instrs,
+                      std::uint32_t branches);
+    /** Charge user-level work (library bodies). */
+    void chargeUser(std::uint64_t instrs);
+    /** Charge instrumentation work (tracked separately). */
+    void chargeInstrumentation(std::uint64_t instrs);
+
+    /** Append a collected profile to the run result. */
+    void appendProfile(ProfileRecord record);
+
+    /**
+     * Perform one data access on behalf of @p tid at @p addr,
+     * feeding the coherence event to LCR and the performance
+     * counters. Returns false (and flags a segfault) if the address
+     * is invalid. On success *value_in_out is loaded or stored.
+     */
+    bool dataAccess(ThreadId tid, Addr pc, Addr addr, bool is_store,
+                    Word *value_in_out, bool kernel = false);
+
+    /** Retire a synthetic user-level branch (library bodies). */
+    void retireLibraryBranch(ThreadId tid, Addr from_ip, Addr to_ip);
+
+    /** True if @p addr is a mapped data address for @p tid. */
+    bool validAddress(ThreadId tid, Addr addr) const;
+
+    /** Raise a segmentation fault at the current instruction. */
+    void raiseSegfault(ThreadId tid, const std::string &message);
+
+  private:
+    enum class StepStatus : std::uint8_t {
+        Continue,     //!< keep running this thread
+        SwitchThread, //!< blocked/yielded/quantum: pick another
+        RunEnded,     //!< outcome decided
+    };
+
+    void initMemoryImage();
+    Thread &spawnThread(std::uint32_t entry_pc, Word arg);
+
+    StepStatus executeOne(Thread &thread);
+    StepStatus execControl(Thread &thread, const Instruction &inst);
+    StepStatus execMemory(Thread &thread, const Instruction &inst);
+    StepStatus execSync(Thread &thread, const Instruction &inst);
+    StepStatus execSyscall(Thread &thread, const Instruction &inst);
+    StepStatus execLibCall(Thread &thread, const Instruction &inst);
+
+    void runHooks(Thread &thread, const std::vector<Hook> &hooks);
+    void cbiSample(Thread &thread, const Hook &hook);
+
+    void retireTakenBranch(Thread &thread, const Instruction &inst,
+                           std::uint32_t from_idx,
+                           std::uint32_t to_idx);
+
+    void endRun(RunOutcome outcome, ThreadId tid,
+                std::uint32_t instr_index, LogSiteId site,
+                const std::string &message);
+    void profileOnFault(ThreadId tid);
+
+    bool anyOtherRunnable(ThreadId tid) const;
+    ThreadId pickNext(ThreadId current) const;
+
+    ProgramPtr prog_;
+    MachineOptions opts_;
+    Pcg32 rng_;
+
+    std::vector<std::unique_ptr<Thread>> threads_;
+    std::vector<std::unique_ptr<Pmu>> pmus_;
+    Bus bus_;
+    LcrDomain lcr_;
+    BranchTraceStore bts_;
+
+    std::unordered_map<Addr, Word> memory_;
+    Addr heapBrk_ = layout::kHeapBase;
+
+    struct Mutex
+    {
+        bool locked = false;
+        ThreadId owner = 0;
+    };
+    std::unordered_map<Addr, Mutex> mutexes_;
+
+    RunResult result_;
+    bool ended_ = false;
+    std::uint64_t steps_ = 0;
+};
+
+} // namespace stm
+
+#endif // STM_VM_MACHINE_HH

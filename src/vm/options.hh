@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Configuration of one simulated run: scheduler policy, hardware
+ * geometry, step budget, and workload inputs.
+ */
+
+#ifndef STM_VM_OPTIONS_HH
+#define STM_VM_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "isa/types.hh"
+
+namespace stm
+{
+
+/** Thread interleaving policy. */
+struct SchedulerOptions
+{
+    /** Instructions a thread runs before a round-robin switch. */
+    std::uint32_t quantum = 50;
+    /**
+     * Probability of preempting a thread right before it performs a
+     * shared-memory access (globals/heap). This is how concurrency
+     * bugs are made to manifest with controllable, seeded likelihood.
+     */
+    double preemptSharedProb = 0.0;
+    /** PRNG seed; every run is deterministic given the seed. */
+    std::uint64_t seed = 1;
+};
+
+/** Full machine configuration for one run. */
+struct MachineOptions
+{
+    SchedulerOptions sched;
+    std::size_t lbrEntries = 16;
+    std::size_t lcrEntries = 16;
+    CacheGeometry cache;
+    /** Hang detection budget (total retired instructions). */
+    std::uint64_t maxSteps = 2000000;
+    /** Arguments placed in r1..rN of main. */
+    std::vector<Word> mainArgs;
+    /** Per-run overrides of global initial values (workload input). */
+    std::vector<std::pair<std::string, std::vector<Word>>>
+        globalOverrides;
+};
+
+} // namespace stm
+
+#endif // STM_VM_OPTIONS_HH

@@ -1,0 +1,21 @@
+#include "vm/run_result.hh"
+
+namespace stm
+{
+
+std::string
+runOutcomeName(RunOutcome outcome)
+{
+    switch (outcome) {
+      case RunOutcome::Completed: return "completed";
+      case RunOutcome::SegFault: return "segfault";
+      case RunOutcome::AssertFailed: return "assert-failed";
+      case RunOutcome::ErrorLogged: return "error-logged";
+      case RunOutcome::Deadlock: return "deadlock";
+      case RunOutcome::StepLimit: return "hang";
+      case RunOutcome::ArithmeticFault: return "arithmetic-fault";
+    }
+    return "?";
+}
+
+} // namespace stm

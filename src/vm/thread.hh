@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A simulated software thread. Each thread is pinned to its own core
+ * (core id == thread id), so the per-core LBR and the per-thread LCR
+ * ring are both private to the thread — the paper's SMT-sharing
+ * caveat (Section 4.2.1) is out of scope here and documented in
+ * DESIGN.md.
+ */
+
+#ifndef STM_VM_THREAD_HH
+#define STM_VM_THREAD_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/types.hh"
+
+namespace stm
+{
+
+/** Scheduler-visible thread states. */
+enum class ThreadState : std::uint8_t {
+    Ready,
+    BlockedOnMutex,
+    BlockedOnJoin,
+    Done,
+};
+
+/** One simulated thread. */
+struct Thread
+{
+    ThreadId id = 0;
+    ThreadState state = ThreadState::Ready;
+    std::array<Word, kNumRegs> regs{};
+    std::uint32_t pc = 0;
+
+    /** Shadow stack of return addresses (call/ret). */
+    std::vector<std::uint32_t> callStack;
+
+    /** Valid while BlockedOnMutex. */
+    Addr waitMutex = 0;
+    /** Valid while BlockedOnJoin. */
+    ThreadId joinTarget = 0;
+
+    /** CBI sampling countdown (geometric). */
+    std::uint32_t cbiCountdown = 0;
+    /** CCI sampling countdown (geometric). */
+    std::uint32_t cciCountdown = 0;
+
+    bool runnable() const { return state == ThreadState::Ready; }
+
+    Addr stackLow() const { return layout::stackBase(id); }
+    Addr stackHigh() const
+    {
+        return layout::stackBase(id) + layout::kStackSize;
+    }
+};
+
+} // namespace stm
+
+#endif // STM_VM_THREAD_HH

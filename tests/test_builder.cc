@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Unit tests for the ProgramBuilder: emission, labels, structured
+ * control flow, globals layout, and — crucially — the fall-through
+ * normalization invariant of Figure 2 / [40].
+ */
+
+#include <gtest/gtest.h>
+
+#include "program/builder.hh"
+#include "support/logging.hh"
+
+namespace stm
+{
+namespace
+{
+
+using namespace regs;
+
+TEST(Builder, EmptyMainBuilds)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.halt();
+    ProgramPtr prog = b.build();
+    EXPECT_EQ(prog->entry, 0u);
+    EXPECT_EQ(prog->code.size(), 1u);
+    EXPECT_EQ(prog->functions.size(), 1u);
+    EXPECT_EQ(prog->files.size(), 1u); // auto-registered t.c
+}
+
+TEST(Builder, MissingMainPanics)
+{
+    ProgramBuilder b("t");
+    b.func("helper");
+    b.ret();
+    EXPECT_THROW(b.build(), PanicError);
+}
+
+TEST(Builder, UnboundLabelPanics)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    Label l = b.newLabel();
+    b.jmp(l);
+    b.halt();
+    EXPECT_THROW(b.build(), PanicError);
+}
+
+TEST(Builder, DoubleBindPanics)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    Label l = b.newLabel();
+    b.bind(l);
+    EXPECT_THROW(b.bind(l), PanicError);
+}
+
+TEST(Builder, DuplicateGlobalPanics)
+{
+    ProgramBuilder b("t");
+    b.global("x", 1);
+    EXPECT_THROW(b.global("x", 2), PanicError);
+}
+
+TEST(Builder, UnclosedIfPanicsAtBuild)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.beginIf(Cond::Eq, r1, r2);
+    b.halt();
+    EXPECT_THROW(b.build(), PanicError);
+}
+
+TEST(Builder, GlobalsLaidOutSequentially)
+{
+    ProgramBuilder b("t");
+    b.global("a", 2);
+    b.global("b", 3);
+    b.func("main");
+    b.halt();
+    ProgramPtr prog = b.build();
+    EXPECT_EQ(prog->symbolAddr("a"), layout::kGlobalBase);
+    EXPECT_EQ(prog->symbolAddr("b"), layout::kGlobalBase + 16);
+    EXPECT_EQ(prog->globalsEnd(), layout::kGlobalBase + 16 + 24);
+}
+
+TEST(Builder, CacheLineAlignmentRequestsHonored)
+{
+    ProgramBuilder b("t");
+    b.global("a", 1);
+    b.global("b", 1, {}, true); // cache-line aligned
+    b.func("main");
+    b.halt();
+    ProgramPtr prog = b.build();
+    EXPECT_EQ(prog->symbolAddr("b") % 64, 0u);
+    EXPECT_NE(prog->symbolByName("a").addr,
+              prog->symbolByName("b").addr);
+}
+
+TEST(Builder, HasGlobalReflectsDeclarations)
+{
+    ProgramBuilder b("t");
+    EXPECT_FALSE(b.hasGlobal("x"));
+    b.global("x", 1);
+    EXPECT_TRUE(b.hasGlobal("x"));
+}
+
+TEST(Builder, SymbolWordAddressing)
+{
+    ProgramBuilder b("t");
+    b.global("arr", 8);
+    b.func("main");
+    b.halt();
+    ProgramPtr prog = b.build();
+    EXPECT_EQ(prog->symbolAddr("arr", 3),
+              prog->symbolAddr("arr") + 24);
+}
+
+// ---- normalization (Figure 2) --------------------------------------------
+
+TEST(Builder, BrIfEmitsNormalizedPair)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    Label l = b.newLabel();
+    SourceBranchId id = b.brIf(Cond::Lt, r1, r2, l, "x < y");
+    b.bind(l);
+    b.halt();
+    ProgramPtr prog = b.build();
+
+    ASSERT_TRUE(prog->isNormalized());
+    const Instruction &br = prog->code[0];
+    const Instruction &ft = prog->code[1];
+    EXPECT_EQ(br.op, Opcode::Br);
+    EXPECT_EQ(ft.op, Opcode::Jmp);
+    EXPECT_EQ(br.srcBranch, id);
+    EXPECT_EQ(ft.srcBranch, id);
+    EXPECT_TRUE(br.outcomeWhenTaken);
+    EXPECT_FALSE(ft.outcomeWhenTaken);
+    EXPECT_EQ(ft.target, 2u); // harmless: jumps to next instruction
+}
+
+TEST(Builder, BeginIfBranchTakenMeansConditionFalse)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.beginIf(Cond::Eq, r1, r2, "x == y");
+    b.nop();
+    b.endIf();
+    b.halt();
+    ProgramPtr prog = b.build();
+
+    const Instruction &br = prog->code[0];
+    // Figure 2: the emitted jump is taken when the source condition
+    // is FALSE.
+    EXPECT_EQ(br.cond, Cond::Ne);
+    EXPECT_FALSE(br.outcomeWhenTaken);
+    EXPECT_TRUE(prog->isNormalized());
+}
+
+TEST(Builder, WhileIsRotatedWithBottomTest)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.movi(r1, 0);
+    b.movi(r2, 3);
+    SourceBranchId id = b.beginWhile(Cond::Lt, r1, r2, "i < n");
+    b.addi(r1, r1, 1);
+    b.endWhile();
+    b.halt();
+    ProgramPtr prog = b.build();
+
+    // The first loop instruction is the preheader jump to the test.
+    const Instruction &pre = prog->code[2];
+    EXPECT_EQ(pre.op, Opcode::Jmp);
+    EXPECT_EQ(pre.srcBranch, kNoSourceBranch);
+    // The test is a Br at the bottom, taken => another iteration.
+    const Instruction &test = prog->code[pre.target];
+    EXPECT_EQ(test.op, Opcode::Br);
+    EXPECT_EQ(test.srcBranch, id);
+    EXPECT_TRUE(test.outcomeWhenTaken);
+    EXPECT_TRUE(prog->isNormalized());
+    EXPECT_EQ(prog->branch(id).brIndex, pre.target);
+}
+
+TEST(Builder, ElseSplitsTheBlocks)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.beginIf(Cond::Gt, r1, r2);
+    b.movi(r3, 1);
+    b.beginElse();
+    b.movi(r3, 2);
+    b.endIf();
+    b.halt();
+    ProgramPtr prog = b.build();
+    EXPECT_TRUE(prog->isNormalized());
+    // then-block exit jump skips the else block.
+    bool foundExitJmp = false;
+    for (const auto &inst : prog->code) {
+        if (inst.op == Opcode::Jmp &&
+            inst.srcBranch == kNoSourceBranch &&
+            inst.target == prog->code.size() - 1) {
+            foundExitJmp = true;
+        }
+    }
+    EXPECT_TRUE(foundExitJmp);
+}
+
+TEST(Builder, CallsResolveForwardReferences)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.call("helper"); // defined later
+    b.halt();
+    b.func("helper");
+    b.ret();
+    ProgramPtr prog = b.build();
+    EXPECT_EQ(prog->code[0].target,
+              prog->functionByName("helper").entry);
+}
+
+TEST(Builder, LogSitesRecorded)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.line(31);
+    LogSiteId fail = b.logError("boom", "ap_log_error");
+    LogSiteId info = b.logInfo("fyi");
+    LogSiteId check = b.logCheckpoint("value: %d");
+    b.halt();
+    ProgramPtr prog = b.build();
+
+    EXPECT_TRUE(prog->logSite(fail).failureSite);
+    EXPECT_FALSE(prog->logSite(info).failureSite);
+    EXPECT_TRUE(prog->logSite(check).failureSite);
+    EXPECT_EQ(prog->logSite(fail).logFunction, "ap_log_error");
+    EXPECT_EQ(prog->logSite(fail).loc.line, 31u);
+    // A checkpoint is a non-stopping LogInfo instruction.
+    EXPECT_EQ(prog->code[prog->logSite(check).instrIndex].op,
+              Opcode::LogInfo);
+    EXPECT_EQ(prog->failureSites().size(), 2u);
+}
+
+TEST(Builder, BranchNoteAndLocationKept)
+{
+    ProgramBuilder b("t");
+    b.file("dir/x.c");
+    b.line(93);
+    b.func("main");
+    SourceBranchId id =
+        b.beginIf(Cond::Lt, r1, r2, "i + num_merged < nfiles");
+    b.endIf();
+    b.halt();
+    ProgramPtr prog = b.build();
+    EXPECT_EQ(prog->branch(id).note, "i + num_merged < nfiles");
+    EXPECT_EQ(prog->branch(id).loc.line, 93u);
+    EXPECT_EQ(prog->fileName(prog->branch(id).loc.file), "dir/x.c");
+}
+
+TEST(Builder, FunctionContainingLocatesRanges)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.call("h");
+    b.halt();
+    b.func("h");
+    b.nop();
+    b.ret();
+    ProgramPtr prog = b.build();
+    EXPECT_EQ(prog->functionContaining(0)->name, "main");
+    EXPECT_EQ(prog->functionContaining(3)->name, "h");
+    EXPECT_EQ(prog->functionContaining(99), nullptr);
+}
+
+TEST(Builder, BreakAndContinueTargetLoopEdges)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.movi(r1, 0);
+    b.movi(r2, 10);
+    b.beginWhile(Cond::Lt, r1, r2);
+    {
+        b.movi(r3, 5);
+        b.beginIf(Cond::Eq, r1, r3);
+        b.breakWhile();
+        b.endIf();
+        b.continueWhile();
+    }
+    b.endWhile();
+    b.halt();
+    EXPECT_NO_THROW(b.build());
+}
+
+TEST(Builder, BreakOutsideLoopPanics)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    EXPECT_THROW(b.breakWhile(), PanicError);
+}
+
+TEST(Builder, EmitAfterBuildPanics)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.halt();
+    b.build();
+    EXPECT_THROW(b.nop(), PanicError);
+}
+
+} // namespace
+} // namespace stm

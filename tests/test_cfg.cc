@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Unit tests for the CFG (successors/predecessors, interprocedural
+ * edges, reachability, block leaders) and the Table 5 useful-branch
+ * analyzer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "program/builder.hh"
+#include "program/cfg.hh"
+#include "program/static_analysis.hh"
+
+namespace stm
+{
+namespace
+{
+
+using namespace regs;
+
+ProgramPtr
+diamondProgram(LogSiteId *site)
+{
+    // if (r1 < r2) r3 = 1 else r3 = 2; error-log; halt
+    ProgramBuilder b("diamond");
+    b.func("main");
+    b.beginIf(Cond::Lt, r1, r2, "cond");
+    b.movi(r3, 1);
+    b.beginElse();
+    b.movi(r3, 2);
+    b.endIf();
+    *site = b.logError("after join");
+    b.halt();
+    return b.build();
+}
+
+TEST(Cfg, BranchHasTwoSuccessors)
+{
+    LogSiteId site;
+    ProgramPtr prog = diamondProgram(&site);
+    Cfg cfg(*prog);
+    const auto &succs = cfg.succs(0); // the Br
+    ASSERT_EQ(succs.size(), 2u);
+    bool taken = false, fall = false;
+    for (const auto &e : succs) {
+        taken = taken || e.kind == EdgeKind::CondTaken;
+        fall = fall || e.kind == EdgeKind::Fallthrough;
+    }
+    EXPECT_TRUE(taken);
+    EXPECT_TRUE(fall);
+}
+
+TEST(Cfg, JumpHasOneSuccessor)
+{
+    LogSiteId site;
+    ProgramPtr prog = diamondProgram(&site);
+    Cfg cfg(*prog);
+    // instruction 1 is the normalization jump
+    ASSERT_EQ(prog->code[1].op, Opcode::Jmp);
+    const auto &succs = cfg.succs(1);
+    ASSERT_EQ(succs.size(), 1u);
+    EXPECT_EQ(succs[0].kind, EdgeKind::JumpTaken);
+}
+
+TEST(Cfg, LogErrorIsFailStopNoSuccessors)
+{
+    LogSiteId site;
+    ProgramPtr prog = diamondProgram(&site);
+    Cfg cfg(*prog);
+    EXPECT_TRUE(
+        cfg.succs(prog->logSite(site).instrIndex).empty());
+}
+
+TEST(Cfg, BothArmsReachTheJoin)
+{
+    LogSiteId site;
+    ProgramPtr prog = diamondProgram(&site);
+    Cfg cfg(*prog);
+    std::vector<bool> reach =
+        cfg.canReach(prog->logSite(site).instrIndex);
+    for (std::uint32_t i = 0;
+         i < prog->logSite(site).instrIndex; ++i) {
+        EXPECT_TRUE(reach[i]) << "instr " << i;
+    }
+}
+
+TEST(Cfg, HaltDoesNotReachEarlierCode)
+{
+    LogSiteId site;
+    ProgramPtr prog = diamondProgram(&site);
+    Cfg cfg(*prog);
+    // Nothing reaches instruction 0 except itself.
+    std::vector<bool> reach = cfg.canReach(0);
+    int reachable = 0;
+    for (bool r : reach)
+        reachable += r ? 1 : 0;
+    EXPECT_EQ(reachable, 1);
+}
+
+TEST(Cfg, CallAndReturnEdgesAreInterprocedural)
+{
+    ProgramBuilder b("calls");
+    b.func("main");
+    std::uint32_t callIdx = b.call("helper");
+    LogSiteId site = b.logError("after call");
+    b.halt();
+    b.func("helper");
+    b.nop();
+    std::uint32_t retIdx = b.ret();
+    ProgramPtr prog = b.build();
+    Cfg cfg(*prog);
+
+    // Call edge: call site -> callee entry.
+    bool callEdge = false;
+    for (const auto &e : cfg.succs(callIdx)) {
+        if (e.kind == EdgeKind::Call &&
+            e.to == prog->functionByName("helper").entry) {
+            callEdge = true;
+        }
+    }
+    EXPECT_TRUE(callEdge);
+
+    // Return edge: ret -> instruction after the call.
+    bool retEdge = false;
+    for (const auto &e : cfg.succs(retIdx)) {
+        if (e.kind == EdgeKind::Return && e.to == callIdx + 1)
+            retEdge = true;
+    }
+    EXPECT_TRUE(retEdge);
+
+    // Reachability flows through the callee.
+    std::vector<bool> reach =
+        cfg.canReach(prog->logSite(site).instrIndex);
+    EXPECT_TRUE(reach[prog->functionByName("helper").entry]);
+}
+
+TEST(Cfg, BlockLeaders)
+{
+    LogSiteId site;
+    ProgramPtr prog = diamondProgram(&site);
+    Cfg cfg(*prog);
+    EXPECT_TRUE(cfg.leaders()[0]); // entry
+    // Branch targets and fallthroughs after branches are leaders.
+    EXPECT_TRUE(cfg.leaders()[prog->code[0].target]);
+    // The leader of the log site's block is at or before it.
+    std::uint32_t leader =
+        cfg.blockLeader(prog->logSite(site).instrIndex);
+    EXPECT_LE(leader, prog->logSite(site).instrIndex);
+    EXPECT_TRUE(cfg.leaders()[leader]);
+}
+
+// ---- useful-branch analysis ------------------------------------------------
+
+TEST(UsefulBranch, DiamondBranchesAreUseful)
+{
+    // Both outcomes of the diamond's condition reach the site, so
+    // every conditional record is useful; the then-exit jump is not.
+    LogSiteId site;
+    ProgramPtr prog = diamondProgram(&site);
+    Cfg cfg(*prog);
+    UsefulBranchAnalyzer analyzer(*prog, cfg);
+    UsefulBranchStats stats =
+        analyzer.analyzeSite(prog->logSite(site).instrIndex);
+    EXPECT_GT(stats.paths, 0u);
+    EXPECT_GT(stats.ratio, 0.0);
+    EXPECT_LT(stats.ratio, 1.0); // the exit jump is inferable
+}
+
+TEST(UsefulBranch, StraightLineGuardIsNotUseful)
+{
+    // if (c) { error } — the error block is only reachable via the
+    // true edge, so the record is inferable from reaching the site.
+    ProgramBuilder b("line");
+    b.func("main");
+    b.beginIf(Cond::Eq, r1, r2);
+    LogSiteId site = b.logError("guarded");
+    b.endIf();
+    b.halt();
+    ProgramPtr prog = b.build();
+    Cfg cfg(*prog);
+    UsefulBranchAnalyzer analyzer(*prog, cfg);
+    UsefulBranchStats stats =
+        analyzer.analyzeSite(prog->logSite(site).instrIndex);
+    EXPECT_GT(stats.paths, 0u);
+    EXPECT_EQ(stats.usefulRecords, 0u);
+}
+
+TEST(UsefulBranch, LoopTestIsUseful)
+{
+    // A site after a loop: each loop-test record could have gone
+    // either way (iterate again or exit), so it is useful.
+    ProgramBuilder b("loop");
+    b.func("main");
+    b.movi(r1, 0);
+    b.movi(r2, 4);
+    b.beginWhile(Cond::Lt, r1, r2);
+    b.addi(r1, r1, 1);
+    b.endWhile();
+    LogSiteId site = b.logError("after loop");
+    b.halt();
+    ProgramPtr prog = b.build();
+    Cfg cfg(*prog);
+    UsefulBranchAnalyzer analyzer(*prog, cfg);
+    UsefulBranchStats stats =
+        analyzer.analyzeSite(prog->logSite(site).instrIndex);
+    EXPECT_GT(stats.usefulRecords, 0u);
+    EXPECT_GT(stats.ratio, 0.4);
+}
+
+TEST(UsefulBranch, DepthBoundsPathLength)
+{
+    ProgramBuilder b("deep");
+    b.func("main");
+    b.movi(r1, 0);
+    b.movi(r2, 100);
+    b.beginWhile(Cond::Lt, r1, r2);
+    b.addi(r1, r1, 1);
+    b.endWhile();
+    LogSiteId site = b.logError("after big loop");
+    b.halt();
+    ProgramPtr prog = b.build();
+    Cfg cfg(*prog);
+    UsefulBranchAnalyzer analyzer(*prog, cfg);
+    UsefulBranchOptions opts;
+    opts.lbrDepth = 4;
+    UsefulBranchStats stats =
+        analyzer.analyzeSite(prog->logSite(site).instrIndex, opts);
+    EXPECT_GT(stats.paths, 0u);
+    // No path may carry more records than the LBR depth.
+    EXPECT_LE(stats.totalRecords, stats.paths * 4);
+}
+
+TEST(UsefulBranch, AnalyzeAllSitesAveragesAcrossSites)
+{
+    ProgramBuilder b("multi");
+    b.func("main");
+    b.beginIf(Cond::Lt, r1, r2);
+    b.logError("site a");
+    b.endIf();
+    b.beginIf(Cond::Gt, r1, r2);
+    b.logError("site b");
+    b.endIf();
+    b.halt();
+    ProgramPtr prog = b.build();
+    Cfg cfg(*prog);
+    UsefulBranchAnalyzer analyzer(*prog, cfg);
+    UsefulBranchStats stats = analyzer.analyzeAllSites();
+    EXPECT_GT(stats.paths, 0u);
+    EXPECT_GE(stats.ratio, 0.0);
+    EXPECT_LE(stats.ratio, 1.0);
+}
+
+} // namespace
+} // namespace stm

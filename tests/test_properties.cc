@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Property/fuzz tests against reference models: the ring buffer vs a
+ * deque, VM memory vs a map, CFG reachability over the whole corpus,
+ * and end-to-end determinism under randomized workload sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "corpus/registry.hh"
+#include "diag/log_enhance.hh"
+#include "program/builder.hh"
+#include "program/cfg.hh"
+#include "support/random.hh"
+#include "support/ring_buffer.hh"
+#include "vm/machine.hh"
+
+namespace stm
+{
+namespace
+{
+
+using namespace regs;
+
+TEST(Property, RingBufferMatchesDequeModel)
+{
+    Pcg32 rng(2024);
+    for (int round = 0; round < 50; ++round) {
+        std::size_t capacity = 1 + rng.nextBounded(20);
+        RingBuffer<int> ring(capacity);
+        std::deque<int> model;
+        for (int op = 0; op < 200; ++op) {
+            int choice = static_cast<int>(rng.nextBounded(10));
+            if (choice == 0) {
+                ring.clear();
+                model.clear();
+            } else {
+                int value = static_cast<int>(rng.next());
+                ring.push(value);
+                model.push_back(value);
+                if (model.size() > capacity)
+                    model.pop_front();
+            }
+            ASSERT_EQ(ring.size(), model.size());
+            for (std::size_t i = 0; i < model.size(); ++i) {
+                ASSERT_EQ(ring.newest(i),
+                          model[model.size() - 1 - i]);
+                ASSERT_EQ(ring.oldest(i), model[i]);
+            }
+        }
+    }
+}
+
+TEST(Property, VmMemoryMatchesMapModel)
+{
+    // Random loads/stores over a global array agree with a model map.
+    ProgramBuilder b("memfuzz");
+    b.global("arr", 64, {});
+    b.func("main");
+    // regs: r1 = address base, r2 = value, r3 = loaded
+    Pcg32 rng(7);
+    std::map<int, Word> model;
+    std::vector<std::pair<int, Word>> expectedReads;
+    for (int op = 0; op < 120; ++op) {
+        int slot = static_cast<int>(rng.nextBounded(64));
+        if (rng.nextBool(0.5)) {
+            Word value = static_cast<Word>(rng.next());
+            b.movi(r2, value);
+            b.storeg("arr", 8 * slot, r2, r4);
+            model[slot] = value;
+        } else {
+            b.loadg(r3, "arr", 8 * slot);
+            b.out(r3);
+            auto it = model.find(slot);
+            expectedReads.emplace_back(
+                slot, it == model.end() ? 0 : it->second);
+        }
+    }
+    b.halt();
+    Machine machine(b.build());
+    RunResult result = machine.run();
+    ASSERT_EQ(result.outcome, RunOutcome::Completed);
+    ASSERT_EQ(result.output.size(), expectedReads.size());
+    for (std::size_t i = 0; i < expectedReads.size(); ++i)
+        EXPECT_EQ(result.output[i], expectedReads[i].second);
+}
+
+TEST(Property, EveryCorpusLogSiteHasBackwardPaths)
+{
+    // Each logging site of each sequential program is reachable in
+    // the CFG sense: the useful-branch analyzer finds at least one
+    // backward path (i.e. no orphaned logging sites).
+    for (BugSpec &bug : corpus::sequentialBugs()) {
+        Cfg cfg(*bug.program);
+        std::vector<bool> entryReach;
+        for (const auto &site : bug.program->logSites) {
+            std::vector<bool> reach =
+                cfg.canReach(site.instrIndex);
+            EXPECT_TRUE(reach[bug.program->entry])
+                << bug.id << " site " << site.id
+                << " unreachable from entry";
+        }
+    }
+}
+
+TEST(Property, NormalizationHoldsForTheWholeCorpus)
+{
+    for (BugSpec &bug : corpus::allBugs())
+        EXPECT_TRUE(bug.program->isNormalized()) << bug.id;
+    for (BugSpec &bug : corpus::microBugs())
+        EXPECT_TRUE(bug.program->isNormalized()) << bug.id;
+}
+
+TEST(Property, SourceBranchPairsShareLocation)
+{
+    // Every (Br, normalization Jmp) pair carries the same source
+    // location, so the diagnosis layer can report either record as
+    // the same source line.
+    for (BugSpec &bug : corpus::allBugs()) {
+        const auto &code = bug.program->code;
+        for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+            if (code[i].op == Opcode::Br &&
+                code[i].srcBranch != kNoSourceBranch) {
+                EXPECT_EQ(code[i].loc.file, code[i + 1].loc.file);
+                EXPECT_EQ(code[i].loc.line, code[i + 1].loc.line);
+            }
+        }
+    }
+}
+
+TEST(Property, LbrContentIsAlwaysWithinCapacity)
+{
+    // Across randomized runs of a branchy corpus program, every
+    // collected profile respects the configured LBR depth.
+    BugSpec bug = corpus::bugById("squid1");
+    for (std::size_t depth : {4u, 8u, 16u}) {
+        LogEnhanceOptions opts;
+        opts.lbrEntries = depth;
+        LbrLogReport report =
+            runLbrLog(bug.program, bug.failing, opts);
+        ASSERT_TRUE(report.failed);
+        EXPECT_LE(report.record.size(), depth);
+        for (const auto &p : report.run.profiles)
+            EXPECT_LE(p.lbr.size(), depth);
+    }
+}
+
+TEST(Property, SchedulerSweepNeverWedgesTheVm)
+{
+    // Quantum/preemption sweeps over a lock-heavy two-thread
+    // program: every combination either completes or deadlocks, and
+    // the mutex invariant (final counter == total increments) holds
+    // whenever the run completes.
+    ProgramBuilder b("sweep");
+    b.global("mutex", 1, {0}, true);
+    b.global("counter", 1, {0}, true);
+    b.func("main");
+    b.movi(r1, 0);
+    b.spawn(r9, "worker", r1);
+    b.call("body");
+    b.join(r9);
+    b.loadg(r2, "counter");
+    b.out(r2);
+    b.halt();
+    b.func("worker");
+    b.call("body");
+    b.ret();
+    b.func("body");
+    b.movi(r10, 0);
+    b.movi(r11, 10);
+    b.beginWhile(Cond::Lt, r10, r11);
+    {
+        b.lea(r12, "mutex");
+        b.lockAddr(r12);
+        b.loadg(r13, "counter");
+        b.addi(r13, r13, 1);
+        b.storeg("counter", 0, r13, r14);
+        b.unlockAddr(r12);
+        b.addi(r10, r10, 1);
+    }
+    b.endWhile();
+    b.ret();
+    ProgramPtr prog = b.build();
+
+    for (std::uint32_t quantum : {1u, 3u, 7u, 25u, 200u}) {
+        for (double p : {0.0, 0.3, 0.9}) {
+            for (std::uint64_t seed : {1ull, 99ull, 12345ull}) {
+                MachineOptions opts;
+                opts.sched.quantum = quantum;
+                opts.sched.preemptSharedProb = p;
+                opts.sched.seed = seed;
+                opts.maxSteps = 100000;
+                Machine machine(prog, opts);
+                RunResult result = machine.run();
+                ASSERT_EQ(result.outcome, RunOutcome::Completed)
+                    << "q=" << quantum << " p=" << p
+                    << " seed=" << seed;
+                ASSERT_EQ(result.output,
+                          (std::vector<Word>{20}));
+            }
+        }
+    }
+}
+
+TEST(Property, ProfilesAreByteIdenticalAcrossReruns)
+{
+    // Determinism at profile granularity: re-running a failing seed
+    // reproduces the exact LBR/LCR snapshots.
+    BugSpec bug1 = corpus::bugById("mozilla-js3");
+    LcrLogReport a = runLcrLog(bug1.program, bug1.failing);
+    BugSpec bug2 = corpus::bugById("mozilla-js3");
+    LcrLogReport b2 = runLcrLog(bug2.program, bug2.failing);
+    ASSERT_TRUE(a.failed);
+    ASSERT_TRUE(b2.failed);
+    ASSERT_EQ(a.record.size(), b2.record.size());
+    for (std::size_t i = 0; i < a.record.size(); ++i) {
+        EXPECT_EQ(a.record[i].pc, b2.record[i].pc);
+        EXPECT_EQ(a.record[i].observed, b2.record[i].observed);
+        EXPECT_EQ(a.record[i].store, b2.record[i].store);
+    }
+}
+
+} // namespace
+} // namespace stm

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit tests for the support library: the ring buffer (the data
+ * structure backing LBR/LCR), logging helpers, deterministic PRNG,
+ * and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "support/ring_buffer.hh"
+#include "support/stats.hh"
+
+namespace stm
+{
+namespace
+{
+
+// ---- RingBuffer ----------------------------------------------------------
+
+TEST(RingBuffer, StartsEmpty)
+{
+    RingBuffer<int> ring(4);
+    EXPECT_EQ(ring.capacity(), 4u);
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_FALSE(ring.full());
+}
+
+TEST(RingBuffer, PushGrowsUntilCapacity)
+{
+    RingBuffer<int> ring(3);
+    ring.push(1);
+    EXPECT_EQ(ring.size(), 1u);
+    ring.push(2);
+    ring.push(3);
+    EXPECT_TRUE(ring.full());
+    ring.push(4);
+    EXPECT_EQ(ring.size(), 3u);
+}
+
+TEST(RingBuffer, NewestFirstOrdering)
+{
+    RingBuffer<int> ring(3);
+    ring.push(10);
+    ring.push(20);
+    ring.push(30);
+    EXPECT_EQ(ring.newest(0), 30);
+    EXPECT_EQ(ring.newest(1), 20);
+    EXPECT_EQ(ring.newest(2), 10);
+}
+
+TEST(RingBuffer, OldestEvictedOnWrap)
+{
+    RingBuffer<int> ring(3);
+    for (int i = 1; i <= 5; ++i)
+        ring.push(i);
+    EXPECT_EQ(ring.newest(0), 5);
+    EXPECT_EQ(ring.newest(1), 4);
+    EXPECT_EQ(ring.newest(2), 3);
+    EXPECT_EQ(ring.oldest(0), 3);
+}
+
+TEST(RingBuffer, SnapshotNewestFirst)
+{
+    RingBuffer<int> ring(4);
+    ring.push(1);
+    ring.push(2);
+    ring.push(3);
+    auto snap = ring.snapshotNewestFirst();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0], 3);
+    EXPECT_EQ(snap[2], 1);
+}
+
+TEST(RingBuffer, SnapshotOldestFirstIsReverse)
+{
+    RingBuffer<int> ring(4);
+    for (int i = 0; i < 6; ++i)
+        ring.push(i);
+    auto newest = ring.snapshotNewestFirst();
+    auto oldest = ring.snapshotOldestFirst();
+    ASSERT_EQ(newest.size(), oldest.size());
+    for (std::size_t i = 0; i < newest.size(); ++i)
+        EXPECT_EQ(newest[i], oldest[oldest.size() - 1 - i]);
+}
+
+TEST(RingBuffer, ClearResets)
+{
+    RingBuffer<int> ring(2);
+    ring.push(1);
+    ring.push(2);
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    ring.push(7);
+    EXPECT_EQ(ring.newest(0), 7);
+}
+
+TEST(RingBuffer, ZeroCapacityDropsEverything)
+{
+    RingBuffer<int> ring(0);
+    ring.push(1);
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_TRUE(ring.empty());
+}
+
+/** Property: after any push sequence, size = min(pushes, capacity)
+ *  and newest(i) returns the (i+1)-th most recent push. */
+class RingBufferSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RingBufferSweep, RetainsTheLastKRecords)
+{
+    const int capacity = GetParam();
+    RingBuffer<int> ring(capacity);
+    const int pushes = 100;
+    for (int i = 0; i < pushes; ++i)
+        ring.push(i);
+    EXPECT_EQ(ring.size(), static_cast<std::size_t>(
+                               std::min(pushes, capacity)));
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        EXPECT_EQ(ring.newest(i), pushes - 1 - static_cast<int>(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RingBufferSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 15, 16, 17,
+                                           32, 100, 101));
+
+// ---- logging ------------------------------------------------------------
+
+TEST(Logging, StrfmtSubstitutesInOrder)
+{
+    EXPECT_EQ(strfmt("a={} b={}", 1, "x"), "a=1 b=x");
+}
+
+TEST(Logging, StrfmtIgnoresExtraPlaceholders)
+{
+    EXPECT_EQ(strfmt("v={}", 1), "v=1");
+    EXPECT_EQ(strfmt("none"), "none");
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("broken {}", 1), PanicError);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("bad input {}", "x"), FatalError);
+}
+
+TEST(Logging, PanicMessageContainsText)
+{
+    try {
+        panic("value was {}", 42);
+        FAIL();
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("value was 42"),
+                  std::string::npos);
+    }
+}
+
+// ---- Pcg32 ----------------------------------------------------------------
+
+TEST(Pcg32, DeterministicForSameSeed)
+{
+    Pcg32 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, BoundedStaysInRange)
+{
+    Pcg32 rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBounded(10), 10u);
+}
+
+TEST(Pcg32, BoundedOneAlwaysZero)
+{
+    Pcg32 rng(7);
+    EXPECT_EQ(rng.nextBounded(1), 0u);
+    EXPECT_EQ(rng.nextBounded(0), 0u);
+}
+
+TEST(Pcg32, DoubleInUnitInterval)
+{
+    Pcg32 rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Pcg32, BernoulliRespectsProbabilityRoughly)
+{
+    Pcg32 rng(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Pcg32, GeometricMeanApproximatelyRight)
+{
+    Pcg32 rng(13);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextGeometric(100.0);
+    EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+TEST(Pcg32, GeometricAtLeastOne)
+{
+    Pcg32 rng(17);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.nextGeometric(3.0), 1u);
+    EXPECT_EQ(rng.nextGeometric(1.0), 1u);
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(Stats, CounterIncrements)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, GroupCreatesLazily)
+{
+    StatGroup group("cache");
+    EXPECT_EQ(group.value("hits"), 0u);
+    ++group.counter("hits");
+    EXPECT_EQ(group.value("hits"), 1u);
+}
+
+TEST(Stats, GroupDumpFormat)
+{
+    StatGroup group("bus");
+    group.counter("reads") += 3;
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_EQ(os.str(), "bus.reads 3\n");
+}
+
+TEST(Stats, GroupReset)
+{
+    StatGroup group("g");
+    group.counter("a") += 2;
+    group.reset();
+    EXPECT_EQ(group.value("a"), 0u);
+}
+
+} // namespace
+} // namespace stm

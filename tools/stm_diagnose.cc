@@ -1,0 +1,228 @@
+/**
+ * @file
+ * stm_diagnose — command-line front end to the diagnosis library.
+ *
+ *   stm_diagnose --list
+ *       enumerate the bug corpus (Table 4)
+ *   stm_diagnose <bug-id> [--tool lbrlog|lcrlog|lbra|lcra|cbi|auto]
+ *                [--no-toggling] [--entries N] [--conf1]
+ *                [--profiles N] [--proactive] [--top N]
+ *       run one diagnosis pipeline on one corpus entry and print the
+ *       developer-facing report
+ *
+ * "auto" (the default) picks LBRA for sequential entries and LCRA for
+ * concurrency entries — the way the paper's system would be deployed.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "baseline/cbi.hh"
+#include "corpus/registry.hh"
+#include "diag/auto_diag.hh"
+#include "diag/log_enhance.hh"
+#include "diag/report.hh"
+#include "support/logging.hh"
+
+using namespace stm;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string bugId;
+    std::string tool = "auto";
+    bool toggling = true;
+    std::size_t entries = 16;
+    bool conf1 = false;
+    std::uint32_t profiles = 10;
+    bool proactive = false;
+    std::size_t top = 5;
+    bool list = false;
+};
+
+void
+usage()
+{
+    std::cout
+        << "usage: stm_diagnose --list\n"
+        << "       stm_diagnose <bug-id> [options]\n\n"
+        << "options:\n"
+        << "  --tool lbrlog|lcrlog|lbra|lcra|cbi|auto  pipeline "
+           "(default: auto)\n"
+        << "  --no-toggling     disable library toggling "
+           "(Section 4.3)\n"
+        << "  --entries N       LBR/LCR record depth (default 16)\n"
+        << "  --conf1           use the space-saving LCR "
+           "configuration\n"
+        << "  --profiles N      failure/success profiles for "
+           "LBRA/LCRA (default 10)\n"
+        << "  --proactive       proactive success-site scheme\n"
+        << "  --top N           predictors to print (default 5)\n";
+}
+
+bool
+parse(int argc, char **argv, CliOptions *out)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--list") {
+            out->list = true;
+        } else if (arg == "--tool") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->tool = v;
+        } else if (arg == "--no-toggling") {
+            out->toggling = false;
+        } else if (arg == "--entries") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->entries = std::stoul(v);
+        } else if (arg == "--conf1") {
+            out->conf1 = true;
+        } else if (arg == "--profiles") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->profiles = static_cast<std::uint32_t>(std::stoul(v));
+        } else if (arg == "--proactive") {
+            out->proactive = true;
+        } else if (arg == "--top") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->top = std::stoul(v);
+        } else if (arg == "--help" || arg == "-h") {
+            return false;
+        } else if (!arg.empty() && arg[0] != '-') {
+            out->bugId = arg;
+        } else {
+            std::cerr << "unknown option: " << arg << '\n';
+            return false;
+        }
+    }
+    return out->list || !out->bugId.empty();
+}
+
+int
+listCorpus()
+{
+    std::cout << "sequential-bug failures:\n";
+    for (const BugSpec &bug : corpus::sequentialBugs()) {
+        std::cout << "  " << bug.id << "  (" << bug.app << ' '
+                  << bug.version << ", "
+                  << bugClassName(bug.bugClass) << " -> "
+                  << symptomName(bug.symptom) << ")\n";
+    }
+    std::cout << "concurrency-bug failures:\n";
+    for (const BugSpec &bug : corpus::concurrencyBugs()) {
+        std::cout << "  " << bug.id << "  (" << bug.app << ' '
+                  << bug.version << ", "
+                  << interleavingName(bug.interleaving) << " -> "
+                  << symptomName(bug.symptom) << ")\n";
+    }
+    std::cout << "Table 3 micro-bugs:\n";
+    for (const BugSpec &bug : corpus::microBugs())
+        std::cout << "  " << bug.id << '\n';
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    if (!parse(argc, argv, &cli)) {
+        usage();
+        return 2;
+    }
+    if (cli.list)
+        return listCorpus();
+
+    BugSpec bug;
+    try {
+        bug = corpus::bugById(cli.bugId);
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n(use --list)\n";
+        return 1;
+    }
+
+    std::string tool = cli.tool;
+    if (tool == "auto")
+        tool = bug.isConcurrent ? "lcra" : "lbra";
+
+    LogEnhanceOptions logOpts;
+    logOpts.toggling = cli.toggling;
+    logOpts.lbrEntries = cli.entries;
+    logOpts.lcrEntries = cli.entries;
+    logOpts.lcrConfig = cli.conf1 ? lcrConfSpaceSaving()
+                                  : lcrConfSpaceConsuming();
+
+    if (tool == "lbrlog") {
+        LbrLogReport report =
+            runLbrLog(bug.program, bug.failing, logOpts);
+        printLbrLogReport(std::cout, *bug.program, report);
+        return report.failed ? 0 : 1;
+    }
+    if (tool == "lcrlog") {
+        LcrLogReport report =
+            runLcrLog(bug.program, bug.failing, logOpts);
+        printLcrLogReport(std::cout, *bug.program, report);
+        return report.failed ? 0 : 1;
+    }
+    if (tool == "lbra" || tool == "lcra") {
+        AutoDiagOptions opts;
+        opts.log = logOpts;
+        opts.failureProfiles = cli.profiles;
+        opts.successProfiles = cli.profiles;
+        opts.absencePredicates = tool == "lcra";
+        opts.scheme = cli.proactive
+                          ? transform::SuccessSiteScheme::Proactive
+                          : transform::SuccessSiteScheme::Reactive;
+        AutoDiagResult result =
+            tool == "lbra"
+                ? runLbra(bug.program, bug.failing, bug.succeeding,
+                          opts)
+                : runLcra(bug.program, bug.failing, bug.succeeding,
+                          opts);
+        printRanking(std::cout, *bug.program, result, cli.top);
+        return result.diagnosed ? 0 : 1;
+    }
+    if (tool == "cbi") {
+        if (bug.isCpp) {
+            std::cerr << "CBI cannot instrument C++ applications "
+                         "(Table 6: N/A)\n";
+            return 1;
+        }
+        CbiResult result =
+            runCbi(bug.program, bug.failing, bug.succeeding);
+        if (!result.completed) {
+            std::cout << "CBI: not enough runs completed\n";
+            return 1;
+        }
+        std::cout << "CBI top predictors (" << result.failureRunsUsed
+                  << '+' << result.successRunsUsed << " runs):\n";
+        for (std::size_t i = 0;
+             i < result.ranking.size() && i < cli.top; ++i) {
+            const CbiPredicateScore &p = result.ranking[i];
+            const SourceBranchInfo &info =
+                bug.program->branch(p.branch);
+            std::cout << "  #" << i + 1 << " branch '" << info.note
+                      << "' = " << (p.outcome ? "true" : "false")
+                      << "  (importance " << p.score.importance
+                      << ")\n";
+        }
+        return 0;
+    }
+    std::cerr << "unknown tool '" << cli.tool << "'\n";
+    usage();
+    return 2;
+}
