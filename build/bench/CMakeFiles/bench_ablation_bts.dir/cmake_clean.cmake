@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bts.dir/bench_ablation_bts.cc.o"
+  "CMakeFiles/bench_ablation_bts.dir/bench_ablation_bts.cc.o.d"
+  "bench_ablation_bts"
+  "bench_ablation_bts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

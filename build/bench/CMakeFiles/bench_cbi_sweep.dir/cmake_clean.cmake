@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cbi_sweep.dir/bench_cbi_sweep.cc.o"
+  "CMakeFiles/bench_cbi_sweep.dir/bench_cbi_sweep.cc.o.d"
+  "bench_cbi_sweep"
+  "bench_cbi_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cbi_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_lbr_filters.dir/bench_table1_lbr_filters.cc.o"
+  "CMakeFiles/bench_table1_lbr_filters.dir/bench_table1_lbr_filters.cc.o.d"
+  "bench_table1_lbr_filters"
+  "bench_table1_lbr_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_lbr_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_fpe.dir/bench_table3_fpe.cc.o"
+  "CMakeFiles/bench_table3_fpe.dir/bench_table3_fpe.cc.o.d"
+  "bench_table3_fpe"
+  "bench_table3_fpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_fpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_useful_branches.dir/bench_table5_useful_branches.cc.o"
+  "CMakeFiles/bench_table5_useful_branches.dir/bench_table5_useful_branches.cc.o.d"
+  "bench_table5_useful_branches"
+  "bench_table5_useful_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_useful_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

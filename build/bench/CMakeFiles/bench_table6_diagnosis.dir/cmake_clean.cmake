@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_diagnosis.dir/bench_table6_diagnosis.cc.o"
+  "CMakeFiles/bench_table6_diagnosis.dir/bench_table6_diagnosis.cc.o.d"
+  "bench_table6_diagnosis"
+  "bench_table6_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_diagnosis.dir/concurrency_diagnosis.cc.o"
+  "CMakeFiles/concurrency_diagnosis.dir/concurrency_diagnosis.cc.o.d"
+  "concurrency_diagnosis"
+  "concurrency_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

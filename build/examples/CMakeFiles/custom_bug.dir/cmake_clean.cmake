@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_bug.dir/custom_bug.cc.o"
+  "CMakeFiles/custom_bug.dir/custom_bug.cc.o.d"
+  "custom_bug"
+  "custom_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_enhancement.dir/log_enhancement.cc.o"
+  "CMakeFiles/log_enhancement.dir/log_enhancement.cc.o.d"
+  "log_enhancement"
+  "log_enhancement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_enhancement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_diagnosis.dir/sequential_diagnosis.cc.o"
+  "CMakeFiles/sequential_diagnosis.dir/sequential_diagnosis.cc.o.d"
+  "sequential_diagnosis"
+  "sequential_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_baseline.dir/cbi.cc.o"
+  "CMakeFiles/stm_baseline.dir/cbi.cc.o.d"
+  "CMakeFiles/stm_baseline.dir/cci.cc.o"
+  "CMakeFiles/stm_baseline.dir/cci.cc.o.d"
+  "CMakeFiles/stm_baseline.dir/liblit.cc.o"
+  "CMakeFiles/stm_baseline.dir/liblit.cc.o.d"
+  "CMakeFiles/stm_baseline.dir/pbi.cc.o"
+  "CMakeFiles/stm_baseline.dir/pbi.cc.o.d"
+  "libstm_baseline.a"
+  "libstm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_cache.dir/bus.cc.o"
+  "CMakeFiles/stm_cache.dir/bus.cc.o.d"
+  "CMakeFiles/stm_cache.dir/cache.cc.o"
+  "CMakeFiles/stm_cache.dir/cache.cc.o.d"
+  "CMakeFiles/stm_cache.dir/mesi.cc.o"
+  "CMakeFiles/stm_cache.dir/mesi.cc.o.d"
+  "libstm_cache.a"
+  "libstm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

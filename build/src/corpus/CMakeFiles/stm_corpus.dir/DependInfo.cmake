@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/bug.cc" "src/corpus/CMakeFiles/stm_corpus.dir/bug.cc.o" "gcc" "src/corpus/CMakeFiles/stm_corpus.dir/bug.cc.o.d"
+  "/root/repo/src/corpus/concurrency_bugs.cc" "src/corpus/CMakeFiles/stm_corpus.dir/concurrency_bugs.cc.o" "gcc" "src/corpus/CMakeFiles/stm_corpus.dir/concurrency_bugs.cc.o.d"
+  "/root/repo/src/corpus/coreutils_misc.cc" "src/corpus/CMakeFiles/stm_corpus.dir/coreutils_misc.cc.o" "gcc" "src/corpus/CMakeFiles/stm_corpus.dir/coreutils_misc.cc.o.d"
+  "/root/repo/src/corpus/coreutils_sort.cc" "src/corpus/CMakeFiles/stm_corpus.dir/coreutils_sort.cc.o" "gcc" "src/corpus/CMakeFiles/stm_corpus.dir/coreutils_sort.cc.o.d"
+  "/root/repo/src/corpus/micro_bugs.cc" "src/corpus/CMakeFiles/stm_corpus.dir/micro_bugs.cc.o" "gcc" "src/corpus/CMakeFiles/stm_corpus.dir/micro_bugs.cc.o.d"
+  "/root/repo/src/corpus/mozilla_js.cc" "src/corpus/CMakeFiles/stm_corpus.dir/mozilla_js.cc.o" "gcc" "src/corpus/CMakeFiles/stm_corpus.dir/mozilla_js.cc.o.d"
+  "/root/repo/src/corpus/registry.cc" "src/corpus/CMakeFiles/stm_corpus.dir/registry.cc.o" "gcc" "src/corpus/CMakeFiles/stm_corpus.dir/registry.cc.o.d"
+  "/root/repo/src/corpus/server_bugs.cc" "src/corpus/CMakeFiles/stm_corpus.dir/server_bugs.cc.o" "gcc" "src/corpus/CMakeFiles/stm_corpus.dir/server_bugs.cc.o.d"
+  "/root/repo/src/corpus/tool_bugs.cc" "src/corpus/CMakeFiles/stm_corpus.dir/tool_bugs.cc.o" "gcc" "src/corpus/CMakeFiles/stm_corpus.dir/tool_bugs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/diag/CMakeFiles/stm_diag.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/stm_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/stm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/stm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/stm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/stm_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

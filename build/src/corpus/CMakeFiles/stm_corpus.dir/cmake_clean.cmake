@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_corpus.dir/bug.cc.o"
+  "CMakeFiles/stm_corpus.dir/bug.cc.o.d"
+  "CMakeFiles/stm_corpus.dir/concurrency_bugs.cc.o"
+  "CMakeFiles/stm_corpus.dir/concurrency_bugs.cc.o.d"
+  "CMakeFiles/stm_corpus.dir/coreutils_misc.cc.o"
+  "CMakeFiles/stm_corpus.dir/coreutils_misc.cc.o.d"
+  "CMakeFiles/stm_corpus.dir/coreutils_sort.cc.o"
+  "CMakeFiles/stm_corpus.dir/coreutils_sort.cc.o.d"
+  "CMakeFiles/stm_corpus.dir/micro_bugs.cc.o"
+  "CMakeFiles/stm_corpus.dir/micro_bugs.cc.o.d"
+  "CMakeFiles/stm_corpus.dir/mozilla_js.cc.o"
+  "CMakeFiles/stm_corpus.dir/mozilla_js.cc.o.d"
+  "CMakeFiles/stm_corpus.dir/registry.cc.o"
+  "CMakeFiles/stm_corpus.dir/registry.cc.o.d"
+  "CMakeFiles/stm_corpus.dir/server_bugs.cc.o"
+  "CMakeFiles/stm_corpus.dir/server_bugs.cc.o.d"
+  "CMakeFiles/stm_corpus.dir/tool_bugs.cc.o"
+  "CMakeFiles/stm_corpus.dir/tool_bugs.cc.o.d"
+  "libstm_corpus.a"
+  "libstm_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstm_corpus.a"
+)

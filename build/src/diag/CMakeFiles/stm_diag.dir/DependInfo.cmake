@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diag/auto_diag.cc" "src/diag/CMakeFiles/stm_diag.dir/auto_diag.cc.o" "gcc" "src/diag/CMakeFiles/stm_diag.dir/auto_diag.cc.o.d"
+  "/root/repo/src/diag/event_key.cc" "src/diag/CMakeFiles/stm_diag.dir/event_key.cc.o" "gcc" "src/diag/CMakeFiles/stm_diag.dir/event_key.cc.o.d"
+  "/root/repo/src/diag/log_enhance.cc" "src/diag/CMakeFiles/stm_diag.dir/log_enhance.cc.o" "gcc" "src/diag/CMakeFiles/stm_diag.dir/log_enhance.cc.o.d"
+  "/root/repo/src/diag/ranker.cc" "src/diag/CMakeFiles/stm_diag.dir/ranker.cc.o" "gcc" "src/diag/CMakeFiles/stm_diag.dir/ranker.cc.o.d"
+  "/root/repo/src/diag/report.cc" "src/diag/CMakeFiles/stm_diag.dir/report.cc.o" "gcc" "src/diag/CMakeFiles/stm_diag.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/stm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/stm_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/stm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/stm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/stm_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

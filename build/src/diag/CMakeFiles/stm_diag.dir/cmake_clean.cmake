@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_diag.dir/auto_diag.cc.o"
+  "CMakeFiles/stm_diag.dir/auto_diag.cc.o.d"
+  "CMakeFiles/stm_diag.dir/event_key.cc.o"
+  "CMakeFiles/stm_diag.dir/event_key.cc.o.d"
+  "CMakeFiles/stm_diag.dir/log_enhance.cc.o"
+  "CMakeFiles/stm_diag.dir/log_enhance.cc.o.d"
+  "CMakeFiles/stm_diag.dir/ranker.cc.o"
+  "CMakeFiles/stm_diag.dir/ranker.cc.o.d"
+  "CMakeFiles/stm_diag.dir/report.cc.o"
+  "CMakeFiles/stm_diag.dir/report.cc.o.d"
+  "libstm_diag.a"
+  "libstm_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

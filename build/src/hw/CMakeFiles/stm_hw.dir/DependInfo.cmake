@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/lbr.cc" "src/hw/CMakeFiles/stm_hw.dir/lbr.cc.o" "gcc" "src/hw/CMakeFiles/stm_hw.dir/lbr.cc.o.d"
+  "/root/repo/src/hw/lcr.cc" "src/hw/CMakeFiles/stm_hw.dir/lcr.cc.o" "gcc" "src/hw/CMakeFiles/stm_hw.dir/lcr.cc.o.d"
+  "/root/repo/src/hw/perf_counter.cc" "src/hw/CMakeFiles/stm_hw.dir/perf_counter.cc.o" "gcc" "src/hw/CMakeFiles/stm_hw.dir/perf_counter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/stm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/stm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

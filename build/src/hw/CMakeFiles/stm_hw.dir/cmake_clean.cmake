@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_hw.dir/lbr.cc.o"
+  "CMakeFiles/stm_hw.dir/lbr.cc.o.d"
+  "CMakeFiles/stm_hw.dir/lcr.cc.o"
+  "CMakeFiles/stm_hw.dir/lcr.cc.o.d"
+  "CMakeFiles/stm_hw.dir/perf_counter.cc.o"
+  "CMakeFiles/stm_hw.dir/perf_counter.cc.o.d"
+  "libstm_hw.a"
+  "libstm_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

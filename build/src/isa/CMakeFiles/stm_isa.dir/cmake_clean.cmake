@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_isa.dir/disassembler.cc.o"
+  "CMakeFiles/stm_isa.dir/disassembler.cc.o.d"
+  "CMakeFiles/stm_isa.dir/opcode.cc.o"
+  "CMakeFiles/stm_isa.dir/opcode.cc.o.d"
+  "libstm_isa.a"
+  "libstm_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

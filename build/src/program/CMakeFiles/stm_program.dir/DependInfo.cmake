@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/builder.cc" "src/program/CMakeFiles/stm_program.dir/builder.cc.o" "gcc" "src/program/CMakeFiles/stm_program.dir/builder.cc.o.d"
+  "/root/repo/src/program/cfg.cc" "src/program/CMakeFiles/stm_program.dir/cfg.cc.o" "gcc" "src/program/CMakeFiles/stm_program.dir/cfg.cc.o.d"
+  "/root/repo/src/program/program.cc" "src/program/CMakeFiles/stm_program.dir/program.cc.o" "gcc" "src/program/CMakeFiles/stm_program.dir/program.cc.o.d"
+  "/root/repo/src/program/static_analysis.cc" "src/program/CMakeFiles/stm_program.dir/static_analysis.cc.o" "gcc" "src/program/CMakeFiles/stm_program.dir/static_analysis.cc.o.d"
+  "/root/repo/src/program/transform.cc" "src/program/CMakeFiles/stm_program.dir/transform.cc.o" "gcc" "src/program/CMakeFiles/stm_program.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/stm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

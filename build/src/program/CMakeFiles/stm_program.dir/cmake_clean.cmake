@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_program.dir/builder.cc.o"
+  "CMakeFiles/stm_program.dir/builder.cc.o.d"
+  "CMakeFiles/stm_program.dir/cfg.cc.o"
+  "CMakeFiles/stm_program.dir/cfg.cc.o.d"
+  "CMakeFiles/stm_program.dir/program.cc.o"
+  "CMakeFiles/stm_program.dir/program.cc.o.d"
+  "CMakeFiles/stm_program.dir/static_analysis.cc.o"
+  "CMakeFiles/stm_program.dir/static_analysis.cc.o.d"
+  "CMakeFiles/stm_program.dir/transform.cc.o"
+  "CMakeFiles/stm_program.dir/transform.cc.o.d"
+  "libstm_program.a"
+  "libstm_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

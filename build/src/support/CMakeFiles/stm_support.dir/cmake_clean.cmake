@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_support.dir/logging.cc.o"
+  "CMakeFiles/stm_support.dir/logging.cc.o.d"
+  "CMakeFiles/stm_support.dir/random.cc.o"
+  "CMakeFiles/stm_support.dir/random.cc.o.d"
+  "CMakeFiles/stm_support.dir/stats.cc.o"
+  "CMakeFiles/stm_support.dir/stats.cc.o.d"
+  "libstm_support.a"
+  "libstm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/kernel_driver.cc" "src/vm/CMakeFiles/stm_vm.dir/__/driver/kernel_driver.cc.o" "gcc" "src/vm/CMakeFiles/stm_vm.dir/__/driver/kernel_driver.cc.o.d"
+  "/root/repo/src/vm/library.cc" "src/vm/CMakeFiles/stm_vm.dir/library.cc.o" "gcc" "src/vm/CMakeFiles/stm_vm.dir/library.cc.o.d"
+  "/root/repo/src/vm/machine.cc" "src/vm/CMakeFiles/stm_vm.dir/machine.cc.o" "gcc" "src/vm/CMakeFiles/stm_vm.dir/machine.cc.o.d"
+  "/root/repo/src/vm/run_result.cc" "src/vm/CMakeFiles/stm_vm.dir/run_result.cc.o" "gcc" "src/vm/CMakeFiles/stm_vm.dir/run_result.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/program/CMakeFiles/stm_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/stm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/stm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/stm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_vm.dir/__/driver/kernel_driver.cc.o"
+  "CMakeFiles/stm_vm.dir/__/driver/kernel_driver.cc.o.d"
+  "CMakeFiles/stm_vm.dir/library.cc.o"
+  "CMakeFiles/stm_vm.dir/library.cc.o.d"
+  "CMakeFiles/stm_vm.dir/machine.cc.o"
+  "CMakeFiles/stm_vm.dir/machine.cc.o.d"
+  "CMakeFiles/stm_vm.dir/run_result.cc.o"
+  "CMakeFiles/stm_vm.dir/run_result.cc.o.d"
+  "libstm_vm.a"
+  "libstm_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/test_cache.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/test_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/stm_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/stm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/diag/CMakeFiles/stm_diag.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/stm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/stm_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/stm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/stm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/stm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_diagnose.dir/stm_diagnose.cc.o"
+  "CMakeFiles/stm_diagnose.dir/stm_diagnose.cc.o.d"
+  "stm_diagnose"
+  "stm_diagnose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_diagnose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_list "/root/repo/build/tools/stm_diagnose" "--list")
+set_tests_properties(tool_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_diagnose_sort "/root/repo/build/tools/stm_diagnose" "sort")
+set_tests_properties(tool_diagnose_sort PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_diagnose_js3 "/root/repo/build/tools/stm_diagnose" "mozilla-js3" "--conf1" "--tool" "lcrlog")
+set_tests_properties(tool_diagnose_js3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
