@@ -20,8 +20,9 @@ using namespace stm;
 using namespace stm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyJobsFlag(argc, argv);
     std::cout << "LBR vs BTS (Section 2.1): capture depth and "
                  "production overhead\n\n"
               << cell("App", 11) << cell("LBR pos", 9)

@@ -18,8 +18,9 @@ using namespace stm;
 using namespace stm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyJobsFlag(argc, argv);
     std::cout << "LBR-depth ablation: sequential failures whose "
                  "root-cause/related branch is captured by LBRLOG\n\n"
               << cell("depth", 8) << cell("captured", 10)

@@ -20,8 +20,9 @@ using namespace stm;
 using namespace stm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyJobsFlag(argc, argv);
     std::cout << "LCR-depth ablation (Conf2) over the 7 diagnosable "
                  "concurrency failures\n\n"
               << cell("K", 6) << cell("FPE in LCRLOG", 15)

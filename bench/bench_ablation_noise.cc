@@ -21,8 +21,9 @@ using namespace stm;
 using namespace stm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyJobsFlag(argc, argv);
     std::cout << "LCRA vs eviction noise: shrinking the L1 floods "
                  "the LCR with eviction-invalid events\n\n"
               << cell("L1 size", 10) << cell("bug", 14)

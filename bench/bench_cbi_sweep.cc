@@ -39,8 +39,9 @@ scoredRank(const BugSpec &bug, const CbiResult &result)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyJobsFlag(argc, argv);
     std::cout << "CBI run-budget sweep over the 15 C-program "
                  "failures (Section 7.2)\n\n"
               << cell("App", 11) << cell("@10", 7) << cell("@100", 7)

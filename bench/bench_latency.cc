@@ -10,8 +10,15 @@
  *    at 500 failing runs for 10/15 programs).
  *  - LCRA vs PBI and CCI on a concurrency failure (Mozilla-JS3):
  *    same story, which matters double for races that manifest rarely.
+ *
+ * The bench also measures wall-clock throughput of the run-execution
+ * engine on a >= 1000-run CBI campaign, serial vs parallel, and emits
+ * the numbers as machine-readable JSON (BENCH_latency.json) so future
+ * changes have a perf trajectory to track.
  */
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "baseline/cbi.hh"
@@ -19,14 +26,91 @@
 #include "baseline/pbi.hh"
 #include "corpus/registry.hh"
 #include "diag/auto_diag.hh"
+#include "exec/run_pool.hh"
 #include "table_util.hh"
 
 using namespace stm;
 using namespace stm::bench;
 
-int
-main()
+namespace
 {
+
+struct ThroughputSample
+{
+    unsigned jobs = 1;
+    std::uint64_t runs = 0;
+    double wallSec = 0.0;
+    double runsPerSec = 0.0;
+    double utilization = 0.0;
+};
+
+/** Time one 1000+1000-run CBI campaign at the given worker count. */
+ThroughputSample
+timeCbiCampaign(const BugSpec &bug, unsigned jobs)
+{
+    CbiOptions opts;
+    opts.failureRuns = 1000;
+    opts.successRuns = 1000;
+    opts.jobs = jobs;
+    resetExecStats();
+    auto start = std::chrono::steady_clock::now();
+    CbiResult r = runCbi(bug.program, bug.failing, bug.succeeding,
+                         opts);
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    ThroughputSample sample;
+    sample.jobs = jobs;
+    sample.runs = execStats().value("runs");
+    sample.wallSec = elapsed.count();
+    sample.runsPerSec = execRunsPerSecond();
+    sample.utilization = execUtilization();
+    if (!r.completed)
+        std::cout << "  (campaign incomplete?!)\n";
+    return sample;
+}
+
+void
+printSample(const char *label, const ThroughputSample &s)
+{
+    std::cout << "  " << cell(label, 10) << s.runs << " runs in "
+              << std::fixed << std::setprecision(3) << s.wallSec
+              << " s  (" << std::setprecision(0) << s.runsPerSec
+              << " runs/sec, " << s.jobs << " jobs, "
+              << std::setprecision(0) << s.utilization * 100.0
+              << "% utilization)\n"
+              << std::defaultfloat << std::setprecision(6);
+}
+
+void
+writeJson(const ThroughputSample &serial,
+          const ThroughputSample &parallel)
+{
+    std::ofstream os("BENCH_latency.json");
+    double speedup = parallel.wallSec > 0.0
+                         ? serial.wallSec / parallel.wallSec
+                         : 0.0;
+    os << std::fixed << std::setprecision(6);
+    os << "{\n"
+       << "  \"workload\": \"cbi-cp-1000+1000\",\n"
+       << "  \"serial\": {\"jobs\": " << serial.jobs
+       << ", \"runs\": " << serial.runs
+       << ", \"wall_sec\": " << serial.wallSec
+       << ", \"runs_per_sec\": " << serial.runsPerSec << "},\n"
+       << "  \"parallel\": {\"jobs\": " << parallel.jobs
+       << ", \"runs\": " << parallel.runs
+       << ", \"wall_sec\": " << parallel.wallSec
+       << ", \"runs_per_sec\": " << parallel.runsPerSec
+       << ", \"utilization\": " << parallel.utilization << "},\n"
+       << "  \"speedup\": " << speedup << "\n"
+       << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::applyJobsFlag(argc, argv);
     std::cout << "Diagnosis latency: failing runs needed before the "
                  "root cause ranks first\n\n";
 
@@ -133,5 +217,26 @@ main()
                  "needs ~1000 failing runs and fails at 500 for 10 "
                  "of 15 programs; PBI/CCI need hundreds to "
                  "thousands)\n";
+
+    // ---- execution-engine throughput: serial vs parallel ----------------
+    {
+        BugSpec bug = corpus::bugById("cp");
+        unsigned jobs = defaultJobs();
+        std::cout << "\nRun-execution throughput (CBI 1000+1000 on "
+                     "cp):\n";
+        ThroughputSample serial = timeCbiCampaign(bug, 1);
+        printSample("serial", serial);
+        ThroughputSample parallel = timeCbiCampaign(bug, jobs);
+        printSample("parallel", parallel);
+        double speedup = parallel.wallSec > 0.0
+                             ? serial.wallSec / parallel.wallSec
+                             : 0.0;
+        std::cout << "  speedup   " << std::fixed
+                  << std::setprecision(2) << speedup << "x at "
+                  << jobs << " jobs\n"
+                  << std::defaultfloat << std::setprecision(6);
+        writeJson(serial, parallel);
+        std::cout << "  (written to BENCH_latency.json)\n";
+    }
     return 0;
 }

@@ -51,8 +51,9 @@ allBranchKindsProgram()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyJobsFlag(argc, argv);
     struct MaskRow
     {
         const char *name;

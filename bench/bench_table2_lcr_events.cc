@@ -21,8 +21,9 @@ using namespace stm;
 using namespace stm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyJobsFlag(argc, argv);
     std::cout << "Table 2 semantics: loads/stores observing each "
                  "pre-access MESI state\n(counted by a performance "
                  "counter and recorded by LCR under the matching "

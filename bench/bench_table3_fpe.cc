@@ -52,8 +52,9 @@ paperExpectation(InterleavingKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyJobsFlag(argc, argv);
     std::cout << "Table 3: failure-predicting events (FPE) per "
                  "concurrency-bug class,\nand how often the FPE "
                  "appears in the failure thread's LCR (Conf2, 16 "

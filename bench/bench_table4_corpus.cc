@@ -38,8 +38,9 @@ printRows(const std::vector<BugSpec> &bugs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyJobsFlag(argc, argv);
     std::cout << "Table 4: features of the real-world failures "
                  "evaluated (and of their reproductions)\n\n"
               << cell("Program", 13) << cell("Version", 9)

@@ -52,8 +52,9 @@ constexpr AppRow kApps[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyJobsFlag(argc, argv);
     std::cout
         << "Table 5: useful-branch ratio per application "
            "(static CFG analysis over every logging site)\n\n"

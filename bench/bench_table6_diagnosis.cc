@@ -72,8 +72,9 @@ lbrPatchDistance(const BugSpec &bug,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyJobsFlag(argc, argv);
     std::cout
         << "Table 6 (diagnosis): LBRLOG / LBRA / CBI on the 20 "
            "sequential-bug failures\n"

@@ -63,8 +63,9 @@ observeFailure(const BugSpec &bug, LogSiteId *site,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyJobsFlag(argc, argv);
     std::cout << "Table 6 (overhead %): steady-state instrumentation "
                  "overhead on production workloads (measured | "
                  "paper)\n\n"

@@ -31,8 +31,9 @@ using namespace stm;
 using namespace stm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyJobsFlag(argc, argv);
     std::cout << "Table 7: LCRLOG / LCRA on the 11 concurrency-bug "
                  "failures (measured | paper)\n\n"
               << cell("ID", 13) << cell("LCRLOG Conf1", 15)

@@ -7,13 +7,35 @@
 #ifndef STM_BENCH_TABLE_UTIL_HH
 #define STM_BENCH_TABLE_UTIL_HH
 
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "exec/run_pool.hh"
+
 namespace stm::bench
 {
+
+/**
+ * Install the worker count for this bench process from a `--jobs N`
+ * argument (falling back to STM_JOBS, then hardware concurrency).
+ * Every table driver calls this first; the run-execution engine
+ * guarantees identical measured values for any worker count, so
+ * --jobs only changes how long the bench takes.
+ */
+inline void
+applyJobsFlag(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--jobs") {
+            long n = std::strtol(argv[i + 1], nullptr, 10);
+            if (n >= 1)
+                setDefaultJobs(static_cast<unsigned>(n));
+        }
+    }
+}
 
 /** Fixed-width left-aligned cell. */
 inline std::string

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "exec/run_pool.hh"
 #include "program/transform.hh"
 #include "vm/machine.hh"
 
@@ -87,32 +88,52 @@ runCbi(ProgramPtr prog, const Workload &failing,
         }
     };
 
+    // The 1000+1000-run gathers are embarrassingly parallel: the
+    // program is fully instrumented before fan-out, each run is
+    // seeded by its attempt index, and results are consumed in
+    // attempt order, so the set of used runs (and hence the tallies
+    // and attempt counts) is bit-identical to the serial loop.
+    RunPool pool(opts.jobs);
+
     // Gather failing runs.
     std::uint64_t attempt = 0;
-    while (result.failureRunsUsed < opts.failureRuns &&
-           attempt < opts.maxAttempts) {
-        Machine machine(prog, failing.forRun(attempt));
-        RunResult run = machine.run();
-        ++attempt;
-        if (!failing.isFailure(run))
-            continue;
-        accumulate(run, true);
-        ++result.failureRunsUsed;
+    if (opts.failureRuns > 0) {
+        pool.runOrdered(
+            0, opts.maxAttempts,
+            [prog, &failing](std::uint64_t i) {
+                Machine machine(prog, failing.forRun(i));
+                return machine.run();
+            },
+            [&](std::uint64_t i, RunResult &&run) {
+                if (result.failureRunsUsed >= opts.failureRuns)
+                    return false;
+                attempt = i + 1;
+                if (!failing.isFailure(run))
+                    return true;
+                accumulate(run, true);
+                ++result.failureRunsUsed;
+                return true;
+            });
     }
     result.failureAttempts = attempt;
 
     // Gather successful runs.
-    std::uint64_t successAttempt = 0;
-    while (result.successRunsUsed < opts.successRuns &&
-           successAttempt < opts.maxAttempts) {
-        Machine machine(prog,
-                        succeeding.forRun(5000000 + successAttempt));
-        RunResult run = machine.run();
-        ++successAttempt;
-        if (succeeding.isFailure(run))
-            continue;
-        accumulate(run, false);
-        ++result.successRunsUsed;
+    if (opts.successRuns > 0) {
+        pool.runOrdered(
+            0, opts.maxAttempts,
+            [prog, &succeeding](std::uint64_t i) {
+                Machine machine(prog, succeeding.forRun(5000000 + i));
+                return machine.run();
+            },
+            [&](std::uint64_t, RunResult &&run) {
+                if (result.successRunsUsed >= opts.successRuns)
+                    return false;
+                if (succeeding.isFailure(run))
+                    return true;
+                accumulate(run, false);
+                ++result.successRunsUsed;
+                return true;
+            });
     }
 
     if (result.failureRunsUsed == 0 || result.successRunsUsed == 0)

@@ -35,6 +35,11 @@ struct CbiOptions
     std::uint32_t successRuns = 1000;
     /** Budget of total run attempts. */
     std::uint64_t maxAttempts = 2000000;
+    /**
+     * Worker threads for run execution (0 = STM_JOBS, else hardware
+     * concurrency); results are bit-identical for any value.
+     */
+    unsigned jobs = 0;
 };
 
 /** One scored CBI branch predicate. */

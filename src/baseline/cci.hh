@@ -32,6 +32,11 @@ struct CciOptions
     std::uint32_t failureRuns = 1000;
     std::uint32_t successRuns = 1000;
     std::uint64_t maxAttempts = 2000000;
+    /**
+     * Worker threads for run execution (0 = STM_JOBS, else hardware
+     * concurrency); results are bit-identical for any value.
+     */
+    unsigned jobs = 0;
 };
 
 /** One scored CCI predicate. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "exec/run_pool.hh"
 #include "program/transform.hh"
 #include "vm/machine.hh"
 
@@ -59,30 +60,48 @@ runPbi(ProgramPtr prog, const Workload &failing,
         }
     };
 
+    // Fan the independent runs out across the pool; ordered
+    // consumption keeps the used-run set and attempt counts
+    // bit-identical to the serial loop (see exec/run_pool.hh).
+    RunPool pool(opts.jobs);
+
     std::uint64_t attempt = 0;
-    while (result.failureRunsUsed < opts.failureRuns &&
-           attempt < opts.maxAttempts) {
-        Machine machine(prog, failing.forRun(attempt));
-        RunResult run = machine.run();
-        ++attempt;
-        if (!failing.isFailure(run))
-            continue;
-        accumulate(run, true);
-        ++result.failureRunsUsed;
+    if (opts.failureRuns > 0) {
+        pool.runOrdered(
+            0, opts.maxAttempts,
+            [prog, &failing](std::uint64_t i) {
+                Machine machine(prog, failing.forRun(i));
+                return machine.run();
+            },
+            [&](std::uint64_t i, RunResult &&run) {
+                if (result.failureRunsUsed >= opts.failureRuns)
+                    return false;
+                attempt = i + 1;
+                if (!failing.isFailure(run))
+                    return true;
+                accumulate(run, true);
+                ++result.failureRunsUsed;
+                return true;
+            });
     }
     result.failureAttempts = attempt;
 
-    std::uint64_t successAttempt = 0;
-    while (result.successRunsUsed < opts.successRuns &&
-           successAttempt < opts.maxAttempts) {
-        Machine machine(prog,
-                        succeeding.forRun(5000000 + successAttempt));
-        RunResult run = machine.run();
-        ++successAttempt;
-        if (succeeding.isFailure(run))
-            continue;
-        accumulate(run, false);
-        ++result.successRunsUsed;
+    if (opts.successRuns > 0) {
+        pool.runOrdered(
+            0, opts.maxAttempts,
+            [prog, &succeeding](std::uint64_t i) {
+                Machine machine(prog, succeeding.forRun(5000000 + i));
+                return machine.run();
+            },
+            [&](std::uint64_t, RunResult &&run) {
+                if (result.successRunsUsed >= opts.successRuns)
+                    return false;
+                if (succeeding.isFailure(run))
+                    return true;
+                accumulate(run, false);
+                ++result.successRunsUsed;
+                return true;
+            });
     }
 
     if (result.failureRunsUsed == 0 || result.successRunsUsed == 0)

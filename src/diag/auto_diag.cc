@@ -1,5 +1,8 @@
 #include "diag/auto_diag.hh"
 
+#include <optional>
+
+#include "exec/run_pool.hh"
 #include "program/cfg.hh"
 #include "support/logging.hh"
 #include "vm/machine.hh"
@@ -41,6 +44,18 @@ eventsOf(const ProfileRecord &profile)
     return eventsOfLcr(profile.lcr);
 }
 
+/**
+ * Runs fan out across the pool, but every decision that the serial
+ * loop made — which attempts count, which profiles feed the ranker,
+ * when to give up — is replayed in strict attempt order on the
+ * consuming thread, so the result is bit-identical to the serial
+ * path for any worker count.
+ *
+ * The failure loop is split in two pool batches around the pinning
+ * failure: the Reactive scheme re-instruments the program once the
+ * failure site is known, and the program must never be mutated while
+ * Machines are in flight. The pool drains between batches.
+ */
 AutoDiagResult
 runAutoDiag(ProgramPtr prog, const Workload &failing,
             const Workload &succeeding, const AutoDiagOptions &opts,
@@ -48,7 +63,7 @@ runAutoDiag(ProgramPtr prog, const Workload &failing,
 {
     AutoDiagResult result;
 
-    // 1. Base log-enhancement instrumentation.
+    // 1. Base log-enhancement instrumentation (before any fan-out).
     transform::clear(*prog);
     if (lbr) {
         transform::LbrLogPlan plan;
@@ -71,14 +86,21 @@ runAutoDiag(ProgramPtr prog, const Workload &failing,
 
     ProfileKind kind = lbr ? ProfileKind::Lbr : ProfileKind::Lcr;
     StatisticalRanker ranker;
+    RunPool pool(opts.jobs);
 
-    auto runOnce = [&](const Workload &workload, std::uint64_t i) {
-        MachineOptions machineOpts = workload.forRun(i);
-        machineOpts.lbrEntries = opts.log.lbrEntries;
-        machineOpts.lcrEntries = opts.log.lcrEntries;
-        Machine machine(prog, machineOpts);
-        return machine.run();
+    auto makeRunner = [&](const Workload &workload,
+                          std::uint64_t seed_base) {
+        return [prog, &opts, &workload,
+                seed_base](std::uint64_t i) {
+            MachineOptions machineOpts =
+                workload.forRun(seed_base + i);
+            machineOpts.lbrEntries = opts.log.lbrEntries;
+            machineOpts.lcrEntries = opts.log.lcrEntries;
+            Machine machine(prog, machineOpts);
+            return machine.run();
+        };
     };
+    auto failureRunner = makeRunner(failing, 0);
 
     // 2. Observe failures; the first one pins the failure site.
     bool haveSite = false;
@@ -86,69 +108,115 @@ runAutoDiag(ProgramPtr prog, const Workload &failing,
     std::uint64_t attempt = 0;
     std::uint64_t failingRunsSeen = 0;
 
-    while (result.failureRunsUsed < opts.failureProfiles &&
-           attempt < opts.maxAttempts) {
-        // Give up early if failures reproduce but never carry a
-        // profile at a usable site (silent-corruption bugs).
-        if (failingRunsSeen >=
-                std::uint64_t{5} * opts.failureProfiles + 20 &&
-            result.failureRunsUsed == 0) {
-            break;
-        }
-        RunResult run = runOnce(failing, attempt);
-        ++attempt;
-        if (!failing.isFailure(run))
-            continue;
-        ++failingRunsSeen;
-        // Silent failures (no fail-stop, no checkpoint hint) leave no
-        // profiling location at all — the Apache5/Cherokee/JS2 class.
-        if (!run.failure && !failing.failureSiteHint)
-            continue;
+    // Give up early if failures reproduce but never carry a profile
+    // at a usable site (silent-corruption bugs).
+    auto shouldGiveUp = [&] {
+        return failingRunsSeen >=
+                   std::uint64_t{5} * opts.failureProfiles + 20 &&
+               result.failureRunsUsed == 0;
+    };
 
+    // 2a. Pin search: attempts run with the pre-pin instrumentation
+    // until the first failure with a usable site stops the batch.
+    std::optional<RunResult> pinRun;
+    if (opts.failureProfiles > 0) {
+        pool.runOrdered(
+            0, opts.maxAttempts, failureRunner,
+            [&](std::uint64_t i, RunResult &&run) {
+                if (shouldGiveUp())
+                    return false;
+                attempt = i + 1;
+                if (!failing.isFailure(run))
+                    return true;
+                ++failingRunsSeen;
+                // Silent failures (no fail-stop, no checkpoint hint)
+                // leave no profiling location at all — the
+                // Apache5/Cherokee/JS2 class.
+                if (!run.failure && !failing.failureSiteHint)
+                    return true;
+                pinRun = std::move(run);
+                return false;
+            });
+    }
+
+    if (pinRun) {
+        const RunResult &run = *pinRun;
         LogSiteId site = kSegfaultSite;
         if (run.failure)
             site = run.failure->site;
         else if (failing.failureSiteHint)
             site = *failing.failureSiteHint;
 
-        if (!haveSite) {
-            haveSite = true;
-            result.site = site;
-            if (run.failure)
-                faultInstr = run.failure->instrIndex;
-            // Reactive scheme: now that the failure location is
-            // known, instrument its success site (a code patch, or
-            // dynamic binary rewriting on the deployed binary).
-            if (opts.scheme ==
-                transform::SuccessSiteScheme::Reactive) {
-                if (result.site == kSegfaultSite) {
-                    transform::applySuccessSites(
-                        *prog, cfg, lbr,
-                        transform::SuccessSiteScheme::Reactive,
-                        kSegfaultSite, faultInstr);
-                } else {
-                    transform::applySuccessSites(
-                        *prog, cfg, lbr,
-                        transform::SuccessSiteScheme::Reactive,
-                        result.site);
-                }
+        haveSite = true;
+        result.site = site;
+        if (run.failure)
+            faultInstr = run.failure->instrIndex;
+        // Reactive scheme: now that the failure location is known,
+        // instrument its success site (a code patch, or dynamic
+        // binary rewriting on the deployed binary). The pool drained
+        // before we got here, so no Machine observes the mutation.
+        if (opts.scheme == transform::SuccessSiteScheme::Reactive) {
+            if (result.site == kSegfaultSite) {
+                transform::applySuccessSites(
+                    *prog, cfg, lbr,
+                    transform::SuccessSiteScheme::Reactive,
+                    kSegfaultSite, faultInstr);
+            } else {
+                transform::applySuccessSites(
+                    *prog, cfg, lbr,
+                    transform::SuccessSiteScheme::Reactive,
+                    result.site);
             }
         }
-        if (site != result.site)
-            continue; // a different failure; diagnosed separately
-        // Crashes are distinguished by faulting location: a crash at
-        // a different instruction is a different failure.
-        if (site == kSegfaultSite && run.failure &&
-            run.failure->instrIndex != faultInstr) {
-            continue;
-        }
-
         const ProfileRecord *profile =
             pickProfile(run, kind, site, false);
-        if (!profile)
-            continue;
-        ranker.addFailureProfile(eventsOf(*profile));
-        ++result.failureRunsUsed;
+        if (profile) {
+            ranker.addFailureProfile(eventsOf(*profile));
+            ++result.failureRunsUsed;
+        }
+        pinRun.reset();
+    }
+
+    // 2b. Collect the remaining failure profiles with the (possibly
+    // re-instrumented) program.
+    if (haveSite && result.failureRunsUsed < opts.failureProfiles &&
+        attempt < opts.maxAttempts) {
+        pool.runOrdered(
+            attempt, opts.maxAttempts - attempt, failureRunner,
+            [&](std::uint64_t i, RunResult &&run) {
+                if (result.failureRunsUsed >= opts.failureProfiles)
+                    return false;
+                if (shouldGiveUp())
+                    return false;
+                attempt = i + 1;
+                if (!failing.isFailure(run))
+                    return true;
+                ++failingRunsSeen;
+                if (!run.failure && !failing.failureSiteHint)
+                    return true;
+                LogSiteId site = kSegfaultSite;
+                if (run.failure)
+                    site = run.failure->site;
+                else if (failing.failureSiteHint)
+                    site = *failing.failureSiteHint;
+                if (site != result.site)
+                    return true; // a different failure; diagnosed
+                                 // separately
+                // Crashes are distinguished by faulting location: a
+                // crash at a different instruction is a different
+                // failure.
+                if (site == kSegfaultSite && run.failure &&
+                    run.failure->instrIndex != faultInstr) {
+                    return true;
+                }
+                const ProfileRecord *profile =
+                    pickProfile(run, kind, site, false);
+                if (!profile)
+                    return true;
+                ranker.addFailureProfile(eventsOf(*profile));
+                ++result.failureRunsUsed;
+                return true;
+            });
     }
     result.failureAttempts = attempt;
     if (!haveSite || result.failureRunsUsed == 0)
@@ -156,18 +224,24 @@ runAutoDiag(ProgramPtr prog, const Workload &failing,
 
     // 3. Collect success-run profiles at the same site.
     std::uint64_t successAttempt = 0;
-    while (result.successRunsUsed < opts.successProfiles &&
-           successAttempt < opts.maxAttempts) {
-        RunResult run = runOnce(succeeding, 1000000 + successAttempt);
-        ++successAttempt;
-        if (succeeding.isFailure(run))
-            continue;
-        const ProfileRecord *profile =
-            pickProfile(run, kind, result.site, true);
-        if (!profile)
-            continue;
-        ranker.addSuccessProfile(eventsOf(*profile));
-        ++result.successRunsUsed;
+    if (opts.successProfiles > 0) {
+        auto successRunner = makeRunner(succeeding, 1000000);
+        pool.runOrdered(
+            0, opts.maxAttempts, successRunner,
+            [&](std::uint64_t i, RunResult &&run) {
+                if (result.successRunsUsed >= opts.successProfiles)
+                    return false;
+                successAttempt = i + 1;
+                if (succeeding.isFailure(run))
+                    return true;
+                const ProfileRecord *profile =
+                    pickProfile(run, kind, result.site, true);
+                if (!profile)
+                    return true;
+                ranker.addSuccessProfile(eventsOf(*profile));
+                ++result.successRunsUsed;
+                return true;
+            });
     }
     result.successAttempts = successAttempt;
     if (result.successRunsUsed == 0)

@@ -9,6 +9,9 @@ StatGroup::dump(std::ostream &os) const
     for (const auto &kv : counters_)
         os << name_ << '.' << kv.first << ' ' << kv.second.value()
            << '\n';
+    for (const auto &kv : gauges_)
+        os << name_ << '.' << kv.first << ' ' << kv.second.value()
+           << '\n';
 }
 
 } // namespace stm

@@ -33,6 +33,24 @@ class Counter
 };
 
 /**
+ * A named floating-point gauge: a derived quantity (a rate, a
+ * utilization fraction) set by its owner, read by the harness. Unlike
+ * a Counter it carries the latest value, not an accumulation.
+ */
+class Gauge
+{
+  public:
+    Gauge() : value_(0.0) {}
+
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_;
+};
+
+/**
  * A registry of counters owned by one simulated component. Components
  * create counters lazily by name; the harness dumps them all.
  */
@@ -44,6 +62,9 @@ class StatGroup
     /** Fetch (creating if needed) the counter called @p stat. */
     Counter &counter(const std::string &stat) { return counters_[stat]; }
 
+    /** Fetch (creating if needed) the gauge called @p stat. */
+    Gauge &gauge(const std::string &stat) { return gauges_[stat]; }
+
     /** Value of @p stat, or 0 if it was never touched. */
     std::uint64_t
     value(const std::string &stat) const
@@ -52,13 +73,23 @@ class StatGroup
         return it == counters_.end() ? 0 : it->second.value();
     }
 
+    /** Value of gauge @p stat, or 0.0 if it was never touched. */
+    double
+    gaugeValue(const std::string &stat) const
+    {
+        auto it = gauges_.find(stat);
+        return it == gauges_.end() ? 0.0 : it->second.value();
+    }
+
     const std::string &name() const { return name_; }
 
-    /** Reset every counter in the group. */
+    /** Reset every counter and gauge in the group. */
     void
     reset()
     {
         for (auto &kv : counters_)
+            kv.second.reset();
+        for (auto &kv : gauges_)
             kv.second.reset();
     }
 
@@ -68,6 +99,7 @@ class StatGroup
   private:
     std::string name_;
     std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
 };
 
 } // namespace stm

@@ -23,6 +23,7 @@
 #include "diag/auto_diag.hh"
 #include "diag/log_enhance.hh"
 #include "diag/report.hh"
+#include "exec/run_pool.hh"
 #include "support/logging.hh"
 
 using namespace stm;
@@ -41,6 +42,7 @@ struct CliOptions
     bool proactive = false;
     std::size_t top = 5;
     bool list = false;
+    unsigned jobs = 0; //!< 0 = STM_JOBS, else hardware concurrency
 };
 
 void
@@ -60,12 +62,16 @@ usage()
         << "  --profiles N      failure/success profiles for "
            "LBRA/LCRA (default 10)\n"
         << "  --proactive       proactive success-site scheme\n"
-        << "  --top N           predictors to print (default 5)\n";
+        << "  --top N           predictors to print (default 5)\n"
+        << "  --jobs N          worker threads for run execution\n"
+           "                    (default: STM_JOBS env, else hardware "
+           "concurrency;\n"
+           "                    results are identical for any N)\n";
 }
 
 bool
 parse(int argc, char **argv, CliOptions *out)
-{
+try {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -99,6 +105,11 @@ parse(int argc, char **argv, CliOptions *out)
             if (!v)
                 return false;
             out->top = std::stoul(v);
+        } else if (arg == "--jobs") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->jobs = static_cast<unsigned>(std::stoul(v));
         } else if (arg == "--help" || arg == "-h") {
             return false;
         } else if (!arg.empty() && arg[0] != '-') {
@@ -109,6 +120,11 @@ parse(int argc, char **argv, CliOptions *out)
         }
     }
     return out->list || !out->bugId.empty();
+} catch (const std::exception &) {
+    // Non-numeric value for a numeric option (--entries, --profiles,
+    // --top, --jobs).
+    std::cerr << "invalid numeric option value\n";
+    return false;
 }
 
 int
@@ -146,6 +162,8 @@ main(int argc, char **argv)
     }
     if (cli.list)
         return listCorpus();
+    if (cli.jobs > 0)
+        setDefaultJobs(cli.jobs);
 
     BugSpec bug;
     try {
