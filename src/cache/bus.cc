@@ -8,6 +8,11 @@ namespace stm
 Bus::Bus(const CacheGeometry &geometry)
     : geometry_(geometry), stats_("bus")
 {
+    loadHits_ = &stats_.counter("load_hits");
+    busReads_ = &stats_.counter("bus_reads");
+    storeHits_ = &stats_.counter("store_hits");
+    busUpgrades_ = &stats_.counter("bus_upgrades");
+    busReadExclusives_ = &stats_.counter("bus_read_exclusives");
 }
 
 L1Cache &
@@ -50,66 +55,47 @@ Bus::otherSharers(std::uint32_t core_id, Addr block) const
     return false;
 }
 
-MesiState
-Bus::access(std::uint32_t core_id, Addr addr, bool is_store)
+void
+Bus::accessMiss(L1Cache &requester, Addr block)
 {
-    L1Cache &requester = cache(core_id);
-    Addr block = requester.blockOf(addr);
-    MesiState observed = requester.stateOf(addr);
-
-    if (!is_store) {
-        if (observed != MesiState::Invalid) {
-            // Load hit: state unchanged.
-            requester.touch(block);
-            ++stats_.counter("load_hits");
-            return observed;
-        }
-        // Load miss: BusRd. Owners downgrade to Shared.
-        ++stats_.counter("bus_reads");
-        for (auto &c : caches_) {
-            if (c->coreId() != core_id)
-                c->snoopRead(block);
-        }
-        bool shared = otherSharers(core_id, block);
-        requester.fill(block,
-                       shared ? MesiState::Shared
-                              : MesiState::Exclusive);
-        return observed;
+    // Load miss: BusRd. Owners downgrade to Shared.
+    ++*busReads_;
+    std::uint32_t core_id = requester.coreId();
+    for (auto &c : caches_) {
+        if (c->coreId() != core_id)
+            c->snoopRead(block);
     }
+    bool shared = otherSharers(core_id, block);
+    requester.fill(block, shared ? MesiState::Shared
+                                 : MesiState::Exclusive);
+}
 
-    // Store.
-    switch (observed) {
-      case MesiState::Modified:
-        requester.touch(block);
-        ++stats_.counter("store_hits");
-        break;
-      case MesiState::Exclusive:
-        // Silent upgrade.
-        requester.setState(block, MesiState::Modified);
-        requester.touch(block);
-        ++stats_.counter("store_hits");
-        break;
-      case MesiState::Shared:
-        // BusUpgr: invalidate the other copies.
-        ++stats_.counter("bus_upgrades");
-        for (auto &c : caches_) {
-            if (c->coreId() != core_id)
-                c->snoopWrite(block);
-        }
-        requester.setState(block, MesiState::Modified);
-        requester.touch(block);
-        break;
-      case MesiState::Invalid:
-        // BusRdX: invalidate everywhere, then fill Modified.
-        ++stats_.counter("bus_read_exclusives");
-        for (auto &c : caches_) {
-            if (c->coreId() != core_id)
-                c->snoopWrite(block);
-        }
-        requester.fill(block, MesiState::Modified);
-        break;
+void
+Bus::storeUpgrade(L1Cache &requester, L1Cache::Line *line, Addr block)
+{
+    // BusUpgr: invalidate the other copies. The Line pointer stays
+    // valid across the snoops — they only touch *other* caches.
+    ++*busUpgrades_;
+    std::uint32_t core_id = requester.coreId();
+    for (auto &c : caches_) {
+        if (c->coreId() != core_id)
+            c->snoopWrite(block);
     }
-    return observed;
+    line->state = MesiState::Modified;
+    line->lastUse = ++requester.tick_;
+}
+
+void
+Bus::storeMiss(L1Cache &requester, Addr block)
+{
+    // BusRdX: invalidate everywhere, then fill Modified.
+    ++*busReadExclusives_;
+    std::uint32_t core_id = requester.coreId();
+    for (auto &c : caches_) {
+        if (c->coreId() != core_id)
+            c->snoopWrite(block);
+    }
+    requester.fill(block, MesiState::Modified);
 }
 
 void

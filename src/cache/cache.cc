@@ -14,12 +14,24 @@ isPowerOfTwo(std::uint32_t v)
     return v != 0 && (v & (v - 1)) == 0;
 }
 
+std::uint32_t
+log2u32(std::uint32_t v)
+{
+    std::uint32_t shift = 0;
+    while ((std::uint32_t{1} << shift) < v)
+        ++shift;
+    return shift;
+}
+
 } // namespace
 
 L1Cache::L1Cache(std::uint32_t core_id, const CacheGeometry &geometry)
     : coreId_(core_id),
       geometry_(geometry),
       numSets_(0),
+      blockShift_(0),
+      setMask_(0),
+      setsArePow2_(false),
       tick_(0),
       stats_("l1d" + std::to_string(core_id))
 {
@@ -33,37 +45,31 @@ L1Cache::L1Cache(std::uint32_t core_id, const CacheGeometry &geometry)
         fatal("cache associativity {} does not divide {} blocks",
               geometry.assoc, blocks);
     numSets_ = blocks / geometry.assoc;
+    blockShift_ = log2u32(geometry.blockBytes);
+    setsArePow2_ = isPowerOfTwo(numSets_);
+    setMask_ = setsArePow2_ ? numSets_ - 1 : 0;
     lines_.resize(blocks);
-}
-
-Addr
-L1Cache::blockOf(Addr addr) const
-{
-    return addr / geometry_.blockBytes;
-}
-
-std::uint32_t
-L1Cache::setIndex(Addr block) const
-{
-    return static_cast<std::uint32_t>(block % numSets_);
+    mruWay_.assign(numSets_, 0);
+    fills_ = &stats_.counter("fills");
+    evictions_ = &stats_.counter("evictions");
+    writebacks_ = &stats_.counter("writebacks");
+    invalidationsReceived_ = &stats_.counter("invalidations_received");
 }
 
 L1Cache::Line *
-L1Cache::findLine(Addr block)
+L1Cache::findLineSlow(Line *base, std::uint32_t set,
+                      std::uint32_t hint, Addr block)
 {
-    std::uint32_t set = setIndex(block);
     for (std::uint32_t w = 0; w < geometry_.assoc; ++w) {
-        Line &line = lines_[set * geometry_.assoc + w];
-        if (line.state != MesiState::Invalid && line.tag == block)
+        if (w == hint)
+            continue;
+        Line &line = base[w];
+        if (line.state != MesiState::Invalid && line.tag == block) {
+            mruWay_[set] = w;
             return &line;
+        }
     }
     return nullptr;
-}
-
-const L1Cache::Line *
-L1Cache::findLine(Addr block) const
-{
-    return const_cast<L1Cache *>(this)->findLine(block);
 }
 
 MesiState
@@ -79,29 +85,35 @@ L1Cache::fill(Addr block, MesiState state)
     if (state == MesiState::Invalid)
         panic("fill with Invalid state");
     std::uint32_t set = setIndex(block);
+    Line *base = &lines_[std::size_t{set} * geometry_.assoc];
     Line *victim = nullptr;
+    std::uint32_t victimWay = 0;
     // Prefer an invalid way; otherwise evict true-LRU.
     for (std::uint32_t w = 0; w < geometry_.assoc; ++w) {
-        Line &line = lines_[set * geometry_.assoc + w];
+        Line &line = base[w];
         if (line.state == MesiState::Invalid) {
             victim = &line;
+            victimWay = w;
             break;
         }
-        if (!victim || line.lastUse < victim->lastUse)
+        if (!victim || line.lastUse < victim->lastUse) {
             victim = &line;
+            victimWay = w;
+        }
     }
     bool writeback = false;
     if (victim->state != MesiState::Invalid) {
-        ++stats_.counter("evictions");
+        ++*evictions_;
         if (victim->state == MesiState::Modified) {
             writeback = true;
-            ++stats_.counter("writebacks");
+            ++*writebacks_;
         }
     }
     victim->tag = block;
     victim->state = state;
     victim->lastUse = ++tick_;
-    ++stats_.counter("fills");
+    mruWay_[set] = victimWay;
+    ++*fills_;
     return writeback;
 }
 
@@ -129,7 +141,7 @@ L1Cache::snoopRead(Addr block)
     if (!line)
         return;
     if (line->state == MesiState::Modified) {
-        ++stats_.counter("writebacks");
+        ++*writebacks_;
         line->state = MesiState::Shared;
     } else if (line->state == MesiState::Exclusive) {
         line->state = MesiState::Shared;
@@ -143,9 +155,9 @@ L1Cache::snoopWrite(Addr block)
     if (!line)
         return;
     if (line->state == MesiState::Modified)
-        ++stats_.counter("writebacks");
+        ++*writebacks_;
     line->state = MesiState::Invalid;
-    ++stats_.counter("invalidations_received");
+    ++*invalidationsReceived_;
 }
 
 void
@@ -153,6 +165,7 @@ L1Cache::reset()
 {
     for (auto &line : lines_)
         line = Line{};
+    mruWay_.assign(numSets_, 0);
     tick_ = 0;
 }
 

@@ -7,6 +7,15 @@
  * tracks coherence metadata only — data values live in the VM's
  * memory image — which is exactly what is needed to report the
  * pre-access coherence state for every load and store.
+ *
+ * Hot-path notes: block and set extraction are shift/mask (the
+ * geometry checks guarantee power-of-two block size, and set counts
+ * are power-of-two for power-of-two associativities); lookups probe a
+ * per-set MRU-way hint first, so the common repeated-block access
+ * costs one tag compare. The per-event stat counters are resolved to
+ * `Counter *` once at construction instead of by string on every
+ * access; the counters stay inside the StatGroup so `stats().value()`
+ * keeps reading live values.
  */
 
 #ifndef STM_CACHE_CACHE_HH
@@ -41,7 +50,7 @@ class L1Cache
     L1Cache(std::uint32_t core_id, const CacheGeometry &geometry);
 
     /** Block (line) address of @p addr. */
-    Addr blockOf(Addr addr) const;
+    Addr blockOf(Addr addr) const { return addr >> blockShift_; }
 
     /** Current MESI state of the line holding @p addr. */
     MesiState stateOf(Addr addr) const;
@@ -73,7 +82,14 @@ class L1Cache
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** Tag lookups performed (throughput instrumentation). */
+    std::uint64_t lookups() const { return lookups_; }
+    /** Lookups satisfied by the per-set MRU-way hint. */
+    std::uint64_t mruHits() const { return mruHits_; }
+
   private:
+    friend class Bus; //!< single-lookup access path in Bus::access
+
     struct Line
     {
         Addr tag = 0;
@@ -81,16 +97,62 @@ class L1Cache
         std::uint64_t lastUse = 0;
     };
 
-    std::uint32_t setIndex(Addr block) const;
-    Line *findLine(Addr block);
-    const Line *findLine(Addr block) const;
+    std::uint32_t
+    setIndex(Addr block) const
+    {
+        return setsArePow2_
+                   ? static_cast<std::uint32_t>(block) & setMask_
+                   : static_cast<std::uint32_t>(block % numSets_);
+    }
+
+    /**
+     * Tag lookup. Inline: this is the single hottest cache routine —
+     * every access, snoop, and state change funnels through it. The
+     * MRU-way hint makes the common repeated-block hit one compare.
+     */
+    Line *
+    findLine(Addr block)
+    {
+        ++lookups_;
+        std::uint32_t set = setIndex(block);
+        Line *base = &lines_[std::size_t{set} * geometry_.assoc];
+        std::uint32_t hint = mruWay_[set];
+        Line &mru = base[hint];
+        if (mru.state != MesiState::Invalid && mru.tag == block)
+            [[likely]] {
+            ++mruHits_;
+            return &mru;
+        }
+        return findLineSlow(base, set, hint, block);
+    }
+
+    const Line *
+    findLine(Addr block) const
+    {
+        return const_cast<L1Cache *>(this)->findLine(block);
+    }
+
+    /** MRU miss: scan the remaining ways, updating the hint. */
+    Line *findLineSlow(Line *base, std::uint32_t set,
+                       std::uint32_t hint, Addr block);
 
     std::uint32_t coreId_;
     CacheGeometry geometry_;
     std::uint32_t numSets_;
-    std::vector<Line> lines_; //!< numSets_ * assoc, set-major
+    std::uint32_t blockShift_; //!< log2(blockBytes)
+    std::uint32_t setMask_;    //!< numSets_ - 1 when power of two
+    bool setsArePow2_;
+    std::vector<Line> lines_;     //!< numSets_ * assoc, set-major
+    std::vector<std::uint32_t> mruWay_; //!< per-set MRU-way hint
     std::uint64_t tick_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t mruHits_ = 0;
     StatGroup stats_;
+    // Event counters resolved once; they live inside stats_.
+    Counter *fills_;
+    Counter *evictions_;
+    Counter *writebacks_;
+    Counter *invalidationsReceived_;
 };
 
 } // namespace stm

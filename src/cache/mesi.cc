@@ -15,16 +15,4 @@ mesiName(MesiState state)
     return "?";
 }
 
-std::uint8_t
-mesiUnitMask(MesiState state)
-{
-    switch (state) {
-      case MesiState::Invalid: return 0x01;
-      case MesiState::Shared: return 0x02;
-      case MesiState::Exclusive: return 0x04;
-      case MesiState::Modified: return 0x08;
-    }
-    return 0;
-}
-
 } // namespace stm

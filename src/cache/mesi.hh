@@ -30,9 +30,15 @@ std::string mesiName(MesiState state);
 
 /**
  * Table 2 unit-mask bit for observing @p state prior to a cache
- * access (0x01 = I, 0x02 = S, 0x04 = E, 0x08 = M).
+ * access (0x01 = I, 0x02 = S, 0x04 = E, 0x08 = M). Inline: evaluated
+ * by LCR and every performance counter on every data access.
  */
-std::uint8_t mesiUnitMask(MesiState state);
+constexpr std::uint8_t
+mesiUnitMask(MesiState state)
+{
+    return static_cast<std::uint8_t>(
+        1u << static_cast<std::uint8_t>(state));
+}
 
 } // namespace stm
 

@@ -15,50 +15,9 @@ LastBranchRecord::writeDebugCtl(std::uint64_t value)
 }
 
 bool
-lbrClassFilteredOut(std::uint64_t select, const BranchRecord &record)
-{
-    if (record.kernel) {
-        if (select & msr::kLbrFilterRing0)
-            return true;
-    } else {
-        if (select & msr::kLbrFilterOtherRings)
-            return true;
-    }
-    switch (record.kind) {
-      case BranchKind::Conditional:
-        return select & msr::kLbrFilterConditional;
-      case BranchKind::NearRelativeJump:
-        return select & msr::kLbrFilterNearRelJmp;
-      case BranchKind::NearIndirectJump:
-        return select & msr::kLbrFilterNearIndJmp;
-      case BranchKind::NearRelativeCall:
-        return select & msr::kLbrFilterNearRelCall;
-      case BranchKind::NearIndirectCall:
-        return select & msr::kLbrFilterNearIndCall;
-      case BranchKind::NearReturn:
-        return select & msr::kLbrFilterNearRet;
-      case BranchKind::FarBranch:
-        return select & msr::kLbrFilterFar;
-      case BranchKind::None:
-        return true;
-    }
-    return true;
-}
-
-bool
 LastBranchRecord::filteredOut(const BranchRecord &record) const
 {
     return lbrClassFilteredOut(select_, record);
-}
-
-void
-LastBranchRecord::retire(const BranchRecord &record)
-{
-    if (!enabled())
-        return;
-    if (filteredOut(record))
-        return;
-    ring_.push(record);
 }
 
 } // namespace stm

@@ -45,9 +45,38 @@ struct BranchRecord
 /**
  * Would @p record be suppressed under LBR_SELECT mask @p select?
  * Shared by LBR and BTS, which filter branch classes identically.
+ * Inline: evaluated for every retired taken branch while recording.
  */
-bool lbrClassFilteredOut(std::uint64_t select,
-                         const BranchRecord &record);
+constexpr bool
+lbrClassFilteredOut(std::uint64_t select, const BranchRecord &record)
+{
+    if (record.kernel) {
+        if (select & msr::kLbrFilterRing0)
+            return true;
+    } else {
+        if (select & msr::kLbrFilterOtherRings)
+            return true;
+    }
+    switch (record.kind) {
+      case BranchKind::Conditional:
+        return select & msr::kLbrFilterConditional;
+      case BranchKind::NearRelativeJump:
+        return select & msr::kLbrFilterNearRelJmp;
+      case BranchKind::NearIndirectJump:
+        return select & msr::kLbrFilterNearIndJmp;
+      case BranchKind::NearRelativeCall:
+        return select & msr::kLbrFilterNearRelCall;
+      case BranchKind::NearIndirectCall:
+        return select & msr::kLbrFilterNearIndCall;
+      case BranchKind::NearReturn:
+        return select & msr::kLbrFilterNearRet;
+      case BranchKind::FarBranch:
+        return select & msr::kLbrFilterFar;
+      case BranchKind::None:
+        return true;
+    }
+    return true;
+}
 
 /** The per-core LBR unit. */
 class LastBranchRecord
@@ -73,9 +102,18 @@ class LastBranchRecord
 
     /**
      * Called by the core for every retired taken branch; records it
-     * unless LBR is disabled or the class is filtered out.
+     * unless LBR is disabled or the class is filtered out. Inline:
+     * this sits on the interpreter's per-branch path.
      */
-    void retire(const BranchRecord &record);
+    void
+    retire(const BranchRecord &record)
+    {
+        if (!enabled())
+            return;
+        if (lbrClassFilteredOut(select_, record))
+            return;
+        ring_.push(record);
+    }
 
     /** Would @p record be suppressed under the current LBR_SELECT? */
     bool filteredOut(const BranchRecord &record) const;

@@ -33,17 +33,6 @@ LcrConfig::unpack(std::uint64_t value)
     return config;
 }
 
-bool
-LcrConfig::matches(const CoherenceEvent &event) const
-{
-    if (event.kernel && filterKernel)
-        return false;
-    if (!event.kernel && filterUser)
-        return false;
-    std::uint8_t mask = event.store ? storeMask : loadMask;
-    return (mask & mesiUnitMask(event.observed)) != 0;
-}
-
 LcrConfig
 lcrConfSpaceConsuming()
 {
@@ -75,27 +64,19 @@ LcrDomain::clean()
 }
 
 void
-LcrDomain::retire(ThreadId tid, const CoherenceEvent &event)
+LcrDomain::record(ThreadId tid, const CoherenceEvent &event)
 {
-    if (!enabled_)
-        return;
-    if (!config_.matches(event))
-        return;
-    auto it = rings_.find(tid);
-    if (it == rings_.end()) {
-        it = rings_.emplace(tid, RingBuffer<LcrRecord>(entries_))
-                 .first;
-    }
-    it->second.push(LcrRecord{event.pc, event.observed, event.store});
+    if (tid >= rings_.size()) [[unlikely]]
+        rings_.resize(tid + 1, RingBuffer<LcrRecord>(entries_));
+    rings_[tid].push(LcrRecord{event.pc, event.observed, event.store});
 }
 
 std::vector<LcrRecord>
 LcrDomain::snapshot(ThreadId tid) const
 {
-    auto it = rings_.find(tid);
-    if (it == rings_.end())
+    if (tid >= rings_.size())
         return {};
-    return it->second.snapshotNewestFirst();
+    return rings_[tid].snapshotNewestFirst();
 }
 
 } // namespace stm

@@ -20,7 +20,6 @@
 #define STM_HW_LCR_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/coherence_event.hh"
@@ -52,8 +51,17 @@ struct LcrConfig
     /** Unpack from the register encoding. */
     static LcrConfig unpack(std::uint64_t value);
 
-    /** Does @p event match this configuration? */
-    bool matches(const CoherenceEvent &event) const;
+    /** Does @p event match this configuration? (Inline: hot path.) */
+    bool
+    matches(const CoherenceEvent &event) const
+    {
+        if (event.kernel && filterKernel)
+            return false;
+        if (!event.kernel && filterUser)
+            return false;
+        std::uint8_t mask = event.store ? storeMask : loadMask;
+        return (mask & mesiUnitMask(event.observed)) != 0;
+    }
 
     bool operator==(const LcrConfig &) const = default;
 };
@@ -105,18 +113,34 @@ class LcrDomain
 
     /**
      * Called for every retired data-cache access; records into the
-     * executing thread's ring when enabled and matching.
+     * executing thread's ring when enabled and matching. The
+     * disabled/non-matching exit is inline so unmonitored runs pay
+     * one predicted branch, not a call.
      */
-    void retire(ThreadId tid, const CoherenceEvent &event);
+    void
+    retire(ThreadId tid, const CoherenceEvent &event)
+    {
+        if (!enabled_ || !config_.matches(event))
+            return;
+        record(tid, event);
+    }
 
     /** The calling thread's records, newest first. */
     std::vector<LcrRecord> snapshot(ThreadId tid) const;
 
   private:
+    /** Slow path of retire(): append to (possibly new) ring. */
+    void record(ThreadId tid, const CoherenceEvent &event);
+
     std::size_t entries_;
     bool enabled_ = false;
     LcrConfig config_;
-    std::unordered_map<ThreadId, RingBuffer<LcrRecord>> rings_;
+    /**
+     * Per-thread rings, indexed by thread id (ids are dense). Grown
+     * lazily on the first matching event of a thread, so the retire
+     * hot path is an index, not a hash lookup.
+     */
+    std::vector<RingBuffer<LcrRecord>> rings_;
 };
 
 } // namespace stm

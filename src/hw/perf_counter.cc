@@ -55,33 +55,4 @@ PerfCounter::setSampling(std::uint64_t period, OverflowHandler handler)
     threshold_ = period == 0 ? 0 : nextThreshold();
 }
 
-bool
-PerfCounter::matches(const CoherenceEvent &event) const
-{
-    if (event.kernel && !countKernel_)
-        return false;
-    if (!event.kernel && !countUser_)
-        return false;
-    std::uint8_t expected =
-        event.store ? msr::kEventStore : msr::kEventLoad;
-    if (eventCode_ != expected)
-        return false;
-    return (unitMask_ & mesiUnitMask(event.observed)) != 0;
-}
-
-void
-PerfCounter::observe(const CoherenceEvent &event)
-{
-    if (!enabled_ || !matches(event))
-        return;
-    ++count_;
-    if (period_ != 0 && handler_) {
-        if (++sinceOverflow_ >= threshold_) {
-            sinceOverflow_ = 0;
-            threshold_ = nextThreshold();
-            handler_(event);
-        }
-    }
-}
-
 } // namespace stm

@@ -59,11 +59,40 @@ class PerfCounter
      */
     void seedJitter(std::uint64_t seed);
 
-    /** Observe one retired access; count it if it matches. */
-    void observe(const CoherenceEvent &event);
+    /**
+     * Observe one retired access; count it if it matches. Inline:
+     * every counter of every core sees every data access, so the
+     * disabled/non-matching exit must not cost a function call.
+     */
+    void
+    observe(const CoherenceEvent &event)
+    {
+        if (!enabled_ || !matches(event))
+            return;
+        ++count_;
+        if (period_ != 0 && handler_) {
+            if (++sinceOverflow_ >= threshold_) {
+                sinceOverflow_ = 0;
+                threshold_ = nextThreshold();
+                handler_(event);
+            }
+        }
+    }
 
     /** Does @p event match the programmed selection? */
-    bool matches(const CoherenceEvent &event) const;
+    bool
+    matches(const CoherenceEvent &event) const
+    {
+        if (event.kernel && !countKernel_)
+            return false;
+        if (!event.kernel && !countUser_)
+            return false;
+        std::uint8_t expected =
+            event.store ? msr::kEventStore : msr::kEventLoad;
+        if (eventCode_ != expected)
+            return false;
+        return (unitMask_ & mesiUnitMask(event.observed)) != 0;
+    }
 
     std::uint64_t count() const { return count_; }
     void reset() { count_ = 0; sinceOverflow_ = 0; }

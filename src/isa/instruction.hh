@@ -39,6 +39,49 @@ using LogSiteId = std::uint32_t;
 constexpr LogSiteId kSegfaultSite =
     std::numeric_limits<LogSiteId>::max();
 
+namespace dispatch
+{
+
+/**
+ * Bits of the per-instruction dispatch-flags byte consumed by the
+ * interpreter hot path. The opcode-derived bits are precomputed into
+ * Program::instrFlags at build() time; the hook bits are a per-run
+ * overlay added by the Machine from the instrumentation plan, so the
+ * step loop tests one byte instead of re-deriving instruction
+ * properties and probing hash maps every step.
+ */
+constexpr std::uint8_t kAccessesMemory = 1; //!< Load/Store/Lock/Unlock
+constexpr std::uint8_t kMemEaImm = 2; //!< effective addr = regs[ra]+imm
+constexpr std::uint8_t kIsControl = 4; //!< can transfer control
+constexpr std::uint8_t kHasBeforeHooks = 8; //!< per-run overlay bit
+constexpr std::uint8_t kHasAfterHooks = 16; //!< per-run overlay bit
+
+} // namespace dispatch
+
+/** Opcode-derived dispatch flags (the static bits of the flags byte). */
+constexpr std::uint8_t
+dispatchFlagsOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Load:
+      case Opcode::Store:
+        return dispatch::kAccessesMemory | dispatch::kMemEaImm;
+      case Opcode::Lock:
+      case Opcode::Unlock:
+        return dispatch::kAccessesMemory;
+      case Opcode::Br:
+      case Opcode::Jmp:
+      case Opcode::IJmp:
+      case Opcode::Call:
+      case Opcode::ICall:
+      case Opcode::Ret:
+      case Opcode::Halt:
+        return dispatch::kIsControl;
+      default:
+        return 0;
+    }
+}
+
 /** One MiniVM instruction. */
 struct Instruction
 {
@@ -79,8 +122,7 @@ struct Instruction
     bool
     accessesMemory() const
     {
-        return op == Opcode::Load || op == Opcode::Store ||
-               op == Opcode::Lock || op == Opcode::Unlock;
+        return dispatchFlagsOf(op) & dispatch::kAccessesMemory;
     }
 };
 

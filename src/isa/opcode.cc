@@ -5,35 +5,6 @@
 namespace stm
 {
 
-bool
-isBranchOpcode(Opcode op)
-{
-    return branchKindOf(op) != BranchKind::None;
-}
-
-BranchKind
-branchKindOf(Opcode op)
-{
-    switch (op) {
-      case Opcode::Br:
-        return BranchKind::Conditional;
-      case Opcode::Jmp:
-        return BranchKind::NearRelativeJump;
-      case Opcode::IJmp:
-        return BranchKind::NearIndirectJump;
-      case Opcode::Call:
-        return BranchKind::NearRelativeCall;
-      case Opcode::ICall:
-        return BranchKind::NearIndirectCall;
-      case Opcode::Ret:
-        return BranchKind::NearReturn;
-      case Opcode::Syscall:
-        return BranchKind::FarBranch;
-      default:
-        return BranchKind::None;
-    }
-}
-
 std::string
 opcodeName(Opcode op)
 {
@@ -146,20 +117,6 @@ syscallName(SyscallNo no)
       case SyscallNo::ThreadExit: return "THREAD_EXIT";
     }
     return "??";
-}
-
-bool
-evalCond(Cond cond, std::int64_t a, std::int64_t b)
-{
-    switch (cond) {
-      case Cond::Eq: return a == b;
-      case Cond::Ne: return a != b;
-      case Cond::Lt: return a < b;
-      case Cond::Le: return a <= b;
-      case Cond::Gt: return a > b;
-      case Cond::Ge: return a >= b;
-    }
-    panic("invalid condition code {}", static_cast<int>(cond));
 }
 
 Cond

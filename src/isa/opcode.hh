@@ -108,11 +108,39 @@ enum class LibFn : std::uint16_t {
     Generic, //!< r1 = amount of internal work (cost model only)
 };
 
-/** True if executing @p op can transfer control. */
-bool isBranchOpcode(Opcode op);
+/**
+ * Branch class of @p op (BranchKind::None for non-branches).
+ * Inline: the interpreter calls this on every retired taken branch.
+ */
+constexpr BranchKind
+branchKindOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Br:
+        return BranchKind::Conditional;
+      case Opcode::Jmp:
+        return BranchKind::NearRelativeJump;
+      case Opcode::IJmp:
+        return BranchKind::NearIndirectJump;
+      case Opcode::Call:
+        return BranchKind::NearRelativeCall;
+      case Opcode::ICall:
+        return BranchKind::NearIndirectCall;
+      case Opcode::Ret:
+        return BranchKind::NearReturn;
+      case Opcode::Syscall:
+        return BranchKind::FarBranch;
+      default:
+        return BranchKind::None;
+    }
+}
 
-/** Branch class of @p op (BranchKind::None for non-branches). */
-BranchKind branchKindOf(Opcode op);
+/** True if executing @p op can transfer control. */
+constexpr bool
+isBranchOpcode(Opcode op)
+{
+    return branchKindOf(op) != BranchKind::None;
+}
 
 /** Mnemonic of @p op. */
 std::string opcodeName(Opcode op);
@@ -129,8 +157,23 @@ std::string libFnName(LibFn fn);
 /** Human-readable name of @p no. */
 std::string syscallName(SyscallNo no);
 
-/** Evaluate a comparison condition. */
-bool evalCond(Cond cond, std::int64_t a, std::int64_t b);
+/**
+ * Evaluate a comparison condition. Inline: the interpreter calls this
+ * on every conditional branch. Out-of-range condition codes cannot be
+ * produced by the builder; they fall through to Ge.
+ */
+constexpr bool
+evalCond(Cond cond, std::int64_t a, std::int64_t b)
+{
+    switch (cond) {
+      case Cond::Eq: return a == b;
+      case Cond::Ne: return a != b;
+      case Cond::Lt: return a < b;
+      case Cond::Le: return a <= b;
+      case Cond::Gt: return a > b;
+      default: return a >= b;
+    }
+}
 
 /** The condition that is true exactly when @p cond is false. */
 Cond negateCond(Cond cond);

@@ -673,6 +673,8 @@ ProgramBuilder::build()
         }
     }
 
+    prog_->rebuildDispatchFlags();
+
     return prog_;
 }
 

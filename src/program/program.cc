@@ -43,6 +43,14 @@ Program::globalsEnd() const
     return end;
 }
 
+void
+Program::rebuildDispatchFlags()
+{
+    instrFlags.resize(code.size());
+    for (std::size_t i = 0; i < code.size(); ++i)
+        instrFlags[i] = dispatchFlagsOf(code[i].op);
+}
+
 const Function *
 Program::functionContaining(std::uint32_t index) const
 {

@@ -176,6 +176,19 @@ class Program
     Instrumentation instrumentation;
     std::uint32_t entry = 0;
 
+    /**
+     * Per-instruction dispatch flags (the opcode-derived bits of
+     * isa/instruction.hh's dispatch namespace), parallel to `code`.
+     * Precomputed by ProgramBuilder::build() via
+     * rebuildDispatchFlags() so the interpreter's step loop reads one
+     * byte instead of re-deriving instruction properties; the VM
+     * overlays the per-run hook bits on top.
+     */
+    std::vector<std::uint8_t> instrFlags;
+
+    /** Recompute instrFlags from `code` (called by the builder). */
+    void rebuildDispatchFlags();
+
     /** Index of function @p fname; panics if absent. */
     const Function &functionByName(const std::string &fname) const;
 

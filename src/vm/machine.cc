@@ -1,9 +1,11 @@
 #include "vm/machine.hh"
 
+#include <chrono>
 #include <utility>
 
 #include "driver/kernel_driver.hh"
 #include "support/logging.hh"
+#include "vm/vm_stats.hh"
 
 namespace stm
 {
@@ -30,6 +32,7 @@ Machine::Machine(ProgramPtr prog, MachineOptions opts)
 {
     if (!prog_)
         fatal("Machine requires a program");
+    globalsEnd_ = prog_->globalsEnd();
 }
 
 Machine::~Machine() = default;
@@ -90,15 +93,14 @@ bool
 Machine::validAddress(ThreadId tid, Addr addr) const
 {
     (void)tid; // any thread may touch any mapped segment
-    if (addr >= layout::kGlobalBase && addr < prog_->globalsEnd())
+    // Unsigned subtract-and-compare covers both segment bounds at
+    // once; live stacks form one contiguous span because thread ids
+    // are dense and each owns kStackSize bytes.
+    if (addr - layout::kGlobalBase < globalsEnd_ - layout::kGlobalBase)
         return true;
-    if (addr >= layout::kHeapBase && addr < heapBrk_)
+    if (addr - layout::kHeapBase < heapBrk_ - layout::kHeapBase)
         return true;
-    for (const auto &t : threads_) {
-        if (addr >= t->stackLow() && addr < t->stackHigh())
-            return true;
-    }
-    return false;
+    return addr - layout::kStackBase < stackSpan_;
 }
 
 void
@@ -113,7 +115,7 @@ bool
 Machine::dataAccess(ThreadId tid, Addr pc, Addr addr, bool is_store,
                     Word *value_in_out, bool kernel)
 {
-    if (!validAddress(tid, addr)) {
+    if (!validAddress(tid, addr)) [[unlikely]] {
         raiseSegfault(tid, strfmt("invalid {} at address 0x{}",
                                   is_store ? "store" : "load", addr));
         return false;
@@ -126,14 +128,14 @@ Machine::dataAccess(ThreadId tid, Addr pc, Addr addr, bool is_store,
     event.store = is_store;
     event.kernel = kernel;
     lcr_.retire(tid, event);
-    pmuOf(tid).observeAccess(event);
+    pmus_[tid]->observeAccess(event);
     ++result_.stats.memoryAccesses;
 
     // CCI baseline: heavyweight software sampling of interleaving
     // predicates at (user, application-code) memory accesses.
-    const Instrumentation &instr = prog_->instrumentation;
-    if (instr.cciEnabled && !kernel && pc >= layout::kCodeBase &&
-        pc < layout::kLibraryBase) {
+    if (cciEnabled_ && !kernel && pc >= layout::kCodeBase &&
+        pc < layout::kLibraryBase) [[unlikely]] {
+        const Instrumentation &instr = prog_->instrumentation;
         chargeInstrumentation(5); // per-access fast path
         Thread &t = threadRef(tid);
         if (t.cciCountdown == 0)
@@ -149,12 +151,10 @@ Machine::dataAccess(ThreadId tid, Addr pc, Addr addr, bool is_store,
     }
 
     Addr cell = addr & ~Addr{7};
-    if (is_store) {
-        memory_[cell] = *value_in_out;
-    } else {
-        auto it = memory_.find(cell);
-        *value_in_out = it == memory_.end() ? 0 : it->second;
-    }
+    if (is_store)
+        memory_.store(cell, *value_in_out);
+    else
+        *value_in_out = memory_.load(cell);
     return true;
 }
 
@@ -179,14 +179,47 @@ Machine::initMemoryImage()
             Word value =
                 w < sym.init.size() ? sym.init[w] : Word{0};
             if (value != 0)
-                memory_[sym.addr + 8 * w] = value;
+                memory_.store(sym.addr + 8 * w, value);
         }
     }
     for (const auto &[symName, values] : opts_.globalOverrides) {
         const Symbol &sym = prog_->symbolByName(symName);
         for (std::uint64_t w = 0;
              w < values.size() && w < sym.sizeWords; ++w) {
-            memory_[sym.addr + 8 * w] = values[w];
+            memory_.store(sym.addr + 8 * w, values[w]);
+        }
+    }
+}
+
+void
+Machine::buildDispatchTables()
+{
+    const Instrumentation &instr = prog_->instrumentation;
+    std::size_t n = prog_->code.size();
+    code_ = prog_->code.data();
+    codeSize_ = static_cast<std::uint32_t>(n);
+    cciEnabled_ = instr.cciEnabled;
+
+    if (prog_->instrFlags.size() == n) {
+        execFlags_ = prog_->instrFlags;
+    } else {
+        // Hand-assembled program without builder finalization.
+        execFlags_.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            execFlags_[i] = dispatchFlagsOf(code_[i].op);
+    }
+    beforeHooks_.assign(n, nullptr);
+    afterHooks_.assign(n, nullptr);
+    for (const auto &[pc, hooks] : instr.before) {
+        if (pc < n && !hooks.empty()) {
+            beforeHooks_[pc] = &hooks;
+            execFlags_[pc] |= dispatch::kHasBeforeHooks;
+        }
+    }
+    for (const auto &[pc, hooks] : instr.after) {
+        if (pc < n && !hooks.empty()) {
+            afterHooks_[pc] = &hooks;
+            execFlags_[pc] |= dispatch::kHasAfterHooks;
         }
     }
 }
@@ -202,6 +235,8 @@ Machine::spawnThread(std::uint32_t entry_pc, Word arg)
     thread->regs[kStackPointer] =
         static_cast<Word>(thread->stackHigh() - 8);
     threads_.push_back(std::move(thread));
+    stackSpan_ =
+        static_cast<Addr>(threads_.size()) * layout::kStackSize;
 
     auto pmu = std::make_unique<Pmu>(opts_.lbrEntries);
     // Threads created after main enabled LBR inherit the per-core
@@ -293,6 +328,8 @@ Machine::profileOnFault(ThreadId tid)
 RunResult
 Machine::run()
 {
+    auto runStart = std::chrono::steady_clock::now();
+    buildDispatchTables();
     initMemoryImage();
 
     Thread &main = spawnThread(prog_->entry, 0);
@@ -322,9 +359,10 @@ Machine::run()
 
     ThreadId current = 0;
     std::uint32_t quantumLeft = opts_.sched.quantum;
+    const std::uint64_t maxSteps = opts_.maxSteps;
 
     while (!ended_) {
-        if (steps_ >= opts_.maxSteps) {
+        if (steps_ >= maxSteps) [[unlikely]] {
             // Hang: the "paste"-style symptom. Profile whoever runs.
             profileOnFault(current);
             endRun(RunOutcome::StepLimit, current,
@@ -333,14 +371,16 @@ Machine::run()
             break;
         }
 
-        Thread &t = threadRef(current);
+        Thread &t = *threads_[current];
         if (!t.runnable() || quantumLeft == 0) {
             ThreadId next = pickNext(current);
             if (!threadRef(next).runnable()) {
                 bool allDone = true;
                 for (const auto &th : threads_) {
-                    if (th->state != ThreadState::Done)
+                    if (th->state != ThreadState::Done) {
                         allDone = false;
+                        break;
+                    }
                 }
                 if (allDone) {
                     endRun(RunOutcome::Completed, current, 0, 0, "");
@@ -359,67 +399,104 @@ Machine::run()
             continue;
         }
 
-        // Seeded preemption right before shared-memory accesses: the
-        // mechanism that makes concurrency bugs manifest.
-        if (opts_.sched.preemptSharedProb > 0.0 &&
-            t.pc < prog_->code.size()) {
-            const Instruction &inst = prog_->code[t.pc];
-            if (inst.accessesMemory() && anyOtherRunnable(current)) {
-                Addr ea;
-                if (inst.op == Opcode::Load ||
-                    inst.op == Opcode::Store) {
-                    ea = static_cast<Addr>(t.regs[inst.ra]) +
-                         static_cast<Addr>(inst.imm);
-                } else {
-                    ea = static_cast<Addr>(t.regs[inst.ra]);
-                }
-                bool shared = ea >= layout::kGlobalBase &&
-                              ea < layout::kStackBase;
-                if (shared &&
-                    rng_.nextBool(opts_.sched.preemptSharedProb)) {
-                    quantumLeft = 0;
-                    continue;
-                }
-            }
-        }
-
-        StepStatus status = executeOne(t);
-        if (status == StepStatus::RunEnded || ended_)
+        StepStatus status = runQuantum(t, quantumLeft);
+        if (status == StepStatus::RunEnded)
             break;
-        if (status == StepStatus::SwitchThread) {
+        if (status == StepStatus::SwitchThread)
             quantumLeft = 0;
-            continue;
-        }
-        --quantumLeft;
+        // Continue: the quantum expired; reschedule above.
     }
 
     if (!ended_)
         endRun(RunOutcome::Completed, 0, 0, 0, "");
+    // Interpreter steps count as user instructions; charged here in
+    // one shot rather than per step (chargeUser adds library bodies).
+    result_.stats.userInstructions += steps_;
     if (prog_->instrumentation.btsEnabled)
         result_.btsTrace = bts_.trace();
+
+    // Fold this run's hot-path totals into the process-wide "vm"
+    // stat group (throughput gauges for benches and dashboards).
+    VmRunSample sample;
+    sample.steps = steps_;
+    sample.wallMicros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - runStart)
+            .count());
+    sample.memAccesses = memory_.accesses();
+    sample.memFastHits = memory_.fastHits();
+    for (std::uint32_t c = 0; c < bus_.numCores(); ++c) {
+        sample.cacheLookups += bus_.cache(c).lookups();
+        sample.cacheMruHits += bus_.cache(c).mruHits();
+    }
+    recordVmRun(sample);
     return std::move(result_);
 }
 
 Machine::StepStatus
-Machine::executeOne(Thread &t)
+Machine::runQuantum(Thread &t, std::uint32_t &quantum_left)
 {
-    if (t.pc >= prog_->code.size()) {
+    const std::uint64_t maxSteps = opts_.maxSteps;
+    const double preemptProb = opts_.sched.preemptSharedProb;
+    while (true) {
+        if (steps_ >= maxSteps) [[unlikely]] {
+            // Hang: the "paste"-style symptom. Profile whoever runs.
+            profileOnFault(t.id);
+            endRun(RunOutcome::StepLimit, t.id, t.pc, kSegfaultSite,
+                   "step limit exceeded (hang)");
+            return StepStatus::RunEnded;
+        }
+        // The seeded-preemption probe runs inside executeOne (fused
+        // with its pc-bounds check and flags load); armed only when a
+        // preemption could actually land. Re-evaluated every step:
+        // Spawn can raise the thread count mid-quantum.
+        const bool probe = preemptProb > 0.0 && threads_.size() > 1;
+        StepStatus status = executeOne(t, probe);
+        if (status == StepStatus::RunEnded || ended_) [[unlikely]]
+            return StepStatus::RunEnded;
+        if (status == StepStatus::SwitchThread)
+            return StepStatus::SwitchThread;
+        if (--quantum_left == 0)
+            return StepStatus::Continue;
+    }
+}
+
+Machine::StepStatus
+Machine::executeOne(Thread &t, bool probe_preempt)
+{
+    if (t.pc >= codeSize_) [[unlikely]] {
         raiseSegfault(t.id, "execution fell off the code segment");
         return StepStatus::RunEnded;
     }
     std::uint32_t pc = t.pc;
-    const Instruction &inst = prog_->code[pc];
-    const Instrumentation &instrumentation = prog_->instrumentation;
+    const Instruction &inst = code_[pc];
+    const std::uint8_t flags = execFlags_[pc];
 
-    auto beforeIt = instrumentation.before.find(pc);
-    if (beforeIt != instrumentation.before.end()) {
-        runHooks(t, beforeIt->second);
+    // Seeded preemption right before shared-memory accesses: the
+    // mechanism that makes concurrency bugs manifest (Section 6's
+    // controlled scheduler). Probed before the instruction commits —
+    // and before any hooks — using the precomputed flags byte.
+    if (probe_preempt && (flags & dispatch::kAccessesMemory) &&
+        anyOtherRunnable(t.id)) {
+        Addr ea = static_cast<Addr>(t.regs[inst.ra]);
+        if (flags & dispatch::kMemEaImm)
+            ea += static_cast<Addr>(inst.imm);
+        bool shared = ea >= layout::kGlobalBase &&
+                      ea < layout::kStackBase;
+        if (shared && rng_.nextBool(opts_.sched.preemptSharedProb))
+            return StepStatus::SwitchThread;
+    }
+
+    if (flags & dispatch::kHasBeforeHooks) [[unlikely]] {
+        runHooks(t, *beforeHooks_[pc]);
         if (ended_)
             return StepStatus::RunEnded;
     }
 
+    // steps_ is folded into stats.userInstructions once at the end of
+    // run(); bumping both per retired instruction would double the
+    // hot-loop counter traffic.
     ++steps_;
-    ++result_.stats.userInstructions;
 
     StepStatus status = StepStatus::Continue;
     auto &regs = t.regs;
@@ -429,19 +506,19 @@ Machine::executeOne(Thread &t)
         t.pc = pc + 1;
         break;
       case Opcode::Movi:
-        regs[inst.rd] = inst.imm;
+        [[likely]] regs[inst.rd] = inst.imm;
         t.pc = pc + 1;
         break;
       case Opcode::Mov:
-        regs[inst.rd] = regs[inst.ra];
+        [[likely]] regs[inst.rd] = regs[inst.ra];
         t.pc = pc + 1;
         break;
       case Opcode::Add:
-        regs[inst.rd] = regs[inst.ra] + regs[inst.rb];
+        [[likely]] regs[inst.rd] = regs[inst.ra] + regs[inst.rb];
         t.pc = pc + 1;
         break;
       case Opcode::Addi:
-        regs[inst.rd] = regs[inst.ra] + inst.imm;
+        [[likely]] regs[inst.rd] = regs[inst.ra] + inst.imm;
         t.pc = pc + 1;
         break;
       case Opcode::Sub:
@@ -502,18 +579,74 @@ Machine::executeOne(Thread &t)
 
       case Opcode::Load:
       case Opcode::Store:
-        status = execMemory(t, inst);
+        [[likely]] status = execMemory(t, inst);
         break;
 
+      // Control flow is handled directly in this switch: a separate
+      // execControl would re-dispatch on the opcode a second time for
+      // ~20% of all retired instructions.
       case Opcode::Br:
-      case Opcode::Jmp:
-      case Opcode::IJmp:
-      case Opcode::Call:
-      case Opcode::ICall:
-      case Opcode::Ret:
-      case Opcode::Halt:
-        status = execControl(t, inst);
+        if (evalCond(inst.cond, regs[inst.ra], regs[inst.rb])) {
+            retireTakenBranch(t, inst, pc, inst.target);
+            t.pc = inst.target;
+        } else {
+            t.pc = pc + 1;
+        }
         break;
+      case Opcode::Jmp:
+        retireTakenBranch(t, inst, pc, inst.target);
+        t.pc = inst.target;
+        break;
+      case Opcode::IJmp: {
+        Addr target = static_cast<Addr>(regs[inst.ra]);
+        std::uint32_t idx = static_cast<std::uint32_t>(
+            (target - layout::kCodeBase) / 4);
+        if (target < layout::kCodeBase || idx >= codeSize_) {
+            raiseSegfault(t.id, "indirect jump to invalid address");
+            return StepStatus::RunEnded;
+        }
+        retireTakenBranch(t, inst, pc, idx);
+        t.pc = idx;
+        break;
+      }
+      case Opcode::Call:
+        retireTakenBranch(t, inst, pc, inst.target);
+        t.callStack.push_back(pc + 1);
+        t.pc = inst.target;
+        break;
+      case Opcode::ICall: {
+        Addr target = static_cast<Addr>(regs[inst.ra]);
+        std::uint32_t idx = static_cast<std::uint32_t>(
+            (target - layout::kCodeBase) / 4);
+        if (target < layout::kCodeBase || idx >= codeSize_) {
+            raiseSegfault(t.id, "indirect call to invalid address");
+            return StepStatus::RunEnded;
+        }
+        retireTakenBranch(t, inst, pc, idx);
+        t.callStack.push_back(pc + 1);
+        t.pc = idx;
+        break;
+      }
+      case Opcode::Ret:
+        if (t.callStack.empty()) {
+            // Returning from the thread's entry function.
+            t.state = ThreadState::Done;
+            for (auto &other : threads_) {
+                if (other->state == ThreadState::BlockedOnJoin &&
+                    other->joinTarget == t.id) {
+                    other->state = ThreadState::Ready;
+                }
+            }
+            status = StepStatus::SwitchThread;
+            break;
+        }
+        retireTakenBranch(t, inst, pc, t.callStack.back());
+        t.pc = t.callStack.back();
+        t.callStack.pop_back();
+        break;
+      case Opcode::Halt:
+        endRun(RunOutcome::Completed, t.id, pc, 0, "");
+        return StepStatus::RunEnded;
 
       case Opcode::Lock:
       case Opcode::Unlock:
@@ -538,6 +671,8 @@ Machine::executeOne(Thread &t)
       }
       case Opcode::LogInfo: {
         // Informational logging: a printf-like library body.
+        const Instrumentation &instrumentation =
+            prog_->instrumentation;
         bool togLbr = instrumentation.toggleLbrAroundLibraries;
         bool togLcr = instrumentation.toggleLcrAroundLibraries;
         if (togLbr)
@@ -576,110 +711,12 @@ Machine::executeOne(Thread &t)
     if (ended_)
         return StepStatus::RunEnded;
 
-    auto afterIt = instrumentation.after.find(pc);
-    if (afterIt != instrumentation.after.end()) {
-        runHooks(t, afterIt->second);
+    if (flags & dispatch::kHasAfterHooks) [[unlikely]] {
+        runHooks(t, *afterHooks_[pc]);
         if (ended_)
             return StepStatus::RunEnded;
     }
     return status;
-}
-
-void
-Machine::retireTakenBranch(Thread &thread, const Instruction &inst,
-                           std::uint32_t from_idx,
-                           std::uint32_t to_idx)
-{
-    BranchRecord record;
-    record.fromIp = layout::codeAddr(from_idx);
-    record.toIp = layout::codeAddr(to_idx);
-    record.kind = inst.branchKind();
-    record.kernel = inst.kernel;
-    record.srcBranch = inst.srcBranch;
-    record.outcome = inst.outcomeWhenTaken;
-    pmuOf(thread.id).retireBranch(record);
-    chargeInstrumentation(bts_.retire(thread.id, record));
-    ++result_.stats.branchesRetired;
-}
-
-Machine::StepStatus
-Machine::execControl(Thread &t, const Instruction &inst)
-{
-    std::uint32_t pc = t.pc;
-    auto &regs = t.regs;
-
-    switch (inst.op) {
-      case Opcode::Br: {
-        bool taken =
-            evalCond(inst.cond, regs[inst.ra], regs[inst.rb]);
-        if (taken) {
-            retireTakenBranch(t, inst, pc, inst.target);
-            t.pc = inst.target;
-        } else {
-            t.pc = pc + 1;
-        }
-        return StepStatus::Continue;
-      }
-      case Opcode::Jmp:
-        retireTakenBranch(t, inst, pc, inst.target);
-        t.pc = inst.target;
-        return StepStatus::Continue;
-      case Opcode::IJmp: {
-        Addr target = static_cast<Addr>(regs[inst.ra]);
-        std::uint32_t idx =
-            static_cast<std::uint32_t>((target - layout::kCodeBase) /
-                                       4);
-        if (target < layout::kCodeBase ||
-            idx >= prog_->code.size()) {
-            raiseSegfault(t.id, "indirect jump to invalid address");
-            return StepStatus::RunEnded;
-        }
-        retireTakenBranch(t, inst, pc, idx);
-        t.pc = idx;
-        return StepStatus::Continue;
-      }
-      case Opcode::Call:
-        retireTakenBranch(t, inst, pc, inst.target);
-        t.callStack.push_back(pc + 1);
-        t.pc = inst.target;
-        return StepStatus::Continue;
-      case Opcode::ICall: {
-        Addr target = static_cast<Addr>(regs[inst.ra]);
-        std::uint32_t idx =
-            static_cast<std::uint32_t>((target - layout::kCodeBase) /
-                                       4);
-        if (target < layout::kCodeBase ||
-            idx >= prog_->code.size()) {
-            raiseSegfault(t.id, "indirect call to invalid address");
-            return StepStatus::RunEnded;
-        }
-        retireTakenBranch(t, inst, pc, idx);
-        t.callStack.push_back(pc + 1);
-        t.pc = idx;
-        return StepStatus::Continue;
-      }
-      case Opcode::Ret:
-        if (t.callStack.empty()) {
-            // Returning from the thread's entry function.
-            t.state = ThreadState::Done;
-            for (auto &other : threads_) {
-                if (other->state == ThreadState::BlockedOnJoin &&
-                    other->joinTarget == t.id) {
-                    other->state = ThreadState::Ready;
-                }
-            }
-            return StepStatus::SwitchThread;
-        }
-        retireTakenBranch(t, inst, pc, t.callStack.back());
-        t.pc = t.callStack.back();
-        t.callStack.pop_back();
-        return StepStatus::Continue;
-      case Opcode::Halt:
-        endRun(RunOutcome::Completed, t.id, pc, 0, "");
-        return StepStatus::RunEnded;
-      default:
-        panic("execControl: not a control op");
-    }
 }
 
 Machine::StepStatus

@@ -30,6 +30,7 @@
 #include "hw/pmu.hh"
 #include "program/program.hh"
 #include "support/random.hh"
+#include "vm/memory_image.hh"
 #include "vm/options.hh"
 #include "vm/run_result.hh"
 #include "vm/thread.hh"
@@ -97,10 +98,34 @@ class Machine
     };
 
     void initMemoryImage();
+
+    /**
+     * Build the per-run dispatch tables: the per-pc flags byte
+     * (Program::instrFlags plus the hook-presence bits) and the
+     * before/after hook side tables, so executeOne never probes the
+     * instrumentation hash maps on the hot path.
+     */
+    void buildDispatchTables();
+
     Thread &spawnThread(std::uint32_t entry_pc, Word arg);
 
-    StepStatus executeOne(Thread &thread);
-    StepStatus execControl(Thread &thread, const Instruction &inst);
+    /**
+     * Interpret @p thread until its quantum expires (returns Continue
+     * with @p quantum_left at 0), it blocks/yields/preempts
+     * (SwitchThread), or the run ends (RunEnded). Keeping the
+     * per-step loop here — not in run() — spares the scheduler-level
+     * bookkeeping on every retired instruction.
+     */
+    StepStatus runQuantum(Thread &thread, std::uint32_t &quantum_left);
+
+    /**
+     * Interpret one instruction of @p thread. With @p probe_preempt
+     * set (multithreaded run under a seeded scheduler), the
+     * shared-memory preemption probe runs first, fused with the
+     * instruction fetch; a fired probe returns SwitchThread without
+     * committing the instruction.
+     */
+    StepStatus executeOne(Thread &thread, bool probe_preempt);
     StepStatus execMemory(Thread &thread, const Instruction &inst);
     StepStatus execSync(Thread &thread, const Instruction &inst);
     StepStatus execSyscall(Thread &thread, const Instruction &inst);
@@ -109,9 +134,30 @@ class Machine
     void runHooks(Thread &thread, const std::vector<Hook> &hooks);
     void cbiSample(Thread &thread, const Hook &hook);
 
-    void retireTakenBranch(Thread &thread, const Instruction &inst,
-                           std::uint32_t from_idx,
-                           std::uint32_t to_idx);
+    /**
+     * Record one retired taken branch. Inline: called for every taken
+     * branch; in the common bare-run case (LBR disabled, BTS off) it
+     * reduces to the gate plus one counter bump — building the record
+     * is pointless when both sinks would drop it unexamined.
+     */
+    void
+    retireTakenBranch(Thread &thread, const Instruction &inst,
+                      std::uint32_t from_idx, std::uint32_t to_idx)
+    {
+        Pmu &pmu = *pmus_[thread.id];
+        if (pmu.lbr().enabled() || bts_.enabled()) {
+            BranchRecord record;
+            record.fromIp = layout::codeAddr(from_idx);
+            record.toIp = layout::codeAddr(to_idx);
+            record.kind = inst.branchKind();
+            record.kernel = inst.kernel;
+            record.srcBranch = inst.srcBranch;
+            record.outcome = inst.outcomeWhenTaken;
+            pmu.retireBranch(record);
+            chargeInstrumentation(bts_.retire(thread.id, record));
+        }
+        ++result_.stats.branchesRetired;
+    }
 
     void endRun(RunOutcome outcome, ThreadId tid,
                 std::uint32_t instr_index, LogSiteId site,
@@ -131,8 +177,22 @@ class Machine
     LcrDomain lcr_;
     BranchTraceStore bts_;
 
-    std::unordered_map<Addr, Word> memory_;
+    MemoryImage memory_;
     Addr heapBrk_ = layout::kHeapBase;
+
+    // ---- hot-path dispatch state (built once per run) ----
+    /** Per-pc flags: Program::instrFlags | hook-presence bits. */
+    std::vector<std::uint8_t> execFlags_;
+    /** Per-pc hook lists (null when the pc carries no hooks). */
+    std::vector<const std::vector<Hook> *> beforeHooks_;
+    std::vector<const std::vector<Hook> *> afterHooks_;
+    const Instruction *code_ = nullptr;
+    std::uint32_t codeSize_ = 0;
+    bool cciEnabled_ = false;
+    /** One past the last mapped global byte (fixed at construction). */
+    Addr globalsEnd_ = layout::kGlobalBase;
+    /** Bytes of the contiguous live-stack span (threads are dense). */
+    Addr stackSpan_ = 0;
 
     struct Mutex
     {

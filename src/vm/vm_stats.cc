@@ -1,0 +1,65 @@
+#include "vm/vm_stats.hh"
+
+#include <mutex>
+
+namespace stm
+{
+
+namespace
+{
+
+std::mutex &
+vmStatsMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+} // namespace
+
+StatGroup &
+vmStats()
+{
+    static StatGroup stats("vm");
+    return stats;
+}
+
+void
+resetVmStats()
+{
+    std::lock_guard<std::mutex> lock(vmStatsMutex());
+    vmStats().reset();
+}
+
+void
+recordVmRun(const VmRunSample &sample)
+{
+    std::lock_guard<std::mutex> lock(vmStatsMutex());
+    StatGroup &stats = vmStats();
+    ++stats.counter("runs");
+    stats.counter("steps") += sample.steps;
+    stats.counter("wall_micros") += sample.wallMicros;
+    stats.counter("mem_accesses") += sample.memAccesses;
+    stats.counter("mem_fast_hits") += sample.memFastHits;
+    stats.counter("cache_lookups") += sample.cacheLookups;
+    stats.counter("cache_mru_hits") += sample.cacheMruHits;
+
+    auto rate = [](std::uint64_t num, std::uint64_t den) {
+        return den == 0 ? 0.0
+                        : static_cast<double>(num) /
+                              static_cast<double>(den);
+    };
+    std::uint64_t wall = stats.value("wall_micros");
+    stats.gauge("steps_per_sec")
+        .set(wall == 0 ? 0.0
+                       : static_cast<double>(stats.value("steps")) *
+                             1e6 / static_cast<double>(wall));
+    stats.gauge("mru_hit_rate")
+        .set(rate(stats.value("cache_mru_hits"),
+                  stats.value("cache_lookups")));
+    stats.gauge("mem_fast_rate")
+        .set(rate(stats.value("mem_fast_hits"),
+                  stats.value("mem_accesses")));
+}
+
+} // namespace stm

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Process-wide interpreter throughput statistics, in the same style as
+ * exec/run_pool's execStats(): a global StatGroup that every Machine
+ * run folds its hot-path counters into once, at the end of run().
+ *
+ * Counters (cumulative across runs):
+ *  - runs, steps, wall_micros
+ *  - mem_accesses, mem_fast_hits (paged-image same-page fast path)
+ *  - cache_lookups, cache_mru_hits (per-set MRU-way hint fast path)
+ *
+ * Gauges (recomputed on every fold):
+ *  - steps_per_sec: cumulative steps / cumulative wall time
+ *  - mru_hit_rate: cache_mru_hits / cache_lookups
+ *  - mem_fast_rate: mem_fast_hits / mem_accesses
+ */
+
+#ifndef STM_VM_VM_STATS_HH
+#define STM_VM_VM_STATS_HH
+
+#include <cstdint>
+
+#include "support/stats.hh"
+
+namespace stm
+{
+
+/** The cumulative interpreter stat group ("vm"). */
+StatGroup &vmStats();
+
+/** Reset the cumulative interpreter statistics (bench sections). */
+void resetVmStats();
+
+/** One finished run's hot-path totals, folded into vmStats(). */
+struct VmRunSample
+{
+    std::uint64_t steps = 0;
+    std::uint64_t wallMicros = 0;
+    std::uint64_t memAccesses = 0;
+    std::uint64_t memFastHits = 0;
+    std::uint64_t cacheLookups = 0;
+    std::uint64_t cacheMruHits = 0;
+};
+
+/** Thread-safe: called by Machine::run() on pool workers. */
+void recordVmRun(const VmRunSample &sample);
+
+} // namespace stm
+
+#endif // STM_VM_VM_STATS_HH

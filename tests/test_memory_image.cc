@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Edge-case tests for the paged flat memory image (vm/memory_image)
+ * as driven through the Machine: segment boundaries, unmapped-address
+ * segfaults, page-boundary crossings, heap brk growth via the Alloc
+ * syscall, zero-fill semantics, and global overrides.
+ *
+ * The paged image replaced the seed's `unordered_map<Addr, Word>`;
+ * these tests pin the contract that made that swap invisible: a valid
+ * never-written cell reads 0, and validity (segment bounds, heap brk,
+ * live stack span) is enforced exactly as before.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/types.hh"
+#include "program/builder.hh"
+#include "vm/machine.hh"
+
+namespace stm
+{
+namespace
+{
+
+using namespace regs;
+
+RunResult
+runProgram(ProgramPtr prog, MachineOptions opts = {})
+{
+    Machine machine(std::move(prog), std::move(opts));
+    return machine.run();
+}
+
+// ---- segment boundaries ---------------------------------------------------
+
+TEST(MemoryImage, LastGlobalWordIsValidOnePastIsNot)
+{
+    // One 8-word global: [kGlobalBase, kGlobalBase + 64) is mapped.
+    ProgramBuilder ok("t");
+    ok.global("g", 8);
+    ok.func("main");
+    ok.loadg(r1, "g", 7 * 8); // last valid word
+    ok.out(r1);
+    ok.halt();
+    RunResult fine = runProgram(ok.build());
+    EXPECT_EQ(fine.outcome, RunOutcome::Completed);
+    EXPECT_EQ(fine.output, (std::vector<Word>{0}));
+
+    ProgramBuilder bad("t");
+    bad.global("g", 8);
+    bad.func("main");
+    bad.loadg(r1, "g", 8 * 8); // one word past the segment end
+    bad.halt();
+    RunResult fault = runProgram(bad.build());
+    EXPECT_EQ(fault.outcome, RunOutcome::SegFault);
+    ASSERT_TRUE(fault.failure.has_value());
+}
+
+TEST(MemoryImage, AddressBelowGlobalSegmentSegfaults)
+{
+    ProgramBuilder b("t");
+    b.global("g", 4);
+    b.func("main");
+    b.movi(r1, static_cast<std::int64_t>(layout::kGlobalBase - 8));
+    b.load(r2, r1);
+    b.halt();
+    RunResult result = runProgram(b.build());
+    EXPECT_EQ(result.outcome, RunOutcome::SegFault);
+}
+
+TEST(MemoryImage, GapBetweenHeapAndStackSegfaults)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.movi(r1, static_cast<std::int64_t>(layout::kStackBase - 8));
+    b.load(r2, r1);
+    b.halt();
+    RunResult result = runProgram(b.build());
+    EXPECT_EQ(result.outcome, RunOutcome::SegFault);
+}
+
+TEST(MemoryImage, UnspawnedThreadStackIsUnmapped)
+{
+    // Only main is live, so the stack span covers one kStackSize
+    // window; thread 1's would-be stack is invalid until spawned.
+    ProgramBuilder b("t");
+    b.func("main");
+    b.movi(r1, static_cast<std::int64_t>(layout::stackBase(1) + 64));
+    b.load(r2, r1);
+    b.halt();
+    RunResult result = runProgram(b.build());
+    EXPECT_EQ(result.outcome, RunOutcome::SegFault);
+}
+
+TEST(MemoryImage, OwnStackIsReadableAndZeroFilled)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.movi(r1, static_cast<std::int64_t>(layout::stackBase(0)));
+    b.load(r2, r1); // never-written stack word reads 0
+    b.out(r2);
+    b.movi(r3, 77);
+    b.store(r1, 0, r3);
+    b.load(r4, r1);
+    b.out(r4);
+    b.halt();
+    RunResult result = runProgram(b.build());
+    EXPECT_EQ(result.outcome, RunOutcome::Completed);
+    EXPECT_EQ(result.output, (std::vector<Word>{0, 77}));
+}
+
+// ---- page boundaries ------------------------------------------------------
+
+TEST(MemoryImage, GlobalSpanningPageBoundaryRoundTrips)
+{
+    // 4 KiB pages hold 512 words; a 600-word global straddles the
+    // first page boundary of the globals segment.
+    ProgramBuilder b("t");
+    b.global("big", 600);
+    b.func("main");
+    b.movi(r1, 41);
+    b.movi(r2, 42);
+    b.storeg("big", 511 * 8, r1, r10); // last word of page 0
+    b.storeg("big", 512 * 8, r2, r10); // first word of page 1
+    b.loadg(r3, "big", 511 * 8);
+    b.loadg(r4, "big", 512 * 8);
+    b.out(r3);
+    b.out(r4);
+    b.halt();
+    RunResult result = runProgram(b.build());
+    EXPECT_EQ(result.outcome, RunOutcome::Completed);
+    EXPECT_EQ(result.output, (std::vector<Word>{41, 42}));
+}
+
+TEST(MemoryImage, AlternatingPagesKeepDistinctContents)
+{
+    // Ping-pong stores across a page boundary: the one-entry
+    // translation cache must never serve a stale page.
+    ProgramBuilder b("t");
+    b.global("big", 1024);
+    b.func("main");
+    b.movi(r1, 1);
+    b.movi(r2, 2);
+    b.storeg("big", 0, r1, r10);       // page 0
+    b.storeg("big", 512 * 8, r2, r10); // page 1
+    b.loadg(r3, "big", 0);         // back to page 0
+    b.loadg(r4, "big", 512 * 8);   // page 1 again
+    b.out(r3);
+    b.out(r4);
+    b.halt();
+    RunResult result = runProgram(b.build());
+    EXPECT_EQ(result.outcome, RunOutcome::Completed);
+    EXPECT_EQ(result.output, (std::vector<Word>{1, 2}));
+}
+
+// ---- heap brk growth ------------------------------------------------------
+
+TEST(MemoryImage, AllocGrowsHeapAndZeroFills)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.movi(r1, 64); // bytes
+    b.syscall(SyscallNo::Alloc, r1, r2);
+    b.out(r2);      // the returned base: first alloc starts at brk 0
+    b.load(r3, r2, 56); // last word of the allocation, never written
+    b.out(r3);
+    b.movi(r4, 9);
+    b.store(r2, 56, r4);
+    b.load(r5, r2, 56);
+    b.out(r5);
+    b.halt();
+    RunResult result = runProgram(b.build());
+    EXPECT_EQ(result.outcome, RunOutcome::Completed);
+    EXPECT_EQ(result.output,
+              (std::vector<Word>{
+                  static_cast<Word>(layout::kHeapBase), 0, 9}));
+}
+
+TEST(MemoryImage, AccessBeyondBrkSegfaults)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.movi(r1, 64);
+    b.syscall(SyscallNo::Alloc, r1, r2);
+    b.load(r3, r2, 64); // one word past the allocation
+    b.halt();
+    RunResult result = runProgram(b.build());
+    EXPECT_EQ(result.outcome, RunOutcome::SegFault);
+}
+
+TEST(MemoryImage, SecondAllocExtendsTheSameSegment)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.movi(r1, 4096); // a full page
+    b.syscall(SyscallNo::Alloc, r1, r2);
+    b.syscall(SyscallNo::Alloc, r1, r3);
+    b.movi(r4, 5);
+    b.store(r3, 4088, r4); // deep inside the second allocation
+    b.load(r5, r3, 4088);
+    b.out(r5);
+    b.sub(r6, r3, r2); // second base - first base == 4096
+    b.out(r6);
+    b.halt();
+    RunResult result = runProgram(b.build());
+    EXPECT_EQ(result.outcome, RunOutcome::Completed);
+    EXPECT_EQ(result.output, (std::vector<Word>{5, 4096}));
+}
+
+// ---- zero fill and overrides ---------------------------------------------
+
+TEST(MemoryImage, UninitializedGlobalTailReadsZero)
+{
+    // init covers 1 of 4 words; the tail must read 0 (the hash-map
+    // semantics the paged image preserves).
+    ProgramBuilder b("t");
+    b.global("g", 4, {123});
+    b.func("main");
+    b.loadg(r1, "g", 0);
+    b.loadg(r2, "g", 8);
+    b.loadg(r3, "g", 24);
+    b.out(r1);
+    b.out(r2);
+    b.out(r3);
+    b.halt();
+    RunResult result = runProgram(b.build());
+    EXPECT_EQ(result.output, (std::vector<Word>{123, 0, 0}));
+}
+
+TEST(MemoryImage, GlobalOverridesLandInPagedMemory)
+{
+    ProgramBuilder b("t");
+    b.global("cfg", 3, {1, 2, 3});
+    b.func("main");
+    b.loadg(r1, "cfg", 0);
+    b.loadg(r2, "cfg", 8);
+    b.loadg(r3, "cfg", 16);
+    b.out(r1);
+    b.out(r2);
+    b.out(r3);
+    b.halt();
+    MachineOptions opts;
+    opts.globalOverrides = {{"cfg", {10, 20}}}; // partial override
+    RunResult result = runProgram(b.build(), opts);
+    EXPECT_EQ(result.outcome, RunOutcome::Completed);
+    EXPECT_EQ(result.output, (std::vector<Word>{10, 20, 3}));
+}
+
+} // namespace
+} // namespace stm
