@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Fleet collector ingest throughput microbenchmark.
+ *
+ * The collection service (src/fleet) is the chokepoint of the paper's
+ * deployment story: every profile a production machine reports
+ * crosses decode -> CRC -> fingerprint -> shard queue before the
+ * streaming ranker sees it. This bench measures sustained wire-frame
+ * ingest — producers pushing pre-serialized frames while a consumer
+ * drains — across shard counts {1, 2, 4, 8}, single- and
+ * multi-producer.
+ *
+ * Output: human-readable table on stdout plus machine-readable
+ * BENCH_fleet_ingest.json (override with --out FILE), embedding the
+ * collector's own StatGroup::toJson() accounting so the numbers are
+ * cross-checkable against what the service believes happened.
+ *
+ * The single-shard single-producer configuration is checked against a
+ * 100k reports/sec floor (disable with --no-check): one shard must
+ * absorb a fleet's worth of reports with CRC validation and dedup on,
+ * or the service, not the fleet, is the bottleneck.
+ *
+ * Flags: --reports N frames per configuration (default 40000);
+ * --repeat N best-of-N per configuration (default 3).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/collector.hh"
+#include "fleet/wire_format.hh"
+#include "support/random.hh"
+#include "table_util.hh"
+
+using namespace stm;
+using namespace stm::bench;
+
+namespace
+{
+
+/** A small, realistic report: LBR kind, 8-entry ring. */
+fleet::RunProfile
+syntheticProfile(Pcg32 &rng, std::uint64_t serial)
+{
+    fleet::RunProfile p;
+    p.machineId = serial % 64;
+    p.runSeed = serial; // distinct per frame -> distinct fingerprint
+    p.bugId = "bench";
+    p.failure = (serial & 1) == 0;
+    p.kind = ProfileKind::Lbr;
+    p.site = 1;
+    p.thread = 0;
+    p.step = serial;
+    for (int i = 0; i < 8; ++i) {
+        BranchRecord b;
+        b.fromIp = layout::codeAddr(rng.nextBounded(400));
+        b.toIp = layout::codeAddr(rng.nextBounded(400));
+        b.kind = BranchKind::Conditional;
+        b.srcBranch = rng.nextBounded(48);
+        b.outcome = rng.nextBool(0.5);
+        p.lbr.push_back(b);
+    }
+    return p;
+}
+
+struct ConfigResult
+{
+    unsigned shards = 0;
+    unsigned producers = 0;
+    std::uint64_t reports = 0;
+    std::uint64_t wireBytes = 0;
+    double wallSec = 0.0;
+    std::string statsJson;
+
+    double
+    rate() const
+    {
+        return wallSec > 0.0
+                   ? static_cast<double>(reports) / wallSec
+                   : 0.0;
+    }
+};
+
+/**
+ * One timed pass: @p producers threads split the frames evenly and
+ * ingest them into a fresh bounded collector while a consumer thread
+ * drains, exactly the shape of the live service. The clock stops when
+ * every frame has been both accepted and drained.
+ */
+ConfigResult
+timeConfigOnce(const std::vector<std::vector<std::uint8_t>> &frames,
+               unsigned shards, unsigned producers)
+{
+    fleet::CollectorOptions opts;
+    opts.shards = shards;
+    opts.shardCapacity = 4096;
+    opts.overflow = fleet::OverflowPolicy::Block;
+    fleet::Collector collector(opts);
+
+    ConfigResult out;
+    out.shards = shards;
+    out.producers = producers;
+    out.reports = frames.size();
+
+    std::atomic<bool> producing{true};
+    auto start = std::chrono::steady_clock::now();
+    std::thread consumer([&] {
+        std::size_t drained = 0;
+        while (drained < frames.size()) {
+            drained += collector.drainInto([](fleet::RunProfile &&) {});
+            if (!producing.load(std::memory_order_acquire) &&
+                collector.queued() == 0 && drained >= frames.size())
+                break;
+            std::this_thread::yield();
+        }
+    });
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < producers; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::size_t i = t; i < frames.size();
+                 i += producers)
+                collector.ingest(frames[i]);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    producing.store(false, std::memory_order_release);
+    consumer.join();
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    out.wallSec = elapsed.count();
+    for (const auto &f : frames)
+        out.wireBytes += f.size();
+    out.statsJson = collector.stats().toJson();
+    return out;
+}
+
+ConfigResult
+timeConfig(const std::vector<std::vector<std::uint8_t>> &frames,
+           unsigned shards, unsigned producers,
+           std::uint64_t repeats)
+{
+    ConfigResult best;
+    for (std::uint64_t rep = 0; rep < repeats; ++rep) {
+        ConfigResult r = timeConfigOnce(frames, shards, producers);
+        if (rep == 0 || r.wallSec < best.wallSec)
+            best = r;
+    }
+    return best;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<ConfigResult> &results,
+          double floorRate)
+{
+    std::ofstream os(path);
+    os << std::fixed;
+    os << "{\n  \"configs\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ConfigResult &r = results[i];
+        os.precision(6);
+        os << "    {\"shards\": " << r.shards
+           << ", \"producers\": " << r.producers
+           << ", \"reports\": " << r.reports
+           << ", \"wire_bytes\": " << r.wireBytes
+           << ", \"wall_sec\": " << r.wallSec
+           << ", \"reports_per_sec\": ";
+        os.precision(0);
+        os << r.rate() << ",\n     \"collector\": " << r.statsJson
+           << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os.precision(0);
+    os << "  ],\n  \"floor_reports_per_sec\": " << floorRate
+       << "\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t reports = 40000;
+    std::uint64_t repeats = 3;
+    bool check = true;
+    std::string outPath = "BENCH_fleet_ingest.json";
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--no-check"))
+            check = false;
+        else if (i + 1 < argc && !std::strcmp(argv[i], "--reports"))
+            reports = std::strtoull(argv[++i], nullptr, 10);
+        else if (i + 1 < argc && !std::strcmp(argv[i], "--repeat"))
+            repeats = std::strtoull(argv[++i], nullptr, 10);
+        else if (i + 1 < argc && !std::strcmp(argv[i], "--out"))
+            outPath = argv[++i];
+    }
+    if (repeats == 0)
+        repeats = 1;
+
+    // Pre-serialize outside the timed region: the bench measures the
+    // service, not the agents.
+    Pcg32 rng(2014);
+    std::vector<std::vector<std::uint8_t>> frames;
+    frames.reserve(reports);
+    for (std::uint64_t i = 0; i < reports; ++i)
+        frames.push_back(
+            fleet::serialize(syntheticProfile(rng, i)));
+
+    constexpr double kFloorRate = 100000.0;
+    std::cout << "Fleet collector ingest throughput (" << reports
+              << " wire frames per config, best of " << repeats
+              << ")\n\n"
+              << cell("shards", 8) << cell("producers", 11)
+              << cell("wall s", 9) << cell("Kreports/s", 12)
+              << cell("MB/s", 8) << '\n';
+
+    std::vector<ConfigResult> results;
+    for (unsigned shards : {1u, 2u, 4u, 8u}) {
+        for (unsigned producers : {1u, 4u}) {
+            ConfigResult r =
+                timeConfig(frames, shards, producers, repeats);
+            std::ostringstream ws, rate, mbs;
+            ws << std::fixed << std::setprecision(3) << r.wallSec;
+            rate << std::fixed << std::setprecision(1)
+                 << r.rate() / 1e3;
+            mbs << std::fixed << std::setprecision(1)
+                << (r.wallSec > 0.0
+                        ? static_cast<double>(r.wireBytes) / 1e6 /
+                              r.wallSec
+                        : 0.0);
+            std::cout << cell(std::to_string(r.shards), 8)
+                      << cell(std::to_string(r.producers), 11)
+                      << cell(ws.str(), 9) << cell(rate.str(), 12)
+                      << cell(mbs.str(), 8) << '\n';
+            results.push_back(std::move(r));
+        }
+    }
+
+    writeJson(outPath, results, kFloorRate);
+    std::cout << "\n(written to " << outPath << ")\n";
+
+    if (check) {
+        // results[0] is shards=1, producers=1.
+        double single = results.front().rate();
+        std::cout << "floor check: " << std::fixed
+                  << std::setprecision(2) << single / kFloorRate
+                  << "x of the 100k reports/sec single-shard floor\n";
+        if (single < kFloorRate) {
+            std::cerr << "FAIL: single-shard ingest below 100k "
+                         "reports/sec\n";
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -1,7 +1,5 @@
 #include "diag/ranker.hh"
 
-#include <algorithm>
-
 namespace stm
 {
 
@@ -24,81 +22,15 @@ StatisticalRanker::addSuccessProfile(const std::set<EventKey> &events)
 std::vector<RankedEvent>
 StatisticalRanker::rank(bool include_absence) const
 {
-    std::vector<RankedEvent> ranking;
-    auto score = [&](std::uint64_t fail_with,
-                     std::uint64_t succ_with) -> RankedEvent {
-        RankedEvent r;
-        r.failureRuns = fail_with;
-        r.successRuns = succ_with;
-        std::uint64_t with = fail_with + succ_with;
-        r.precision = with == 0 ? 0.0
-                                : static_cast<double>(fail_with) /
-                                      static_cast<double>(with);
-        r.recall = failures_ == 0
-                       ? 0.0
-                       : static_cast<double>(fail_with) /
-                             static_cast<double>(failures_);
-        r.score = (r.precision + r.recall) == 0.0
-                      ? 0.0
-                      : 2.0 * r.precision * r.recall /
-                            (r.precision + r.recall);
-        return r;
-    };
-
-    for (const auto &[event, tally] : tallies_) {
-        RankedEvent presence =
-            score(tally.inFailures, tally.inSuccesses);
-        presence.event = event;
-        presence.absence = false;
-        ranking.push_back(presence);
-
-        if (include_absence) {
-            RankedEvent absence =
-                score(failures_ - tally.inFailures,
-                      successes_ - tally.inSuccesses);
-            absence.event = event;
-            absence.absence = true;
-            ranking.push_back(absence);
-        }
-    }
-
-    std::sort(ranking.begin(), ranking.end(),
-              [](const RankedEvent &x, const RankedEvent &y) {
-                  if (x.score != y.score)
-                      return x.score > y.score;
-                  if (x.failureRuns != y.failureRuns)
-                      return x.failureRuns > y.failureRuns;
-                  if (x.absence != y.absence)
-                      return !x.absence; // presence first
-                  return x.event < y.event;
-              });
-    return ranking;
+    return scoring::rankTallies(tallies_, failures_, successes_,
+                                include_absence);
 }
 
 std::size_t
 StatisticalRanker::positionOf(const std::vector<RankedEvent> &ranking,
                               const EventKey &event, bool absence)
 {
-    // Competition ranking: events tied on score share the same rank
-    // (perfectly-correlated co-predictors are unavoidable — e.g. the
-    // true outcome of the root-cause branch and the guard that only
-    // the failing path reaches all predict with precision = recall
-    // = 1).
-    const RankedEvent *found = nullptr;
-    for (const auto &r : ranking) {
-        if (r.event == event && r.absence == absence) {
-            found = &r;
-            break;
-        }
-    }
-    if (!found)
-        return 0;
-    std::size_t better = 0;
-    for (const auto &r : ranking) {
-        if (r.score > found->score)
-            ++better;
-    }
-    return better + 1;
+    return scoring::positionOf(ranking, event, absence);
 }
 
 } // namespace stm

@@ -13,33 +13,24 @@
  * of an event (Section 4.2.2: "failures are highly correlated with B2
  * not encountering a shared state"); the ranker therefore optionally
  * scores absence predicates over the same event universe.
+ *
+ * The scoring formulas and tie-break order live in diag/scoring.hh,
+ * shared with the streaming fleet/incremental_ranker.hh so batch and
+ * incremental rankings cannot drift.
  */
 
 #ifndef STM_DIAG_RANKER_HH
 #define STM_DIAG_RANKER_HH
 
 #include <cstdint>
-#include <map>
 #include <set>
 #include <vector>
 
 #include "diag/event_key.hh"
+#include "diag/scoring.hh"
 
 namespace stm
 {
-
-/** One scored predictor. */
-struct RankedEvent
-{
-    EventKey event;
-    /** Predicate is "event absent from the profile". */
-    bool absence = false;
-    std::uint64_t failureRuns = 0; //!< |F & e|
-    std::uint64_t successRuns = 0; //!< |S & e|
-    double precision = 0.0;        //!< |F&e| / |e|
-    double recall = 0.0;           //!< |F&e| / |F|
-    double score = 0.0;            //!< harmonic mean
-};
 
 /** Accumulates profiles and ranks candidate failure predictors. */
 class StatisticalRanker
@@ -67,13 +58,7 @@ class StatisticalRanker
                                   bool absence = false);
 
   private:
-    struct Tally
-    {
-        std::uint64_t inFailures = 0;
-        std::uint64_t inSuccesses = 0;
-    };
-
-    std::map<EventKey, Tally> tallies_;
+    scoring::TallyMap tallies_;
     std::uint64_t failures_ = 0;
     std::uint64_t successes_ = 0;
 };

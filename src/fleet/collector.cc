@@ -1,0 +1,164 @@
+#include "fleet/collector.hh"
+
+#include "support/logging.hh"
+
+namespace stm::fleet
+{
+
+Collector::Collector(const CollectorOptions &opts)
+    : shardCount_(opts.shards == 0 ? 1 : opts.shards),
+      capacity_(opts.shardCapacity == 0 ? 1 : opts.shardCapacity),
+      overflow_(opts.overflow), stats_("fleet.collector")
+{
+    shards_.reserve(shardCount_);
+    for (unsigned s = 0; s < shardCount_; ++s) {
+        shards_.push_back(std::make_unique<Shard>(
+            strfmt("fleet.shard{}", s)));
+    }
+}
+
+IngestStatus
+Collector::ingest(const std::uint8_t *data, std::size_t size)
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++stats_.counter("received");
+    }
+    if (closed_.load(std::memory_order_acquire))
+        return IngestStatus::Closed;
+
+    RunProfile profile;
+    WireStatus ws = deserialize(data, size, &profile);
+    if (ws != WireStatus::Ok) {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++stats_.counter("decode_errors");
+        ++stats_.counter(
+            strfmt("decode_error.{}", wireStatusName(ws)));
+        return IngestStatus::DecodeError;
+    }
+    std::uint64_t print = fingerprint(profile);
+    return offer(std::move(profile), print);
+}
+
+IngestStatus
+Collector::ingestDecoded(RunProfile &&profile)
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++stats_.counter("received");
+    }
+    if (closed_.load(std::memory_order_acquire))
+        return IngestStatus::Closed;
+    std::uint64_t print = fingerprint(profile);
+    return offer(std::move(profile), print);
+}
+
+IngestStatus
+Collector::offer(RunProfile &&profile, std::uint64_t print)
+{
+    Shard &shard = *shards_[print % shardCount_];
+    bool blocked = false;
+    {
+        std::unique_lock<std::mutex> lock(shard.mu);
+        if (!shard.seen.insert(print).second) {
+            ++shard.stats.counter("duplicates");
+            std::lock_guard<std::mutex> slock(statsMu_);
+            ++stats_.counter("duplicates");
+            return IngestStatus::Duplicate;
+        }
+        if (shard.queue.size() >= capacity_) {
+            if (overflow_ == OverflowPolicy::Drop) {
+                // The fingerprint stays in `seen`: a shed report's
+                // retransmission is still a duplicate, matching a
+                // lossy UDP-style intake where the agent resends
+                // blindly.
+                ++shard.stats.counter("dropped");
+                std::lock_guard<std::mutex> slock(statsMu_);
+                ++stats_.counter("dropped");
+                return IngestStatus::Dropped;
+            }
+            blocked = true;
+            shard.spaceCv.wait(lock, [&] {
+                return shard.queue.size() < capacity_ ||
+                       closed_.load(std::memory_order_acquire);
+            });
+            if (shard.queue.size() >= capacity_) {
+                // Woken by close() with the shard still full.
+                shard.seen.erase(print);
+                return IngestStatus::Closed;
+            }
+        }
+        shard.queue.push_back(std::move(profile));
+        ++shard.stats.counter("accepted");
+    }
+    std::lock_guard<std::mutex> lock(statsMu_);
+    ++stats_.counter("accepted");
+    if (blocked)
+        ++stats_.counter("blocked");
+    return IngestStatus::Accepted;
+}
+
+std::vector<RunProfile>
+Collector::drain()
+{
+    std::vector<RunProfile> out;
+    drainInto([&](RunProfile &&p) { out.push_back(std::move(p)); });
+    return out;
+}
+
+std::size_t
+Collector::drainInto(const std::function<void(RunProfile &&)> &sink)
+{
+    std::size_t delivered = 0;
+    for (auto &shardPtr : shards_) {
+        Shard &shard = *shardPtr;
+        std::deque<RunProfile> batch;
+        {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            batch.swap(shard.queue);
+            shard.stats.counter("drained") +=
+                static_cast<std::uint64_t>(batch.size());
+        }
+        shard.spaceCv.notify_all();
+        delivered += batch.size();
+        for (RunProfile &p : batch)
+            sink(std::move(p));
+    }
+    std::lock_guard<std::mutex> lock(statsMu_);
+    stats_.counter("drained") +=
+        static_cast<std::uint64_t>(delivered);
+    return delivered;
+}
+
+void
+Collector::close()
+{
+    closed_.store(true, std::memory_order_release);
+    for (auto &shardPtr : shards_) {
+        // Lock/unlock pairs the store with waiters mid-predicate.
+        std::lock_guard<std::mutex> lock(shardPtr->mu);
+    }
+    for (auto &shardPtr : shards_)
+        shardPtr->spaceCv.notify_all();
+}
+
+std::size_t
+Collector::queued() const
+{
+    std::size_t total = 0;
+    for (const auto &shardPtr : shards_) {
+        std::lock_guard<std::mutex> lock(shardPtr->mu);
+        total += shardPtr->queue.size();
+    }
+    return total;
+}
+
+const StatGroup &
+Collector::shardStats(unsigned shard) const
+{
+    if (shard >= shardCount_)
+        panic("shardStats({}) with {} shards", shard, shardCount_);
+    return shards_[shard]->stats;
+}
+
+} // namespace stm::fleet

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The fleet collection service: where every machine's wire-format
+ * report lands.
+ *
+ * Ingest is sharded: a report's canonical fingerprint routes it to
+ * shard `fingerprint % shards`, so duplicate suppression needs no
+ * cross-shard coordination (retransmitted frames always hash to the
+ * same shard) and producers contend only on their report's shard, not
+ * on one global lock. Each shard is a bounded queue; when a shard is
+ * full the collector applies the configured overflow policy — block
+ * the producer until the consumer drains (lossless, for trusted
+ * in-house producers) or drop the report and count it (load shedding,
+ * for an internet-facing endpoint). Both paths are accounted in
+ * per-shard and aggregate StatGroups (support/stats), the same
+ * counters facility every other component of the reproduction
+ * reports through.
+ *
+ * The consumer side (`drain`, `drainInto`) empties all shards in
+ * shard order. Because the downstream IncrementalRanker is
+ * order-independent (diag/scoring.hh), the interleaving of producers
+ * and the shard count never change the final ranking — asserted for
+ * the whole corpus in tests/test_fleet.cc.
+ */
+
+#ifndef STM_FLEET_COLLECTOR_HH
+#define STM_FLEET_COLLECTOR_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "fleet/wire_format.hh"
+#include "support/stats.hh"
+
+namespace stm::fleet
+{
+
+/** What to do with a report arriving at a full shard. */
+enum class OverflowPolicy : std::uint8_t {
+    Block, //!< producer waits for the consumer (lossless)
+    Drop,  //!< report is discarded and counted (load shedding)
+};
+
+/** Collector configuration. */
+struct CollectorOptions
+{
+    /** Ingest shards (queues + dedup sets). At least 1. */
+    unsigned shards = 1;
+    /** Queued reports per shard before the overflow policy applies. */
+    std::size_t shardCapacity = 1024;
+    OverflowPolicy overflow = OverflowPolicy::Block;
+};
+
+/** Outcome of one ingest call. */
+enum class IngestStatus : std::uint8_t {
+    Accepted,    //!< decoded, novel, queued
+    Duplicate,   //!< fingerprint already seen; suppressed
+    Dropped,     //!< shard full under OverflowPolicy::Drop
+    DecodeError, //!< frame failed wire validation
+    Closed,      //!< collector already closed
+};
+
+/** Multi-producer sharded in-memory report store. */
+class Collector
+{
+  public:
+    explicit Collector(const CollectorOptions &opts = {});
+
+    unsigned shards() const { return shardCount_; }
+
+    /**
+     * Decode one wire frame and route it to its shard. Thread-safe;
+     * any number of producers may call concurrently. Blocks when the
+     * shard is full under OverflowPolicy::Block (until a drain or
+     * close()); never blocks under Drop.
+     */
+    IngestStatus ingest(const std::uint8_t *data, std::size_t size);
+
+    IngestStatus
+    ingest(const std::vector<std::uint8_t> &wire)
+    {
+        return ingest(wire.data(), wire.size());
+    }
+
+    /**
+     * Ingest an already-decoded report (the in-process fast path —
+     * e.g. the collector's own loopback producer). Same dedup,
+     * sharding, and accounting as the wire path.
+     */
+    IngestStatus ingestDecoded(RunProfile &&profile);
+
+    /**
+     * Remove and return every queued report, shard 0 first. Reports
+     * within a shard come out in arrival order. Wakes blocked
+     * producers.
+     */
+    std::vector<RunProfile> drain();
+
+    /**
+     * Drain into a callback (saves the intermediate vector). Returns
+     * the number of reports delivered.
+     */
+    std::size_t
+    drainInto(const std::function<void(RunProfile &&)> &sink);
+
+    /**
+     * Close the intake: blocked producers wake and report Closed, and
+     * subsequent ingests are refused. Queued reports remain drainable.
+     */
+    void close();
+
+    /** Total reports currently queued across all shards. */
+    std::size_t queued() const;
+
+    /**
+     * Aggregate ingest metrics: received, accepted, duplicates,
+     * decode_errors, dropped, blocked, drained.
+     */
+    const StatGroup &stats() const { return stats_; }
+
+    /** Per-shard metrics: accepted, duplicates, dropped, drained. */
+    const StatGroup &shardStats(unsigned shard) const;
+
+  private:
+    struct Shard
+    {
+        explicit Shard(std::string name) : stats(std::move(name)) {}
+
+        mutable std::mutex mu;
+        std::condition_variable spaceCv; //!< producers: queue not full
+        std::deque<RunProfile> queue;
+        std::unordered_set<std::uint64_t> seen; //!< fingerprints, ever
+        StatGroup stats;
+    };
+
+    IngestStatus offer(RunProfile &&profile, std::uint64_t print);
+
+    unsigned shardCount_;
+    std::size_t capacity_;
+    OverflowPolicy overflow_;
+    std::atomic<bool> closed_{false};
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    /**
+     * Aggregate counters, guarded by statsMu_. Reading stats() while
+     * producers are still ingesting is the caller's race to avoid;
+     * the drivers read it after the intake quiesces.
+     */
+    mutable std::mutex statsMu_;
+    StatGroup stats_;
+};
+
+} // namespace stm::fleet
+
+#endif // STM_FLEET_COLLECTOR_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * FleetSim: the end-to-end emulation of the paper's deployment story
+ * (Section 5.2, Figure 8) — N production machines, each running the
+ * monitored program with its own seeds, reporting LBR/LCR profiles
+ * over the wire to the collection service, which feeds the streaming
+ * ranker.
+ *
+ * The pipeline per diagnosis:
+ *
+ *   1. Instrument the program (LBRLOG for sequential entries, LCRLOG
+ *      for concurrency entries) exactly as LBRA/LCRA would.
+ *   2. Pin the failure site from the first reporting failure; under
+ *      the Reactive scheme, re-instrument the success site (the
+ *      paper's deployed-binary patch) with the run pool drained.
+ *   3. Fan the fleet out on RunPool: attempt i executes on simulated
+ *      machine (i mod N) with the workload's seed for i, so the
+ *      fleet's behavior is bit-identical for any worker count.
+ *   4. Every usable profile becomes a RunProfile, is serialized to a
+ *      wire frame, travels through deserialize -> Collector
+ *      (sharded, deduplicated, accounted) -> drain -> the
+ *      IncrementalRanker.
+ *
+ * Because collection decisions replay in strict attempt order
+ * (exec/run_pool.hh) and the ranker is order-independent
+ * (diag/scoring.hh), the resulting ranking matches the in-process
+ * LBRA/LCRA diagnosis run with the same profile budget — the fleet
+ * adds transport and aggregation, not semantics.
+ */
+
+#ifndef STM_FLEET_FLEET_SIM_HH
+#define STM_FLEET_FLEET_SIM_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "corpus/bug.hh"
+#include "diag/log_enhance.hh"
+#include "fleet/collector.hh"
+#include "fleet/incremental_ranker.hh"
+#include "program/transform.hh"
+
+namespace stm::fleet
+{
+
+/** Configuration of one fleet-collection campaign. */
+struct FleetOptions
+{
+    /** Simulated fleet size: attempt i runs on machine i mod N. */
+    std::uint64_t machines = 16;
+    /** Collector ingest shards. */
+    unsigned shards = 4;
+    /** Collector per-shard queue bound. */
+    std::size_t shardCapacity = 4096;
+    OverflowPolicy overflow = OverflowPolicy::Block;
+
+    /** Failure / success reports to aggregate (the paper's 10+10). */
+    std::uint32_t failureProfiles = 10;
+    std::uint32_t successProfiles = 10;
+    /** Underlying LBRLOG/LCRLOG configuration. */
+    LogEnhanceOptions log;
+    /** Success-site collection scheme. */
+    transform::SuccessSiteScheme scheme =
+        transform::SuccessSiteScheme::Reactive;
+    /** Score absence predicates (LCRA under Conf1; Section 4.2.2). */
+    bool absencePredicates = false;
+    /** Budget of runs before giving up. */
+    std::uint64_t maxAttempts = 50000;
+    /** RunPool workers (0 = STM_JOBS / hardware concurrency). */
+    unsigned jobs = 0;
+    /**
+     * Hardware record to collect: unset = LBR for sequential
+     * entries, LCR for concurrency entries (the auto deployment).
+     */
+    std::optional<ProfileKind> kind;
+
+    /**
+     * Fault injection for the transport: re-send every N-th frame
+     * (0 = never), emulating at-least-once delivery. The collector's
+     * dedup must make this invisible to the ranking.
+     */
+    std::uint32_t duplicateEvery = 0;
+    /**
+     * Fault injection: corrupt one byte of every N-th frame (0 =
+     * never). The CRC must reject these; they are re-sent intact,
+     * so the ranking is again unaffected.
+     */
+    std::uint32_t corruptEvery = 0;
+};
+
+/** What the fleet captured, before transport. */
+struct FleetCapture
+{
+    bool pinned = false; //!< a failure site was observed
+    LogSiteId site = kSegfaultSite;
+    /** Machine-tagged reports: failures first batch, then successes. */
+    std::vector<RunProfile> reports;
+    std::uint64_t failureReports = 0;
+    std::uint64_t successReports = 0;
+    std::uint64_t failureAttempts = 0;
+    std::uint64_t successAttempts = 0;
+};
+
+/** Outcome of one fleet diagnosis. */
+struct FleetResult
+{
+    bool diagnosed = false;
+    LogSiteId site = kSegfaultSite;
+    std::vector<RankedEvent> ranking;
+
+    std::uint64_t failureReports = 0;
+    std::uint64_t successReports = 0;
+    std::uint64_t failureAttempts = 0;
+    std::uint64_t successAttempts = 0;
+
+    /** Transport accounting. */
+    std::uint64_t wireBytes = 0;     //!< frame bytes shipped
+    std::uint64_t framesSent = 0;    //!< includes retransmissions
+    std::uint64_t duplicates = 0;    //!< suppressed by the collector
+    std::uint64_t decodeErrors = 0;  //!< rejected by wire validation
+    std::uint64_t dropped = 0;       //!< shed under OverflowPolicy::Drop
+
+    /** 1-based rank of @p event; 0 if unranked. */
+    std::size_t
+    positionOf(const EventKey &event, bool absence = false) const
+    {
+        return scoring::positionOf(ranking, event, absence);
+    }
+};
+
+/**
+ * Run the capture phase only: instrument, pin, and gather the fleet's
+ * RunProfiles without transport. The reports vector is deterministic
+ * for any worker count; the equivalence tests permute/re-shard it.
+ */
+FleetCapture captureFleetReports(const BugSpec &bug,
+                                 const FleetOptions &opts = {});
+
+/**
+ * Full pipeline: capture, then serialize -> wire -> collector ->
+ * incremental ranker. When @p collector is non-null the transport
+ * runs through it (it must be freshly constructed; its shard count
+ * overrides opts.shards), so callers can inspect per-shard metrics
+ * afterwards; otherwise an internal collector is used.
+ */
+FleetResult runFleetDiagnosis(const BugSpec &bug,
+                              const FleetOptions &opts = {},
+                              Collector *collector = nullptr);
+
+} // namespace stm::fleet
+
+#endif // STM_FLEET_FLEET_SIM_HH

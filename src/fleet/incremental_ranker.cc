@@ -1,0 +1,48 @@
+#include "fleet/incremental_ranker.hh"
+
+namespace stm::fleet
+{
+
+void
+IncrementalRanker::ingest(const RunProfile &report)
+{
+    std::set<EventKey> events = report.kind == ProfileKind::Lbr
+                                    ? eventsOfLbr(report.lbr)
+                                    : eventsOfLcr(report.lcr);
+    if (report.failure)
+        addFailureEvents(events);
+    else
+        addSuccessEvents(events);
+}
+
+void
+IncrementalRanker::addFailureEvents(const std::set<EventKey> &events)
+{
+    ++failures_;
+    for (const EventKey &e : events)
+        ++tallies_[e].inFailures;
+    cacheValid_ = false;
+}
+
+void
+IncrementalRanker::addSuccessEvents(const std::set<EventKey> &events)
+{
+    ++successes_;
+    for (const EventKey &e : events)
+        ++tallies_[e].inSuccesses;
+    cacheValid_ = false;
+}
+
+const std::vector<RankedEvent> &
+IncrementalRanker::rank(bool include_absence) const
+{
+    if (!cacheValid_ || cachedAbsence_ != include_absence) {
+        cache_ = scoring::rankTallies(tallies_, failures_,
+                                      successes_, include_absence);
+        cacheValid_ = true;
+        cachedAbsence_ = include_absence;
+    }
+    return cache_;
+}
+
+} // namespace stm::fleet

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The streaming side of the Section 5.2 statistical model: a ranker
+ * that consumes fleet reports one at a time and keeps the diagnosis
+ * current as reports trickle in from deployed machines.
+ *
+ * Per ingested report it updates the sufficient statistics — the
+ * per-event tallies |F&e| and |S&e| plus the profile counts |F| and
+ * |S| — in O(|profile events|); scoring is deferred to rank() and
+ * cached until the next ingest, because a new profile changes the
+ * denominators (|F| or |S|) and therefore every event's precision,
+ * recall, and harmonic-mean score at once — there is no per-event
+ * shortcut that preserves exact scores.
+ *
+ * Equivalence guarantee: the scoring math and tie-break order are the
+ * shared diag/scoring.hh code the batch StatisticalRanker uses, and
+ * tallies are commutative counts, so for any ingest order, any
+ * producer interleaving, and any collector shard count, rank()
+ * returns exactly the batch ranker's ranking over the same multiset
+ * of profiles (tests/test_fleet.cc asserts this for every corpus
+ * bug).
+ */
+
+#ifndef STM_FLEET_INCREMENTAL_RANKER_HH
+#define STM_FLEET_INCREMENTAL_RANKER_HH
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "diag/event_key.hh"
+#include "diag/scoring.hh"
+#include "fleet/wire_format.hh"
+
+namespace stm::fleet
+{
+
+/** Streaming statistical ranker over ingested fleet reports. */
+class IncrementalRanker
+{
+  public:
+    /** Fold one decoded report into the model. */
+    void ingest(const RunProfile &report);
+
+    /** Fold a pre-extracted event set (profile-less producers). */
+    void addFailureEvents(const std::set<EventKey> &events);
+    void addSuccessEvents(const std::set<EventKey> &events);
+
+    std::uint64_t failureReports() const { return failures_; }
+    std::uint64_t successReports() const { return successes_; }
+    std::size_t distinctEvents() const { return tallies_.size(); }
+
+    /**
+     * The current ranking (identical to StatisticalRanker::rank over
+     * the same reports). Cached: repeated calls between ingests cost
+     * nothing.
+     */
+    const std::vector<RankedEvent> &
+    rank(bool include_absence = false) const;
+
+    /**
+     * Top predictor convenience for live dashboards; nullptr before
+     * the first event arrives.
+     */
+    const RankedEvent *
+    top(bool include_absence = false) const
+    {
+        const auto &r = rank(include_absence);
+        return r.empty() ? nullptr : &r.front();
+    }
+
+    /** 1-based competition rank of @p event; 0 if unranked. */
+    std::size_t
+    positionOf(const EventKey &event, bool absence = false) const
+    {
+        return scoring::positionOf(rank(absence), event, absence);
+    }
+
+  private:
+    scoring::TallyMap tallies_;
+    std::uint64_t failures_ = 0;
+    std::uint64_t successes_ = 0;
+
+    mutable bool cacheValid_ = false;
+    mutable bool cachedAbsence_ = false;
+    mutable std::vector<RankedEvent> cache_;
+};
+
+} // namespace stm::fleet
+
+#endif // STM_FLEET_INCREMENTAL_RANKER_HH

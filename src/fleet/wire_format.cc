@@ -1,0 +1,408 @@
+#include "fleet/wire_format.hh"
+
+#include <array>
+#include <cstring>
+#include <limits>
+
+namespace stm::fleet
+{
+
+namespace
+{
+
+/** CRC32 lookup table for the reflected IEEE 802.3 polynomial. */
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+        std::uint32_t c = n;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[n] = c;
+    }
+    return table;
+}
+
+/** Explicit little-endian stores/loads (the wire is LE everywhere). */
+void
+putLe16(std::uint8_t *p, std::uint16_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void
+putLe32(std::uint8_t *p, std::uint32_t v)
+{
+    putLe16(p, static_cast<std::uint16_t>(v));
+    putLe16(p + 2, static_cast<std::uint16_t>(v >> 16));
+}
+
+std::uint16_t
+getLe16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+getLe32(const std::uint8_t *p)
+{
+    return getLe16(p) |
+           (static_cast<std::uint32_t>(getLe16(p + 2)) << 16);
+}
+
+/** Little-endian append helpers. */
+class Writer
+{
+  public:
+    explicit Writer(std::vector<std::uint8_t> &out) : out_(out) {}
+
+    void
+    u8(std::uint8_t v)
+    {
+        out_.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        u8(static_cast<std::uint8_t>(v));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        u16(static_cast<std::uint16_t>(v));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        out_.insert(out_.end(), s.begin(), s.end());
+    }
+
+  private:
+    std::vector<std::uint8_t> &out_;
+};
+
+/** Bounds-checked little-endian reads; any overrun poisons the reader. */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    bool ok() const { return ok_; }
+    std::size_t remaining() const { return size_ - pos_; }
+
+    std::uint8_t
+    u8()
+    {
+        if (!take(1))
+            return 0;
+        return data_[pos_ - 1];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        std::uint16_t lo = u8(), hi = u8();
+        return static_cast<std::uint16_t>(lo | (hi << 8));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t lo = u16(), hi = u16();
+        return lo | (hi << 16);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t lo = u32(), hi = u32();
+        return lo | (hi << 32);
+    }
+
+    std::string
+    str()
+    {
+        std::uint32_t len = u32();
+        if (!take(len))
+            return {};
+        return std::string(
+            reinterpret_cast<const char *>(data_ + pos_ - len), len);
+    }
+
+  private:
+    bool
+    take(std::size_t n)
+    {
+        if (!ok_ || n > size_ - pos_) {
+            ok_ = false;
+            return false;
+        }
+        pos_ += n;
+        return true;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/** Canonical payload encoding (everything after the frame header). */
+void
+encodePayload(const RunProfile &p, std::vector<std::uint8_t> &out)
+{
+    Writer w(out);
+    w.u64(p.machineId);
+    w.u64(p.runSeed);
+    w.str(p.bugId);
+    w.u8(p.failure ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(p.kind));
+    w.u32(p.site);
+    w.u32(p.thread);
+    w.u64(p.step);
+    w.u32(static_cast<std::uint32_t>(p.lbr.size()));
+    for (const BranchRecord &r : p.lbr) {
+        w.u64(r.fromIp);
+        w.u64(r.toIp);
+        w.u8(static_cast<std::uint8_t>(r.kind));
+        w.u8(r.kernel ? 1 : 0);
+        w.u32(r.srcBranch);
+        w.u8(r.outcome ? 1 : 0);
+    }
+    w.u32(static_cast<std::uint32_t>(p.lcr.size()));
+    for (const LcrRecord &r : p.lcr) {
+        w.u64(r.pc);
+        w.u8(static_cast<std::uint8_t>(r.observed));
+        w.u8(r.store ? 1 : 0);
+    }
+}
+
+/**
+ * Decode the canonical payload. Strict: every byte must be consumed
+ * and every enum must hold a defined value.
+ */
+bool
+decodePayload(Reader &r, RunProfile *out)
+{
+    RunProfile p;
+    p.machineId = r.u64();
+    p.runSeed = r.u64();
+    p.bugId = r.str();
+    std::uint8_t failure = r.u8();
+    std::uint8_t kind = r.u8();
+    p.site = r.u32();
+    p.thread = r.u32();
+    p.step = r.u64();
+    if (failure > 1 || kind > 1)
+        return false;
+    p.failure = failure != 0;
+    p.kind = static_cast<ProfileKind>(kind);
+
+    std::uint32_t nLbr = r.u32();
+    if (!r.ok() || nLbr > r.remaining() / 23) // min encoded size
+        return false;
+    p.lbr.resize(nLbr);
+    for (BranchRecord &b : p.lbr) {
+        b.fromIp = r.u64();
+        b.toIp = r.u64();
+        std::uint8_t bkind = r.u8();
+        std::uint8_t kernel = r.u8();
+        b.srcBranch = r.u32();
+        std::uint8_t outcome = r.u8();
+        if (bkind > static_cast<std::uint8_t>(BranchKind::FarBranch) ||
+            kernel > 1 || outcome > 1) {
+            return false;
+        }
+        b.kind = static_cast<BranchKind>(bkind);
+        b.kernel = kernel != 0;
+        b.outcome = outcome != 0;
+    }
+
+    std::uint32_t nLcr = r.u32();
+    if (!r.ok() || nLcr > r.remaining() / 10) // min encoded size
+        return false;
+    p.lcr.resize(nLcr);
+    for (LcrRecord &c : p.lcr) {
+        c.pc = r.u64();
+        std::uint8_t state = r.u8();
+        std::uint8_t store = r.u8();
+        if (state > static_cast<std::uint8_t>(MesiState::Modified) ||
+            store > 1) {
+            return false;
+        }
+        c.observed = static_cast<MesiState>(state);
+        c.store = store != 0;
+    }
+
+    if (!r.ok() || r.remaining() != 0)
+        return false;
+    *out = std::move(p);
+    return true;
+}
+
+} // namespace
+
+namespace
+{
+
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table =
+        makeCrcTable();
+    return table;
+}
+
+/**
+ * CRC of the covered frame region: version + flags + payload (bytes
+ * [4, 12) and [16, 16+payloadLen)), skipping the magic and the CRC
+ * field itself.
+ */
+std::uint32_t
+frameCrc(const std::uint8_t *frame, std::size_t payload_len)
+{
+    const auto &table = crcTable();
+    std::uint32_t c = 0xFFFFFFFFu;
+    auto feed = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            c = table[(c ^ frame[i]) & 0xFFu] ^ (c >> 8);
+    };
+    feed(4, 12);
+    feed(kWireHeaderSize, kWireHeaderSize + payload_len);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    const auto &table = crcTable();
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::string
+wireStatusName(WireStatus status)
+{
+    switch (status) {
+      case WireStatus::Ok:
+        return "ok";
+      case WireStatus::Truncated:
+        return "truncated";
+      case WireStatus::BadMagic:
+        return "bad-magic";
+      case WireStatus::BadVersion:
+        return "bad-version";
+      case WireStatus::BadCrc:
+        return "bad-crc";
+      case WireStatus::Malformed:
+        return "malformed";
+    }
+    return "unknown";
+}
+
+std::vector<std::uint8_t>
+serialize(const RunProfile &profile)
+{
+    // Header placeholder first; payload appended in place so the
+    // frame is built with a single allocation.
+    std::vector<std::uint8_t> frame;
+    frame.reserve(kWireHeaderSize + 64 + 23 * profile.lbr.size() +
+                  10 * profile.lcr.size() + profile.bugId.size());
+    frame.resize(kWireHeaderSize);
+    encodePayload(profile, frame);
+
+    std::size_t payloadLen = frame.size() - kWireHeaderSize;
+    putLe32(frame.data(), kWireMagic);
+    putLe16(frame.data() + 4, kWireVersion);
+    putLe16(frame.data() + 6, 0); // flags, reserved
+    putLe32(frame.data() + 8,
+            static_cast<std::uint32_t>(payloadLen));
+    putLe32(frame.data() + 12, frameCrc(frame.data(), payloadLen));
+    return frame;
+}
+
+WireStatus
+deserialize(const std::uint8_t *data, std::size_t size,
+            RunProfile *out)
+{
+    if (size < kWireHeaderSize)
+        return WireStatus::Truncated;
+
+    if (getLe32(data) != kWireMagic)
+        return WireStatus::BadMagic;
+
+    if (getLe16(data + 4) != kWireVersion)
+        return WireStatus::BadVersion;
+
+    std::uint32_t payloadLen = getLe32(data + 8);
+    if (payloadLen > size - kWireHeaderSize)
+        return WireStatus::Truncated;
+    if (payloadLen < size - kWireHeaderSize)
+        return WireStatus::Malformed; // trailing bytes
+
+    if (frameCrc(data, payloadLen) != getLe32(data + 12))
+        return WireStatus::BadCrc;
+
+    Reader r(data + kWireHeaderSize, payloadLen);
+    if (!decodePayload(r, out))
+        return WireStatus::Malformed;
+    return WireStatus::Ok;
+}
+
+std::uint64_t
+fingerprint(const RunProfile &profile)
+{
+    std::vector<std::uint8_t> payload;
+    payload.reserve(64 + 23 * profile.lbr.size() +
+                    10 * profile.lcr.size() + profile.bugId.size());
+    encodePayload(profile, payload);
+    std::uint64_t h = 0xCBF29CE484222325ull; // FNV-1a offset basis
+    for (std::uint8_t b : payload) {
+        h ^= b;
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+RunProfile
+profileOfRecord(const ProfileRecord &record, const std::string &bug_id,
+                std::uint64_t machine_id, std::uint64_t run_seed,
+                bool failure)
+{
+    RunProfile p;
+    p.machineId = machine_id;
+    p.runSeed = run_seed;
+    p.bugId = bug_id;
+    p.failure = failure;
+    p.kind = record.kind;
+    p.site = record.site;
+    p.thread = record.thread;
+    p.step = record.step;
+    p.lbr = record.lbr;
+    p.lcr = record.lcr;
+    return p;
+}
+
+} // namespace stm::fleet

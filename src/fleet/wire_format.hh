@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The fleet wire format: what one deployed machine sends home after a
+ * monitored run.
+ *
+ * The paper's deployment story (Section 5.2, Figure 8) is a fleet of
+ * production machines each contributing one tiny LBR/LCR profile per
+ * failure (and per success-site pass); diagnosis quality comes from
+ * aggregating ~10 + ~10 such profiles across machines. A RunProfile
+ * is that report: the ring contents captured at the failure/success
+ * site plus just enough identity (bug id, machine id, run seed) for
+ * the collection service to group, deduplicate, and label it.
+ *
+ * The encoding is a versioned little-endian binary frame:
+ *
+ *   [magic u32][version u16][flags u16][payloadLen u32][crc32 u32]
+ *   [payload: payloadLen bytes]
+ *
+ * The CRC (IEEE 802.3 polynomial) covers version, flags, and payload,
+ * so any corruption past the magic is detected. Decoding is strict:
+ * unknown versions are rejected before the CRC is even checked (a
+ * future version may define a different CRC domain), truncated or
+ * oversized frames fail cleanly, and malformed payloads (counts that
+ * overrun the buffer, trailing bytes) are reported distinctly. A
+ * decoder must never crash or misread on hostile bytes — reports
+ * cross the network from machines we do not control.
+ *
+ * The canonical fingerprint — FNV-1a over the encoded payload — keys
+ * duplicate suppression in the collector: re-sent frames (network
+ * retry, double-reporting agent) hash identically, while any
+ * differing field, including machine id and run seed, produces a
+ * distinct fingerprint.
+ */
+
+#ifndef STM_FLEET_WIRE_FORMAT_HH
+#define STM_FLEET_WIRE_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/lbr.hh"
+#include "hw/lcr.hh"
+#include "vm/run_result.hh"
+
+namespace stm::fleet
+{
+
+/** Frame magic: "STMP" (STM Profile). */
+constexpr std::uint32_t kWireMagic = 0x504D5453u;
+
+/** Current wire version; bump on any payload layout change. */
+constexpr std::uint16_t kWireVersion = 1;
+
+/** Fixed frame header size in bytes. */
+constexpr std::size_t kWireHeaderSize = 16;
+
+/** One machine's report of one monitored run. */
+struct RunProfile
+{
+    /** Reporting machine (dense fleet index in the simulator). */
+    std::uint64_t machineId = 0;
+    /** The seed that makes the run replayable on the vendor side. */
+    std::uint64_t runSeed = 0;
+    /** Corpus bug / deployment campaign this report belongs to. */
+    std::string bugId;
+    /** True for a failure-site capture, false for a success-site one. */
+    bool failure = true;
+    /** Which hardware record the snapshot came from. */
+    ProfileKind kind = ProfileKind::Lbr;
+    /** Log site the snapshot was captured at. */
+    LogSiteId site = kSegfaultSite;
+    /** Reporting thread and global step at capture time. */
+    ThreadId thread = 0;
+    std::uint64_t step = 0;
+    /** Ring contents, newest first (exactly one is non-empty). */
+    std::vector<BranchRecord> lbr;
+    std::vector<LcrRecord> lcr;
+
+    bool operator==(const RunProfile &) const = default;
+};
+
+/** Why a frame failed to decode. */
+enum class WireStatus : std::uint8_t {
+    Ok,
+    Truncated,  //!< fewer bytes than the header + payload claim
+    BadMagic,   //!< not an STMP frame
+    BadVersion, //!< version != kWireVersion
+    BadCrc,     //!< checksum mismatch (bit rot / tampering)
+    Malformed,  //!< payload structure inconsistent with its length
+};
+
+/** Human-readable status name. */
+std::string wireStatusName(WireStatus status);
+
+/** Encode @p profile into a self-contained frame. */
+std::vector<std::uint8_t> serialize(const RunProfile &profile);
+
+/**
+ * Decode one frame. On success fills @p out and returns Ok; on any
+ * failure @p out is untouched and the status says why. @p size may
+ * exceed the frame (trailing garbage is Malformed, never misread).
+ */
+WireStatus deserialize(const std::uint8_t *data, std::size_t size,
+                       RunProfile *out);
+
+/** Convenience overload. */
+inline WireStatus
+deserialize(const std::vector<std::uint8_t> &wire, RunProfile *out)
+{
+    return deserialize(wire.data(), wire.size(), out);
+}
+
+/**
+ * Canonical 64-bit fingerprint of @p profile: FNV-1a over the
+ * canonical payload encoding. Equal profiles fingerprint equally on
+ * every machine; any field difference changes the fingerprint (up to
+ * hash collision). Used for duplicate suppression and shard routing.
+ */
+std::uint64_t fingerprint(const RunProfile &profile);
+
+/** CRC32 (IEEE 802.3, reflected) of @p size bytes at @p data. */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size);
+
+/**
+ * Build the RunProfile for one captured ProfileRecord of a finished
+ * run (the glue between the VM's RunResult and the wire).
+ */
+RunProfile profileOfRecord(const ProfileRecord &record,
+                           const std::string &bug_id,
+                           std::uint64_t machine_id,
+                           std::uint64_t run_seed, bool failure);
+
+} // namespace stm::fleet
+
+#endif // STM_FLEET_WIRE_FORMAT_HH

@@ -40,6 +40,8 @@ struct BranchRecord
     bool kernel = false;
     SourceBranchId srcBranch = kNoSourceBranch;
     bool outcome = false;
+
+    bool operator==(const BranchRecord &) const = default;
 };
 
 /**

@@ -86,6 +86,8 @@ struct LcrRecord
     Addr pc = 0;
     MesiState observed = MesiState::Invalid;
     bool store = false;
+
+    bool operator==(const LcrRecord &) const = default;
 };
 
 /**

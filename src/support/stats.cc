@@ -14,4 +14,52 @@ StatGroup::dump(std::ostream &os) const
            << '\n';
 }
 
+namespace
+{
+
+/** Escape a stat/group name for use inside a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{\"name\": \"" << jsonEscape(name_)
+       << "\", \"counters\": {";
+    bool first = true;
+    for (const auto &kv : counters_) {
+        os << (first ? "" : ", ") << '"' << jsonEscape(kv.first)
+           << "\": " << kv.second.value();
+        first = false;
+    }
+    os << "}, \"gauges\": {";
+    first = true;
+    for (const auto &kv : gauges_) {
+        os << (first ? "" : ", ") << '"' << jsonEscape(kv.first)
+           << "\": " << kv.second.value();
+        first = false;
+    }
+    os << "}}";
+}
+
+std::string
+StatGroup::toJson() const
+{
+    std::ostringstream os;
+    dumpJson(os);
+    return os.str();
+}
+
 } // namespace stm

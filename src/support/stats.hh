@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <ostream>
+#include <sstream>
 #include <string>
 
 namespace stm
@@ -95,6 +96,18 @@ class StatGroup
 
     /** Dump "group.stat value" lines. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Dump the group as one JSON object,
+     * `{"name": "...", "counters": {...}, "gauges": {...}}`, with
+     * keys in deterministic (sorted) order. Machine-readable
+     * counterpart of dump(); the fleet collector metrics and the
+     * bench JSON reports are built from this.
+     */
+    void dumpJson(std::ostream &os) const;
+
+    /** dumpJson() into a string. */
+    std::string toJson() const;
 
   private:
     std::string name_;

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * stm_collector — the fleet collection service front end.
+ *
+ *   stm_collector <bug-id> [options]
+ *
+ * Emulates a fleet of N machines running the monitored program,
+ * shipping wire-format LBR/LCR reports through the sharded collector,
+ * and ranking failure predictors incrementally as reports arrive
+ * (Section 5.2's deployment story, Figure 8). Prints the diagnosis,
+ * the transport accounting, and — with --stats-json — the collector's
+ * per-shard and aggregate metrics as JSON.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "corpus/registry.hh"
+#include "fleet/fleet_sim.hh"
+#include "support/logging.hh"
+
+using namespace stm;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string bugId;
+    std::uint64_t machines = 16;
+    unsigned shards = 4;
+    std::uint32_t profiles = 10;
+    std::size_t entries = 16;
+    bool conf1 = false;
+    bool drop = false;
+    std::size_t capacity = 4096;
+    std::uint32_t duplicateEvery = 3;
+    std::uint32_t corruptEvery = 5;
+    std::size_t top = 5;
+    unsigned jobs = 0;
+    std::string statsJsonPath;
+};
+
+void
+usage()
+{
+    std::cout
+        << "usage: stm_collector <bug-id> [options]\n\n"
+        << "options:\n"
+        << "  --machines N      simulated fleet size (default 16)\n"
+        << "  --shards N        collector ingest shards (default 4)\n"
+        << "  --profiles N      failure/success reports to aggregate "
+           "(default 10)\n"
+        << "  --entries N       LBR/LCR record depth (default 16)\n"
+        << "  --conf1           space-saving LCR configuration\n"
+        << "  --capacity N      per-shard queue bound (default 4096)\n"
+        << "  --drop            shed load when a shard is full "
+           "(default: block)\n"
+        << "  --dup-every N     retransmit every N-th frame "
+           "(default 3, 0 = off)\n"
+        << "  --corrupt-every N corrupt every N-th frame "
+           "(default 5, 0 = off)\n"
+        << "  --top N           predictors to print (default 5)\n"
+        << "  --jobs N          worker threads (default: STM_JOBS "
+           "env, else hardware concurrency)\n"
+        << "  --stats-json FILE dump collector metrics as JSON\n";
+}
+
+bool
+parse(int argc, char **argv, CliOptions *out)
+try {
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        auto numeric = [&](auto *slot) {
+            const char *v = next();
+            if (!v)
+                return false;
+            *slot = static_cast<
+                std::remove_pointer_t<decltype(slot)>>(
+                std::stoull(v));
+            return true;
+        };
+        if (arg == "--machines") {
+            if (!numeric(&out->machines))
+                return false;
+        } else if (arg == "--shards") {
+            if (!numeric(&out->shards))
+                return false;
+        } else if (arg == "--profiles") {
+            if (!numeric(&out->profiles))
+                return false;
+        } else if (arg == "--entries") {
+            if (!numeric(&out->entries))
+                return false;
+        } else if (arg == "--conf1") {
+            out->conf1 = true;
+        } else if (arg == "--capacity") {
+            if (!numeric(&out->capacity))
+                return false;
+        } else if (arg == "--drop") {
+            out->drop = true;
+        } else if (arg == "--dup-every") {
+            if (!numeric(&out->duplicateEvery))
+                return false;
+        } else if (arg == "--corrupt-every") {
+            if (!numeric(&out->corruptEvery))
+                return false;
+        } else if (arg == "--top") {
+            if (!numeric(&out->top))
+                return false;
+        } else if (arg == "--jobs") {
+            if (!numeric(&out->jobs))
+                return false;
+        } else if (arg == "--stats-json") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->statsJsonPath = v;
+        } else if (arg == "--help" || arg == "-h") {
+            return false;
+        } else if (!arg.empty() && arg[0] != '-') {
+            out->bugId = arg;
+        } else {
+            std::cerr << "unknown option: " << arg << '\n';
+            return false;
+        }
+    }
+    return !out->bugId.empty();
+} catch (const std::exception &) {
+    std::cerr << "invalid numeric option value\n";
+    return false;
+}
+
+void
+dumpStatsJson(std::ostream &os, const fleet::Collector &collector)
+{
+    os << "{\n  \"aggregate\": " << collector.stats().toJson()
+       << ",\n  \"shards\": [\n";
+    for (unsigned s = 0; s < collector.shards(); ++s) {
+        os << "    " << collector.shardStats(s).toJson()
+           << (s + 1 < collector.shards() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    if (!parse(argc, argv, &cli)) {
+        usage();
+        return 2;
+    }
+
+    BugSpec bug;
+    try {
+        bug = corpus::bugById(cli.bugId);
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n(use stm_diagnose --list)\n";
+        return 1;
+    }
+
+    fleet::FleetOptions opts;
+    opts.machines = cli.machines;
+    opts.shards = cli.shards;
+    opts.shardCapacity = cli.capacity;
+    opts.overflow = cli.drop ? fleet::OverflowPolicy::Drop
+                             : fleet::OverflowPolicy::Block;
+    opts.failureProfiles = cli.profiles;
+    opts.successProfiles = cli.profiles;
+    opts.log.lbrEntries = cli.entries;
+    opts.log.lcrEntries = cli.entries;
+    opts.log.lcrConfig = cli.conf1 ? lcrConfSpaceSaving()
+                                   : lcrConfSpaceConsuming();
+    opts.absencePredicates = bug.isConcurrent;
+    opts.jobs = cli.jobs;
+    opts.duplicateEvery = cli.duplicateEvery;
+    opts.corruptEvery = cli.corruptEvery;
+
+    fleet::CollectorOptions copts;
+    copts.shards = opts.shards;
+    copts.shardCapacity = opts.shardCapacity;
+    copts.overflow = opts.overflow;
+    fleet::Collector collector(copts);
+
+    std::cout << "fleet collection: " << cli.machines
+              << " machines -> " << cli.shards
+              << " shards, target " << cli.profiles << "+"
+              << cli.profiles << " reports (" << bug.id << ")\n";
+    fleet::FleetResult result =
+        fleet::runFleetDiagnosis(bug, opts, &collector);
+
+    std::cout << "transport: " << result.framesSent << " frames, "
+              << result.wireBytes << " payload bytes; "
+              << result.duplicates << " duplicates suppressed, "
+              << result.decodeErrors << " corrupt frames rejected, "
+              << result.dropped << " shed\n";
+
+    if (!result.diagnosed) {
+        std::cout << "fleet diagnosis: could not collect enough "
+                     "reports\n";
+        if (!cli.statsJsonPath.empty()) {
+            std::ofstream os(cli.statsJsonPath);
+            dumpStatsJson(os, collector);
+        }
+        return 1;
+    }
+
+    std::cout << "fleet diagnosis: " << result.failureReports
+              << " failure reports (from " << result.failureAttempts
+              << " attempts), " << result.successReports
+              << " success reports\n";
+    for (std::size_t i = 0;
+         i < result.ranking.size() && i < cli.top; ++i) {
+        const RankedEvent &r = result.ranking[i];
+        std::cout << "  #" << i + 1 << ' '
+                  << (r.absence ? "[absent] " : "")
+                  << r.event.describe(*bug.program)
+                  << "  (precision " << r.precision << ", recall "
+                  << r.recall << ", score " << r.score << ")\n";
+    }
+
+    if (!cli.statsJsonPath.empty()) {
+        std::ofstream os(cli.statsJsonPath);
+        dumpStatsJson(os, collector);
+        std::cout << "(collector metrics written to "
+                  << cli.statsJsonPath << ")\n";
+    }
+    return 0;
+}

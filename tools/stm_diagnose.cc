@@ -6,12 +6,18 @@
  *       enumerate the bug corpus (Table 4)
  *   stm_diagnose <bug-id> [--tool lbrlog|lcrlog|lbra|lcra|cbi|auto]
  *                [--no-toggling] [--entries N] [--conf1]
- *                [--profiles N] [--proactive] [--top N]
+ *                [--profiles N] [--proactive] [--top N] [--fleet N]
  *       run one diagnosis pipeline on one corpus entry and print the
  *       developer-facing report
  *
  * "auto" (the default) picks LBRA for sequential entries and LCRA for
  * concurrency entries — the way the paper's system would be deployed.
+ *
+ * --fleet N routes the LBRA/LCRA collection through the fleet
+ * pipeline (src/fleet): N simulated machines report wire-format
+ * profiles to the sharded collector feeding the streaming ranker.
+ * The ranking is identical to the in-process path; see stm_collector
+ * for the transport-focused front end.
  */
 
 #include <cstring>
@@ -24,6 +30,7 @@
 #include "diag/log_enhance.hh"
 #include "diag/report.hh"
 #include "exec/run_pool.hh"
+#include "fleet/fleet_sim.hh"
 #include "support/logging.hh"
 
 using namespace stm;
@@ -43,6 +50,7 @@ struct CliOptions
     std::size_t top = 5;
     bool list = false;
     unsigned jobs = 0; //!< 0 = STM_JOBS, else hardware concurrency
+    std::uint64_t fleet = 0; //!< 0 = in-process; N = fleet machines
 };
 
 void
@@ -66,7 +74,10 @@ usage()
         << "  --jobs N          worker threads for run execution\n"
            "                    (default: STM_JOBS env, else hardware "
            "concurrency;\n"
-           "                    results are identical for any N)\n";
+           "                    results are identical for any N)\n"
+        << "  --fleet N         collect LBRA/LCRA profiles from a\n"
+           "                    simulated N-machine fleet via the\n"
+           "                    wire-format collector (same ranking)\n";
 }
 
 bool
@@ -110,6 +121,11 @@ try {
             if (!v)
                 return false;
             out->jobs = static_cast<unsigned>(std::stoul(v));
+        } else if (arg == "--fleet") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->fleet = std::stoull(v);
         } else if (arg == "--help" || arg == "-h") {
             return false;
         } else if (!arg.empty() && arg[0] != '-') {
@@ -195,6 +211,49 @@ main(int argc, char **argv)
             runLcrLog(bug.program, bug.failing, logOpts);
         printLcrLogReport(std::cout, *bug.program, report);
         return report.failed ? 0 : 1;
+    }
+    if ((tool == "lbra" || tool == "lcra") && cli.fleet > 0) {
+        // The fleet path: same profile budget, but every profile is
+        // reported over the wire by one of N simulated machines and
+        // aggregated by the sharded collector.
+        fleet::FleetOptions opts;
+        opts.machines = cli.fleet;
+        opts.failureProfiles = cli.profiles;
+        opts.successProfiles = cli.profiles;
+        opts.log = logOpts;
+        opts.kind = tool == "lbra" ? ProfileKind::Lbr
+                                   : ProfileKind::Lcr;
+        opts.absencePredicates = tool == "lcra";
+        opts.scheme = cli.proactive
+                          ? transform::SuccessSiteScheme::Proactive
+                          : transform::SuccessSiteScheme::Reactive;
+        fleet::FleetResult result =
+            fleet::runFleetDiagnosis(bug, opts);
+        std::cout << "fleet: " << cli.fleet << " machines, "
+                  << result.framesSent << " frames ("
+                  << result.wireBytes << " bytes), "
+                  << result.duplicates << " duplicates suppressed, "
+                  << result.decodeErrors << " rejected\n";
+        if (!result.diagnosed) {
+            std::cout << "fleet diagnosis: could not collect enough "
+                         "reports\n";
+            return 1;
+        }
+        std::cout << "fleet diagnosis: " << result.failureReports
+                  << " failure reports (from "
+                  << result.failureAttempts << " attempts), "
+                  << result.successReports << " success reports\n";
+        for (std::size_t i = 0;
+             i < result.ranking.size() && i < cli.top; ++i) {
+            const RankedEvent &r = result.ranking[i];
+            std::cout << "  #" << i + 1 << ' '
+                      << (r.absence ? "[absent] " : "")
+                      << r.event.describe(*bug.program)
+                      << "  (precision " << r.precision
+                      << ", recall " << r.recall << ", score "
+                      << r.score << ")\n";
+        }
+        return 0;
     }
     if (tool == "lbra" || tool == "lcra") {
         AutoDiagOptions opts;
