@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "exec/run_pool.hh"
+#include "obs/trace.hh"
 #include "program/cfg.hh"
 #include "support/logging.hh"
 #include "vm/machine.hh"
@@ -120,6 +121,8 @@ runAutoDiag(ProgramPtr prog, const Workload &failing,
     // until the first failure with a usable site stops the batch.
     std::optional<RunResult> pinRun;
     if (opts.failureProfiles > 0) {
+        obs::TraceSpan pinSpan(obs::TraceCategory::Diag,
+                               obs::TraceId::DiagPinSearch);
         pool.runOrdered(
             0, opts.maxAttempts, failureRunner,
             [&](std::uint64_t i, RunResult &&run) {
@@ -156,6 +159,9 @@ runAutoDiag(ProgramPtr prog, const Workload &failing,
         // binary rewriting on the deployed binary). The pool drained
         // before we got here, so no Machine observes the mutation.
         if (opts.scheme == transform::SuccessSiteScheme::Reactive) {
+            obs::TraceSpan reinstr(obs::TraceCategory::Diag,
+                                   obs::TraceId::DiagReinstrument,
+                                   result.site);
             if (result.site == kSegfaultSite) {
                 transform::applySuccessSites(
                     *prog, cfg, lbr,
@@ -181,6 +187,8 @@ runAutoDiag(ProgramPtr prog, const Workload &failing,
     // re-instrumented) program.
     if (haveSite && result.failureRunsUsed < opts.failureProfiles &&
         attempt < opts.maxAttempts) {
+        obs::TraceSpan collectSpan(obs::TraceCategory::Diag,
+                                   obs::TraceId::DiagFailureCollect);
         pool.runOrdered(
             attempt, opts.maxAttempts - attempt, failureRunner,
             [&](std::uint64_t i, RunResult &&run) {
@@ -225,6 +233,8 @@ runAutoDiag(ProgramPtr prog, const Workload &failing,
     // 3. Collect success-run profiles at the same site.
     std::uint64_t successAttempt = 0;
     if (opts.successProfiles > 0) {
+        obs::TraceSpan collectSpan(obs::TraceCategory::Diag,
+                                   obs::TraceId::DiagSuccessCollect);
         auto successRunner = makeRunner(succeeding, 1000000);
         pool.runOrdered(
             0, opts.maxAttempts, successRunner,
@@ -248,7 +258,13 @@ runAutoDiag(ProgramPtr prog, const Workload &failing,
         return result;
 
     // 4. Rank.
-    result.ranking = ranker.rank(opts.absencePredicates);
+    {
+        obs::TraceSpan rankSpan(obs::TraceCategory::Diag,
+                                obs::TraceId::DiagRank,
+                                result.failureRunsUsed +
+                                    result.successRunsUsed);
+        result.ranking = ranker.rank(opts.absencePredicates);
+    }
     result.diagnosed = true;
     return result;
 }

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "obs/trace.hh"
+
 namespace stm
 {
 
@@ -145,8 +147,15 @@ RunPool::workerLoop()
         const Runner *runner = runner_;
         lock.unlock();
 
+        obs::traceInstant(obs::TraceCategory::Exec,
+                          obs::TraceId::ExecTaskClaim, i);
         Clock::time_point start = Clock::now();
-        RunResult result = (*runner)(i);
+        RunResult result;
+        {
+            obs::TraceSpan task(obs::TraceCategory::Exec,
+                                obs::TraceId::ExecTask, i);
+            result = (*runner)(i);
+        }
         std::uint64_t busy = microsSince(start);
 
         lock.lock();
@@ -157,6 +166,8 @@ RunPool::workerLoop()
             // The batch stopped while this run was in flight; the
             // result is discarded speculation.
             ++discarded_;
+            obs::traceInstant(obs::TraceCategory::Exec,
+                              obs::TraceId::ExecTaskDiscard, i);
         } else {
             ready_.emplace(i, std::move(result));
         }
@@ -169,6 +180,8 @@ RunPool::runOrdered(std::uint64_t first, std::uint64_t maxRuns,
                     const Runner &runner, const Consumer &consume)
 {
     Clock::time_point wallStart = Clock::now();
+    obs::TraceSpan batchSpan(obs::TraceCategory::Exec,
+                             obs::TraceId::ExecBatch, maxRuns);
     std::uint64_t consumed = 0;
     std::uint64_t executedHere = 0;
     std::uint64_t discardedHere = 0;
@@ -178,11 +191,20 @@ RunPool::runOrdered(std::uint64_t first, std::uint64_t maxRuns,
         // Serial fast path: the reference semantics, no threads.
         for (std::uint64_t k = 0; k < maxRuns; ++k) {
             Clock::time_point start = Clock::now();
-            RunResult result = runner(first + k);
+            obs::traceInstant(obs::TraceCategory::Exec,
+                              obs::TraceId::ExecTaskClaim, first + k);
+            RunResult result;
+            {
+                obs::TraceSpan task(obs::TraceCategory::Exec,
+                                    obs::TraceId::ExecTask, first + k);
+                result = runner(first + k);
+            }
             busyHere += microsSince(start);
             ++executedHere;
             if (!consume(first + k, std::move(result)))
                 break;
+            obs::traceInstant(obs::TraceCategory::Exec,
+                              obs::TraceId::ExecTaskFinish, first + k);
             ++consumed;
         }
     } else {
@@ -213,6 +235,9 @@ RunPool::runOrdered(std::uint64_t first, std::uint64_t maxRuns,
             lock.lock();
             if (!keep)
                 break;
+            obs::traceInstant(obs::TraceCategory::Exec,
+                              obs::TraceId::ExecTaskFinish,
+                              nextConsume);
             ++consumed;
             ++nextConsume;
             windowEnd_ = nextConsume + speculationWindow(jobs_);
@@ -224,6 +249,11 @@ RunPool::runOrdered(std::uint64_t first, std::uint64_t maxRuns,
         // re-instrument the Program next.
         cancelled_ = true;
         doneCv_.wait(lock, [this] { return inFlight_ == 0; });
+        for (const auto &entry : ready_) {
+            obs::traceInstant(obs::TraceCategory::Exec,
+                              obs::TraceId::ExecTaskDiscard,
+                              entry.first);
+        }
         discarded_ += ready_.size();
         ready_.clear();
         active_ = false;
@@ -244,6 +274,7 @@ RunPool::runOrdered(std::uint64_t first, std::uint64_t maxRuns,
         stats.counter("wall_micros") += wall;
         stats.counter("capacity_micros") += wall * jobs_;
     }
+    batchSpan.setArg(consumed);
     return consumed;
 }
 

@@ -1,5 +1,6 @@
 #include "fleet/collector.hh"
 
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace stm::fleet
@@ -30,6 +31,9 @@ Collector::ingest(const std::uint8_t *data, std::size_t size)
     RunProfile profile;
     WireStatus ws = deserialize(data, size, &profile);
     if (ws != WireStatus::Ok) {
+        obs::traceInstant(obs::TraceCategory::Fleet,
+                          obs::TraceId::FleetDecodeError,
+                          static_cast<std::uint64_t>(ws));
         std::lock_guard<std::mutex> lock(statsMu_);
         ++stats_.counter("decode_errors");
         ++stats_.counter(
@@ -61,6 +65,8 @@ Collector::offer(RunProfile &&profile, std::uint64_t print)
     {
         std::unique_lock<std::mutex> lock(shard.mu);
         if (!shard.seen.insert(print).second) {
+            obs::traceInstant(obs::TraceCategory::Fleet,
+                              obs::TraceId::FleetDuplicate, print);
             ++shard.stats.counter("duplicates");
             std::lock_guard<std::mutex> slock(statsMu_);
             ++stats_.counter("duplicates");
@@ -72,6 +78,8 @@ Collector::offer(RunProfile &&profile, std::uint64_t print)
                 // retransmission is still a duplicate, matching a
                 // lossy UDP-style intake where the agent resends
                 // blindly.
+                obs::traceInstant(obs::TraceCategory::Fleet,
+                                  obs::TraceId::FleetDrop, print);
                 ++shard.stats.counter("dropped");
                 std::lock_guard<std::mutex> slock(statsMu_);
                 ++stats_.counter("dropped");
@@ -91,6 +99,8 @@ Collector::offer(RunProfile &&profile, std::uint64_t print)
         shard.queue.push_back(std::move(profile));
         ++shard.stats.counter("accepted");
     }
+    obs::traceInstant(obs::TraceCategory::Fleet,
+                      obs::TraceId::FleetIngest, print);
     std::lock_guard<std::mutex> lock(statsMu_);
     ++stats_.counter("accepted");
     if (blocked)
@@ -109,6 +119,8 @@ Collector::drain()
 std::size_t
 Collector::drainInto(const std::function<void(RunProfile &&)> &sink)
 {
+    obs::TraceSpan drainSpan(obs::TraceCategory::Fleet,
+                             obs::TraceId::FleetDrain);
     std::size_t delivered = 0;
     for (auto &shardPtr : shards_) {
         Shard &shard = *shardPtr;
@@ -124,6 +136,7 @@ Collector::drainInto(const std::function<void(RunProfile &&)> &sink)
         for (RunProfile &p : batch)
             sink(std::move(p));
     }
+    drainSpan.setArg(delivered);
     std::lock_guard<std::mutex> lock(statsMu_);
     stats_.counter("drained") +=
         static_cast<std::uint64_t>(delivered);

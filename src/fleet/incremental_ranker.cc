@@ -1,5 +1,7 @@
 #include "fleet/incremental_ranker.hh"
 
+#include "obs/trace.hh"
+
 namespace stm::fleet
 {
 
@@ -37,6 +39,9 @@ const std::vector<RankedEvent> &
 IncrementalRanker::rank(bool include_absence) const
 {
     if (!cacheValid_ || cachedAbsence_ != include_absence) {
+        obs::TraceSpan rescore(obs::TraceCategory::Fleet,
+                               obs::TraceId::FleetRescore,
+                               tallies_.size());
         cache_ = scoring::rankTallies(tallies_, failures_,
                                       successes_, include_absence);
         cacheValid_ = true;

@@ -1,28 +1,15 @@
 #include "fleet/wire_format.hh"
 
-#include <array>
 #include <cstring>
 #include <limits>
+
+#include "support/checksum.hh"
 
 namespace stm::fleet
 {
 
 namespace
 {
-
-/** CRC32 lookup table for the reflected IEEE 802.3 polynomial. */
-std::array<std::uint32_t, 256>
-makeCrcTable()
-{
-    std::array<std::uint32_t, 256> table{};
-    for (std::uint32_t n = 0; n < 256; ++n) {
-        std::uint32_t c = n;
-        for (int k = 0; k < 8; ++k)
-            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-        table[n] = c;
-    }
-    return table;
-}
 
 /** Explicit little-endian stores/loads (the wire is LE everywhere). */
 void
@@ -263,31 +250,18 @@ decodePayload(Reader &r, RunProfile *out)
 namespace
 {
 
-const std::array<std::uint32_t, 256> &
-crcTable()
-{
-    static const std::array<std::uint32_t, 256> table =
-        makeCrcTable();
-    return table;
-}
-
 /**
  * CRC of the covered frame region: version + flags + payload (bytes
  * [4, 12) and [16, 16+payloadLen)), skipping the magic and the CRC
- * field itself.
+ * field itself. Built on the shared support/checksum CRC32.
  */
 std::uint32_t
 frameCrc(const std::uint8_t *frame, std::size_t payload_len)
 {
-    const auto &table = crcTable();
-    std::uint32_t c = 0xFFFFFFFFu;
-    auto feed = [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i)
-            c = table[(c ^ frame[i]) & 0xFFu] ^ (c >> 8);
-    };
-    feed(4, 12);
-    feed(kWireHeaderSize, kWireHeaderSize + payload_len);
-    return c ^ 0xFFFFFFFFu;
+    std::uint32_t c = crc32Init();
+    c = crc32Update(c, frame + 4, 8);
+    c = crc32Update(c, frame + kWireHeaderSize, payload_len);
+    return crc32Final(c);
 }
 
 } // namespace
@@ -295,11 +269,7 @@ frameCrc(const std::uint8_t *frame, std::size_t payload_len)
 std::uint32_t
 crc32(const std::uint8_t *data, std::size_t size)
 {
-    const auto &table = crcTable();
-    std::uint32_t c = 0xFFFFFFFFu;
-    for (std::size_t i = 0; i < size; ++i)
-        c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
-    return c ^ 0xFFFFFFFFu;
+    return stm::crc32(data, size);
 }
 
 std::string
@@ -378,12 +348,7 @@ fingerprint(const RunProfile &profile)
     payload.reserve(64 + 23 * profile.lbr.size() +
                     10 * profile.lcr.size() + profile.bugId.size());
     encodePayload(profile, payload);
-    std::uint64_t h = 0xCBF29CE484222325ull; // FNV-1a offset basis
-    for (std::uint8_t b : payload) {
-        h ^= b;
-        h *= 0x100000001B3ull;
-    }
-    return h;
+    return fnv1a(payload.data(), payload.size());
 }
 
 RunProfile

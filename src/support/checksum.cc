@@ -1,0 +1,50 @@
+#include "support/checksum.hh"
+
+#include <array>
+
+namespace stm
+{
+
+namespace
+{
+
+/** CRC32 lookup table for the reflected IEEE 802.3 polynomial. */
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+        std::uint32_t c = n;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[n] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32Update(std::uint32_t crc, const std::uint8_t *data,
+            std::size_t size)
+{
+    const auto &table = crcTable();
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+    return crc;
+}
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    return crc32Final(crc32Update(crc32Init(), data, size));
+}
+
+} // namespace stm

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared integrity checksums: CRC32 (IEEE 802.3, reflected) and the
+ * FNV-1a 64-bit hash.
+ *
+ * Both the fleet wire format (fleet/wire_format) and the trace dump
+ * format (obs/trace_io) frame untrusted bytes with the same CRC and
+ * key deduplication on the same canonical hash; the implementations
+ * live here so the two formats cannot drift apart.
+ */
+
+#ifndef STM_SUPPORT_CHECKSUM_HH
+#define STM_SUPPORT_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stm
+{
+
+/** CRC32 (IEEE 802.3, reflected polynomial) of @p size bytes. */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size);
+
+/**
+ * Streaming CRC32: fold @p size bytes into a running value. Start
+ * from crc32Init() and finish with crc32Final().
+ */
+constexpr std::uint32_t
+crc32Init()
+{
+    return 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32Update(std::uint32_t crc, const std::uint8_t *data,
+                          std::size_t size);
+
+constexpr std::uint32_t
+crc32Final(std::uint32_t crc)
+{
+    return crc ^ 0xFFFFFFFFu;
+}
+
+/** FNV-1a offset basis / prime (64-bit). */
+constexpr std::uint64_t kFnv1aBasis = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ull;
+
+/** FNV-1a 64-bit hash of @p size bytes, continuing from @p seed. */
+constexpr std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size,
+      std::uint64_t seed = kFnv1aBasis)
+{
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= kFnv1aPrime;
+    }
+    return h;
+}
+
+} // namespace stm
+
+#endif // STM_SUPPORT_CHECKSUM_HH

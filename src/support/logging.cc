@@ -5,15 +5,40 @@
 namespace stm
 {
 
+namespace
+{
+
+LogLevel currentLevel = LogLevel::Info;
+
+} // namespace
+
+LogLevel
+setLogLevel(LogLevel level)
+{
+    LogLevel previous = currentLevel;
+    currentLevel = level;
+    return previous;
+}
+
+LogLevel
+logLevel()
+{
+    return currentLevel;
+}
+
 void
 warnMessage(const std::string &message)
 {
+    if (currentLevel < LogLevel::Warn)
+        return;
     std::cerr << "warn: " << message << std::endl;
 }
 
 void
 informMessage(const std::string &message)
 {
+    if (currentLevel < LogLevel::Info)
+        return;
     std::cerr << "info: " << message << std::endl;
 }
 

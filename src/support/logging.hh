@@ -90,6 +90,24 @@ fatal(std::string_view fmt, const Args &...args)
     throw FatalError("fatal: " + strfmt(fmt, args...));
 }
 
+/**
+ * Status-message verbosity. Each level prints itself and everything
+ * more severe: Info (the default) prints warnings and informational
+ * messages, Warn suppresses inform(), Silent suppresses both.
+ * panic()/fatal() throw regardless — errors are never filterable.
+ */
+enum class LogLevel {
+    Silent,
+    Warn,
+    Info,
+};
+
+/** Set the status-message verbosity; returns the previous level. */
+LogLevel setLogLevel(LogLevel level);
+
+/** Current status-message verbosity. */
+LogLevel logLevel();
+
 /** Print a warning to stderr. Never stops execution. */
 void warnMessage(const std::string &message);
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "driver/kernel_driver.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 #include "vm/vm_stats.hh"
 
@@ -329,6 +330,8 @@ RunResult
 Machine::run()
 {
     auto runStart = std::chrono::steady_clock::now();
+    obs::TraceSpan runSpan(obs::TraceCategory::Vm, obs::TraceId::VmRun,
+                           opts_.sched.seed);
     buildDispatchTables();
     initMemoryImage();
 
@@ -430,12 +433,17 @@ Machine::run()
         sample.cacheMruHits += bus_.cache(c).mruHits();
     }
     recordVmRun(sample);
+    runSpan.setArg(steps_);
     return std::move(result_);
 }
 
 Machine::StepStatus
 Machine::runQuantum(Thread &t, std::uint32_t &quantum_left)
 {
+    // Quantum boundaries are the VM's coarsest interesting seam: one
+    // span per scheduling quantum, tagged with the running thread.
+    obs::TraceSpan quantumSpan(obs::TraceCategory::Vm,
+                               obs::TraceId::VmQuantum, t.id);
     const std::uint64_t maxSteps = opts_.maxSteps;
     const double preemptProb = opts_.sched.preemptSharedProb;
     while (true) {

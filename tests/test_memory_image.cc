@@ -13,9 +13,14 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "isa/types.hh"
 #include "program/builder.hh"
+#include "support/random.hh"
+#include "test_util.hh"
 #include "vm/machine.hh"
+#include "vm/memory_image.hh"
 
 namespace stm
 {
@@ -244,6 +249,142 @@ TEST(MemoryImage, GlobalOverridesLandInPagedMemory)
     RunResult result = runProgram(b.build(), opts);
     EXPECT_EQ(result.outcome, RunOutcome::Completed);
     EXPECT_EQ(result.output, (std::vector<Word>{10, 20, 3}));
+}
+
+// ---- model-based property test --------------------------------------------
+
+/**
+ * Adversarial address generator for the paged image: addresses spread
+ * over all three segments (a bounded number of pages each), biased
+ * toward page boundaries (the shift/mask edge cases) and toward
+ * alternating pages (evicting the one-entry translation cache as often
+ * as possible).
+ */
+class AddressGen
+{
+  public:
+    explicit AddressGen(Pcg32 &rng) : rng_(rng) {}
+
+    Addr
+    next()
+    {
+        static constexpr Addr bases[] = {
+            layout::kGlobalBase, layout::kHeapBase,
+            layout::kStackBase};
+        constexpr Addr pageBytes = MemoryImage::kPageBytes;
+        constexpr Addr pages = 64; // bounded footprint per segment
+
+        Addr page;
+        if (rng_.nextBool(0.4) && last_ != 0) {
+            // Translation-cache eviction bias: hop to the adjacent
+            // page of the previous access, then right back next call.
+            page = (last_ & ~MemoryImage::kPageMask) ^ pageBytes;
+        } else {
+            page = bases[rng_.nextBounded(3)] +
+                   pageBytes * rng_.nextBounded(pages);
+        }
+
+        Addr offset;
+        if (rng_.nextBool(0.5)) {
+            // Page-boundary bias: the first or last two cells.
+            constexpr Addr edge[] = {0, 8, pageBytes - 16,
+                                     pageBytes - 8};
+            offset = edge[rng_.nextBounded(4)];
+        } else {
+            offset = 8 * rng_.nextBounded(
+                             static_cast<std::uint32_t>(
+                                 MemoryImage::kPageWords));
+        }
+        last_ = page + offset;
+        return last_;
+    }
+
+  private:
+    Pcg32 &rng_;
+    Addr last_ = 0;
+};
+
+TEST(MemoryImageModel, AgreesWithMapReferenceOver100kOps)
+{
+    Pcg32 rng(test::testSeed(), 31);
+    AddressGen gen(rng);
+    MemoryImage image;
+    std::map<Addr, Word> model; // keyed by cell address
+
+    auto cellOf = [](Addr addr) { return addr & ~Addr{7}; };
+    auto modelLoad = [&](Addr addr) -> Word {
+        auto it = model.find(cellOf(addr));
+        return it == model.end() ? 0 : it->second;
+    };
+
+    constexpr int kOps = 100000;
+    std::uint64_t stores = 0, loads = 0, fills = 0;
+    std::uint64_t expectedAccesses = 0;
+    for (int op = 0; op < kOps; ++op) {
+        std::uint32_t kind = rng.nextBounded(10);
+        if (kind < 4) {
+            // Load: a never-written cell must read 0, a written cell
+            // its last store; sub-cell offsets alias the same cell.
+            Addr addr = gen.next() + rng.nextBounded(8);
+            ++loads;
+            ++expectedAccesses;
+            ASSERT_EQ(image.load(addr), modelLoad(addr))
+                << "load 0x" << std::hex << addr << " at op " << op;
+        } else if (kind < 9) {
+            Addr addr = gen.next();
+            Word value = (static_cast<Word>(rng.next()) << 32) |
+                         rng.next();
+            ++stores;
+            ++expectedAccesses;
+            image.store(addr, value);
+            model[cellOf(addr)] = value;
+        } else {
+            // Fill: a short run of sequential stores, the pattern
+            // that crosses page boundaries mid-run.
+            Addr addr = gen.next();
+            std::uint32_t run = 1 + rng.nextBounded(64);
+            Word value = rng.next();
+            ++fills;
+            expectedAccesses += run;
+            for (std::uint32_t i = 0; i < run; ++i) {
+                image.store(addr + 8 * i, value + i);
+                model[cellOf(addr + 8 * i)] = value + i;
+            }
+        }
+    }
+    EXPECT_EQ(image.accesses(), expectedAccesses);
+
+    // Closing sweep: every cell the model knows must match, so a
+    // store misrouted to a page the random loads never revisited
+    // still fails the test.
+    for (const auto &[addr, value] : model)
+        ASSERT_EQ(image.load(addr), value)
+            << "sweep 0x" << std::hex << addr;
+
+    EXPECT_GT(stores, 0u);
+    EXPECT_GT(loads, 0u);
+    EXPECT_GT(fills, 0u);
+    EXPECT_GT(image.fastHits(), 0u);
+    EXPECT_LT(image.fastHits(), image.accesses());
+}
+
+TEST(MemoryImageModel, TranslationCacheInvisibleUnderPingPong)
+{
+    // Two cells on adjacent pages: every access evicts the cache
+    // entry the previous one installed. Values must be unaffected.
+    MemoryImage image;
+    Addr a = layout::kHeapBase + 8;
+    Addr b = a + MemoryImage::kPageBytes;
+    for (Word i = 0; i < 1000; ++i) {
+        image.store(a, i);
+        image.store(b, ~i);
+        ASSERT_EQ(image.load(a), i);
+        ASSERT_EQ(image.load(b), ~i);
+    }
+    // 4 accesses per iteration, all slow-path page switches except
+    // none: the ping-pong defeats the one-entry cache entirely.
+    EXPECT_EQ(image.accesses(), 4000u);
+    EXPECT_EQ(image.fastHits(), 0u);
 }
 
 } // namespace

@@ -105,6 +105,31 @@ TEST(RingBuffer, ZeroCapacityDropsEverything)
     EXPECT_TRUE(ring.empty());
 }
 
+TEST(RingBuffer, CapacityOneWrapsEveryPush)
+{
+    // The degenerate ring: head_ wraps to 0 on every push, each push
+    // is an eviction once full, and newest == oldest throughout.
+    RingBuffer<int> ring(1);
+    EXPECT_TRUE(ring.empty());
+    for (int i = 1; i <= 50; ++i) {
+        ring.push(i);
+        EXPECT_TRUE(ring.full());
+        EXPECT_EQ(ring.size(), 1u);
+        EXPECT_EQ(ring.newest(0), i);
+        EXPECT_EQ(ring.oldest(0), i);
+        auto newest = ring.snapshotNewestFirst();
+        auto oldest = ring.snapshotOldestFirst();
+        ASSERT_EQ(newest.size(), 1u);
+        ASSERT_EQ(oldest.size(), 1u);
+        EXPECT_EQ(newest[0], i);
+        EXPECT_EQ(oldest[0], i);
+    }
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    ring.push(99);
+    EXPECT_EQ(ring.newest(0), 99);
+}
+
 /** Property: after any push sequence, size = min(pushes, capacity)
  *  and newest(i) returns the (i+1)-th most recent push. */
 class RingBufferSweep : public ::testing::TestWithParam<int>
@@ -160,6 +185,77 @@ TEST(Logging, PanicMessageContainsText)
         EXPECT_NE(std::string(e.what()).find("value was 42"),
                   std::string::npos);
     }
+}
+
+/** Capture everything written to std::cerr for one scope. */
+class CerrCapture
+{
+  public:
+    CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+    ~CerrCapture() { std::cerr.rdbuf(old_); }
+    std::string text() const { return buffer_.str(); }
+
+  private:
+    std::ostringstream buffer_;
+    std::streambuf *old_;
+};
+
+/** Restore the log level on every exit path. */
+class LogLevelGuard
+{
+  public:
+    explicit LogLevelGuard(LogLevel level)
+        : previous_(setLogLevel(level))
+    {
+    }
+    ~LogLevelGuard() { setLogLevel(previous_); }
+
+  private:
+    LogLevel previous_;
+};
+
+TEST(Logging, InfoLevelPrintsWarnAndInform)
+{
+    LogLevelGuard level(LogLevel::Info);
+    CerrCapture capture;
+    warn("w{}", 1);
+    inform("i{}", 2);
+    EXPECT_NE(capture.text().find("warn: w1"), std::string::npos);
+    EXPECT_NE(capture.text().find("info: i2"), std::string::npos);
+}
+
+TEST(Logging, WarnLevelSuppressesInform)
+{
+    LogLevelGuard level(LogLevel::Warn);
+    CerrCapture capture;
+    warn("keep");
+    inform("drop");
+    EXPECT_NE(capture.text().find("warn: keep"), std::string::npos);
+    EXPECT_EQ(capture.text().find("drop"), std::string::npos);
+}
+
+TEST(Logging, SilentLevelSuppressesEverything)
+{
+    LogLevelGuard level(LogLevel::Silent);
+    CerrCapture capture;
+    warn("w");
+    inform("i");
+    EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(Logging, ErrorsIgnoreTheLogLevel)
+{
+    LogLevelGuard level(LogLevel::Silent);
+    EXPECT_THROW(panic("still thrown"), PanicError);
+    EXPECT_THROW(fatal("still thrown"), FatalError);
+}
+
+TEST(Logging, SetLogLevelReturnsPrevious)
+{
+    LogLevel original = logLevel();
+    EXPECT_EQ(setLogLevel(LogLevel::Silent), original);
+    EXPECT_EQ(setLogLevel(original), LogLevel::Silent);
+    EXPECT_EQ(logLevel(), original);
 }
 
 // ---- Pcg32 ----------------------------------------------------------------
@@ -269,6 +365,37 @@ TEST(Stats, GroupReset)
     group.counter("a") += 2;
     group.reset();
     EXPECT_EQ(group.value("a"), 0u);
+}
+
+TEST(Stats, EmptyGroupToJson)
+{
+    StatGroup group("empty");
+    EXPECT_EQ(group.toJson(),
+              "{\"name\": \"empty\", \"counters\": {}, "
+              "\"gauges\": {}}");
+}
+
+TEST(Stats, ToJsonEscapesQuotesAndBackslashes)
+{
+    StatGroup group("we\"ird\\name");
+    group.counter("ke\"y") += 1;
+    group.counter("back\\slash") += 2;
+    std::string json = group.toJson();
+    EXPECT_NE(json.find("\"we\\\"ird\\\\name\""), std::string::npos);
+    EXPECT_NE(json.find("\"ke\\\"y\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"back\\\\slash\": 2"), std::string::npos);
+    // No raw (unescaped) quote may survive inside any name.
+    EXPECT_EQ(json.find("we\"ird"), std::string::npos);
+}
+
+TEST(Stats, ToJsonListsCountersAndGauges)
+{
+    StatGroup group("g");
+    group.counter("hits") += 3;
+    group.gauge("rate").set(1.5);
+    std::string json = group.toJson();
+    EXPECT_NE(json.find("\"hits\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"rate\": 1.5"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared helpers for randomized tests.
+ *
+ * Every property-style test seeds its PRNG from testSeed(): a fixed
+ * default for reproducible CI, overridable with STM_TEST_SEED to
+ * replay a failure or to widen the explored space. The seed is logged
+ * so a red run's output always contains what is needed to reproduce
+ * it exactly.
+ */
+
+#ifndef STM_TESTS_TEST_UTIL_HH
+#define STM_TESTS_TEST_UTIL_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+namespace stm::test
+{
+
+/** The randomized-test seed: STM_TEST_SEED env, else @p fallback. */
+inline std::uint64_t
+testSeed(std::uint64_t fallback = 0x5eed5eedULL)
+{
+    std::uint64_t seed = fallback;
+    if (const char *env = std::getenv("STM_TEST_SEED")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 0);
+        if (end && *end == '\0')
+            seed = v;
+    }
+    std::cout << "[ STM_TEST_SEED=" << seed << " ]\n";
+    return seed;
+}
+
+} // namespace stm::test
+
+#endif // STM_TESTS_TEST_UTIL_HH

@@ -20,6 +20,7 @@
 #include "corpus/registry.hh"
 #include "fleet/fleet_sim.hh"
 #include "support/logging.hh"
+#include "trace_cli.hh"
 
 using namespace stm;
 
@@ -41,6 +42,7 @@ struct CliOptions
     std::size_t top = 5;
     unsigned jobs = 0;
     std::string statsJsonPath;
+    std::string tracePath;
 };
 
 void
@@ -65,7 +67,10 @@ usage()
         << "  --top N           predictors to print (default 5)\n"
         << "  --jobs N          worker threads (default: STM_JOBS "
            "env, else hardware concurrency)\n"
-        << "  --stats-json FILE dump collector metrics as JSON\n";
+        << "  --stats-json FILE dump collector metrics as JSON\n"
+        << "  --trace FILE      record trace events for the run and\n"
+           "                    dump them to FILE (.json = Chrome\n"
+           "                    trace_event, else binary STMT)\n";
 }
 
 bool
@@ -121,6 +126,11 @@ try {
             if (!v)
                 return false;
             out->statsJsonPath = v;
+        } else if (arg == "--trace") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->tracePath = v;
         } else if (arg == "--help" || arg == "-h") {
             return false;
         } else if (!arg.empty() && arg[0] != '-') {
@@ -183,6 +193,9 @@ main(int argc, char **argv)
     opts.jobs = cli.jobs;
     opts.duplicateEvery = cli.duplicateEvery;
     opts.corruptEvery = cli.corruptEvery;
+
+    // Records the ingest/drain/rank pipeline; dumps on return.
+    tools::TraceCliGuard traceGuard(cli.tracePath);
 
     fleet::CollectorOptions copts;
     copts.shards = opts.shards;

@@ -21,6 +21,7 @@
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -32,6 +33,7 @@
 #include "exec/run_pool.hh"
 #include "fleet/fleet_sim.hh"
 #include "support/logging.hh"
+#include "trace_cli.hh"
 
 using namespace stm;
 
@@ -51,6 +53,7 @@ struct CliOptions
     bool list = false;
     unsigned jobs = 0; //!< 0 = STM_JOBS, else hardware concurrency
     std::uint64_t fleet = 0; //!< 0 = in-process; N = fleet machines
+    std::string tracePath;   //!< dump trace events here when set
 };
 
 void
@@ -77,7 +80,10 @@ usage()
            "                    results are identical for any N)\n"
         << "  --fleet N         collect LBRA/LCRA profiles from a\n"
            "                    simulated N-machine fleet via the\n"
-           "                    wire-format collector (same ranking)\n";
+           "                    wire-format collector (same ranking)\n"
+        << "  --trace FILE      record trace events for the run and\n"
+           "                    dump them to FILE (.json = Chrome\n"
+           "                    trace_event, else binary STMT)\n";
 }
 
 bool
@@ -126,6 +132,11 @@ try {
             if (!v)
                 return false;
             out->fleet = std::stoull(v);
+        } else if (arg == "--trace") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->tracePath = v;
         } else if (arg == "--help" || arg == "-h") {
             return false;
         } else if (!arg.empty() && arg[0] != '-') {
@@ -192,6 +203,9 @@ main(int argc, char **argv)
     std::string tool = cli.tool;
     if (tool == "auto")
         tool = bug.isConcurrent ? "lcra" : "lbra";
+
+    // Records the whole pipeline below; dumps on every return path.
+    tools::TraceCliGuard traceGuard(cli.tracePath);
 
     LogEnhanceOptions logOpts;
     logOpts.toggling = cli.toggling;

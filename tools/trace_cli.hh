@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared `--trace FILE` plumbing for the CLI front ends.
+ *
+ * A tool that takes --trace enables the recorder for the scope of the
+ * guard and dumps the collected events on the way out — on every exit
+ * path, including early returns for failed diagnoses. A path ending
+ * in .json selects the Chrome trace_event export; anything else gets
+ * the binary STMT dump (inspect with `stm_trace dump|stats`).
+ */
+
+#ifndef STM_TOOLS_TRACE_CLI_HH
+#define STM_TOOLS_TRACE_CLI_HH
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hh"
+#include "obs/trace_io.hh"
+
+namespace stm::tools
+{
+
+/** RAII --trace handler: enable on construction, dump on scope exit. */
+class TraceCliGuard
+{
+  public:
+    explicit TraceCliGuard(std::string path) : path_(std::move(path))
+    {
+        if (path_.empty())
+            return;
+        obs::clearTrace();
+        obs::setTracingEnabled(true);
+    }
+
+    ~TraceCliGuard()
+    {
+        if (path_.empty())
+            return;
+        obs::setTracingEnabled(false);
+        std::vector<obs::TraceEvent> events = obs::collectTrace();
+        if (path_.size() >= 5 &&
+            path_.compare(path_.size() - 5, 5, ".json") == 0) {
+            std::ofstream os(path_, std::ios::binary);
+            os << obs::chromeTraceJson(events);
+            if (!os) {
+                std::cerr << "cannot write trace to " << path_
+                          << '\n';
+                return;
+            }
+        } else if (obs::writeTraceFile(path_, events) !=
+                   obs::TraceIoStatus::Ok) {
+            std::cerr << "cannot write trace to " << path_ << '\n';
+            return;
+        }
+        std::cout << "(trace: " << events.size() << " events -> "
+                  << path_ << ")\n";
+    }
+
+    TraceCliGuard(const TraceCliGuard &) = delete;
+    TraceCliGuard &operator=(const TraceCliGuard &) = delete;
+
+  private:
+    std::string path_;
+};
+
+} // namespace stm::tools
+
+#endif // STM_TOOLS_TRACE_CLI_HH
