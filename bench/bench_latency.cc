@@ -20,6 +20,7 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "baseline/cbi.hh"
 #include "baseline/cci.hh"
@@ -83,7 +84,8 @@ printSample(const char *label, const ThroughputSample &s)
 
 void
 writeJson(const ThroughputSample &serial,
-          const ThroughputSample &parallel)
+          const ThroughputSample &parallel, unsigned hw_cores,
+          bool speedup_checked)
 {
     std::ofstream os("BENCH_latency.json");
     double speedup = parallel.wallSec > 0.0
@@ -92,6 +94,7 @@ writeJson(const ThroughputSample &serial,
     os << std::fixed << std::setprecision(6);
     os << "{\n"
        << "  \"workload\": \"cbi-cp-1000+1000\",\n"
+       << "  \"hardware_concurrency\": " << hw_cores << ",\n"
        << "  \"serial\": {\"jobs\": " << serial.jobs
        << ", \"runs\": " << serial.runs
        << ", \"wall_sec\": " << serial.wallSec
@@ -101,7 +104,9 @@ writeJson(const ThroughputSample &serial,
        << ", \"wall_sec\": " << parallel.wallSec
        << ", \"runs_per_sec\": " << parallel.runsPerSec
        << ", \"utilization\": " << parallel.utilization << "},\n"
-       << "  \"speedup\": " << speedup << "\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"speedup_checked\": "
+       << (speedup_checked ? "true" : "false") << "\n"
        << "}\n";
 }
 
@@ -222,6 +227,7 @@ main(int argc, char **argv)
     {
         BugSpec bug = corpus::bugById("cp");
         unsigned jobs = defaultJobs();
+        unsigned hwCores = std::thread::hardware_concurrency();
         std::cout << "\nRun-execution throughput (CBI 1000+1000 on "
                      "cp):\n";
         ThroughputSample serial = timeCbiCampaign(bug, 1);
@@ -233,10 +239,29 @@ main(int argc, char **argv)
                              : 0.0;
         std::cout << "  speedup   " << std::fixed
                   << std::setprecision(2) << speedup << "x at "
-                  << jobs << " jobs\n"
+                  << jobs << " jobs (" << hwCores
+                  << " hardware cores)\n"
                   << std::defaultfloat << std::setprecision(6);
-        writeJson(serial, parallel);
+        // A parallel run that is not faster than serial is only a
+        // regression when there are cores to spend: with one core (or
+        // one job) the pool degenerates to the serial loop and the
+        // delta is pure noise.
+        bool checkSpeedup = hwCores >= 2 && jobs >= 2;
+        writeJson(serial, parallel, hwCores, checkSpeedup);
         std::cout << "  (written to BENCH_latency.json)\n";
+        if (checkSpeedup && speedup < 1.0) {
+            std::cout << "FAIL: parallel (" << jobs
+                      << " jobs) slower than serial on " << hwCores
+                      << " cores (speedup " << std::fixed
+                      << std::setprecision(2) << speedup << "x)\n";
+            return 1;
+        }
+        if (!checkSpeedup) {
+            std::cout << "  speedup assertion skipped ("
+                      << (hwCores < 2 ? "single hardware core"
+                                      : "jobs <= 1")
+                      << ")\n";
+        }
     }
     return 0;
 }

@@ -41,6 +41,7 @@ int
 main(int argc, char **argv)
 {
     bench::applyJobsFlag(argc, argv);
+    bench::applyRunCacheFlag(argc, argv);
     std::cout << "Table 4: features of the real-world failures "
                  "evaluated (and of their reproductions)\n\n"
               << cell("Program", 13) << cell("Version", 9)

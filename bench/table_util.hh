@@ -13,6 +13,7 @@
 #include <sstream>
 #include <string>
 
+#include "exec/run_cache.hh"
 #include "exec/run_pool.hh"
 
 namespace stm::bench
@@ -35,6 +36,34 @@ applyJobsFlag(int argc, char **argv)
                 setDefaultJobs(static_cast<unsigned>(n));
         }
     }
+}
+
+/**
+ * Install the process-wide run cache from `--run-cache off|on|verify`
+ * and `--run-cache-mb N` arguments (falling back to the STM_RUN_CACHE
+ * environment variables when neither flag is given). Cached replay is
+ * bit-identical to execution, so the flags only change how long a
+ * bench with repeated configurations takes — `verify` re-executes
+ * every hit and asserts exactly that.
+ */
+inline void
+applyRunCacheFlag(int argc, char **argv)
+{
+    bool configure = false;
+    RunCacheMode mode = RunCacheMode::Off;
+    std::size_t maxBytes = 0;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--run-cache") {
+            mode = parseRunCacheMode(argv[i + 1]);
+            configure = true;
+        } else if (std::string(argv[i]) == "--run-cache-mb") {
+            long mb = std::strtol(argv[i + 1], nullptr, 10);
+            if (mb >= 1)
+                maxBytes = static_cast<std::size_t>(mb) * 1024 * 1024;
+        }
+    }
+    if (configure)
+        configureRunCache(mode, maxBytes);
 }
 
 /** Fixed-width left-aligned cell. */

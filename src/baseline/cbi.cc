@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "exec/run_cache.hh"
 #include "exec/run_pool.hh"
+#include "program/fingerprint.hh"
 #include "program/transform.hh"
 #include "vm/machine.hh"
 
@@ -57,8 +59,19 @@ CbiResult
 runCbi(ProgramPtr prog, const Workload &failing,
        const Workload &succeeding, const CbiOptions &opts)
 {
-    transform::clear(*prog);
-    transform::applyCbi(*prog, opts.meanPeriod);
+    // The sampling instrumentation rides a copy-on-write overlay; the
+    // program stays untouched and the whole 1000+1000 gather is
+    // content-addressable in the run cache.
+    auto overlay = std::make_shared<Instrumentation>();
+    transform::applyCbi(*prog, *overlay, opts.meanPeriod);
+    std::shared_ptr<const Instrumentation> plan = std::move(overlay);
+    const std::uint64_t progFp = combineFingerprints(
+        fingerprintProgramBase(*prog),
+        fingerprintInstrumentation(*plan));
+    const std::uint64_t failingFp =
+        fingerprintMachineOptions(failing.forRun(0));
+    const std::uint64_t succeedingFp =
+        fingerprintMachineOptions(succeeding.forRun(0));
 
     CbiResult result;
     std::map<CbiPredicate, LiblitTally> tallies;
@@ -100,9 +113,9 @@ runCbi(ProgramPtr prog, const Workload &failing,
     if (opts.failureRuns > 0) {
         pool.runOrdered(
             0, opts.maxAttempts,
-            [prog, &failing](std::uint64_t i) {
-                Machine machine(prog, failing.forRun(i));
-                return machine.run();
+            [&, prog](std::uint64_t i) {
+                return memoizedRun(prog, plan, progFp, failingFp,
+                                   failing.forRun(i));
             },
             [&](std::uint64_t i, RunResult &&run) {
                 if (result.failureRunsUsed >= opts.failureRuns)
@@ -121,9 +134,9 @@ runCbi(ProgramPtr prog, const Workload &failing,
     if (opts.successRuns > 0) {
         pool.runOrdered(
             0, opts.maxAttempts,
-            [prog, &succeeding](std::uint64_t i) {
-                Machine machine(prog, succeeding.forRun(5000000 + i));
-                return machine.run();
+            [&, prog](std::uint64_t i) {
+                return memoizedRun(prog, plan, progFp, succeedingFp,
+                                   succeeding.forRun(5000000 + i));
             },
             [&](std::uint64_t, RunResult &&run) {
                 if (result.successRunsUsed >= opts.successRuns)

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "exec/run_cache.hh"
 #include "exec/run_pool.hh"
+#include "program/fingerprint.hh"
 #include "program/transform.hh"
 #include "vm/machine.hh"
 
@@ -35,8 +37,18 @@ CciResult
 runCci(ProgramPtr prog, const Workload &failing,
        const Workload &succeeding, const CciOptions &opts)
 {
-    transform::clear(*prog);
-    transform::applyCci(*prog, opts.meanPeriod);
+    // Sampling configuration rides a copy-on-write overlay; the
+    // program stays untouched (see baseline/cbi.cc).
+    auto overlay = std::make_shared<Instrumentation>();
+    transform::applyCci(*overlay, opts.meanPeriod);
+    std::shared_ptr<const Instrumentation> plan = std::move(overlay);
+    const std::uint64_t progFp = combineFingerprints(
+        fingerprintProgramBase(*prog),
+        fingerprintInstrumentation(*plan));
+    const std::uint64_t failingFp =
+        fingerprintMachineOptions(failing.forRun(0));
+    const std::uint64_t succeedingFp =
+        fingerprintMachineOptions(succeeding.forRun(0));
 
     CciResult result;
     std::map<std::pair<Addr, bool>, LiblitTally> tallies;
@@ -73,9 +85,9 @@ runCci(ProgramPtr prog, const Workload &failing,
     if (opts.failureRuns > 0) {
         pool.runOrdered(
             0, opts.maxAttempts,
-            [prog, &failing](std::uint64_t i) {
-                Machine machine(prog, failing.forRun(i));
-                return machine.run();
+            [&, prog](std::uint64_t i) {
+                return memoizedRun(prog, plan, progFp, failingFp,
+                                   failing.forRun(i));
             },
             [&](std::uint64_t i, RunResult &&run) {
                 if (result.failureRunsUsed >= opts.failureRuns)
@@ -93,9 +105,9 @@ runCci(ProgramPtr prog, const Workload &failing,
     if (opts.successRuns > 0) {
         pool.runOrdered(
             0, opts.maxAttempts,
-            [prog, &succeeding](std::uint64_t i) {
-                Machine machine(prog, succeeding.forRun(5000000 + i));
-                return machine.run();
+            [&, prog](std::uint64_t i) {
+                return memoizedRun(prog, plan, progFp, succeedingFp,
+                                   succeeding.forRun(5000000 + i));
             },
             [&](std::uint64_t, RunResult &&run) {
                 if (result.successRunsUsed >= opts.successRuns)

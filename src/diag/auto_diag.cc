@@ -2,9 +2,11 @@
 
 #include <optional>
 
+#include "exec/run_cache.hh"
 #include "exec/run_pool.hh"
 #include "obs/trace.hh"
 #include "program/cfg.hh"
+#include "program/fingerprint.hh"
 #include "support/logging.hh"
 #include "vm/machine.hh"
 
@@ -64,26 +66,42 @@ runAutoDiag(ProgramPtr prog, const Workload &failing,
 {
     AutoDiagResult result;
 
-    // 1. Base log-enhancement instrumentation (before any fan-out).
-    transform::clear(*prog);
+    // 1. Base log-enhancement instrumentation as a copy-on-write
+    // overlay: the Program itself stays immutable for the whole
+    // campaign, so pool workers share it without copies and the
+    // run cache can address it by one base fingerprint.
+    Instrumentation plan;
     if (lbr) {
-        transform::LbrLogPlan plan;
-        plan.lbrSelectMask = opts.log.lbrSelect;
-        plan.toggling = opts.log.toggling;
-        transform::applyLbrLog(*prog, plan);
+        transform::LbrLogPlan logPlan;
+        logPlan.lbrSelectMask = opts.log.lbrSelect;
+        logPlan.toggling = opts.log.toggling;
+        transform::applyLbrLog(*prog, plan, logPlan);
     } else {
-        transform::LcrLogPlan plan;
-        plan.lcrConfigMask = opts.log.lcrConfig.pack();
-        plan.toggling = opts.log.toggling;
-        transform::applyLcrLog(*prog, plan);
+        transform::LcrLogPlan logPlan;
+        logPlan.lcrConfigMask = opts.log.lcrConfig.pack();
+        logPlan.toggling = opts.log.toggling;
+        transform::applyLcrLog(*prog, plan, logPlan);
     }
 
     Cfg cfg(*prog);
     if (opts.scheme == transform::SuccessSiteScheme::Proactive) {
-        transform::applySuccessSites(*prog, cfg, lbr,
+        transform::applySuccessSites(*prog, plan, cfg, lbr,
                                      transform::SuccessSiteScheme::
                                          Proactive);
     }
+
+    // Runners read the published overlay and fingerprint through
+    // these locals; they are reassigned only between pool batches
+    // (pool drained), never while Machines are in flight.
+    const std::uint64_t baseFp = fingerprintProgramBase(*prog);
+    std::shared_ptr<const Instrumentation> overlay;
+    std::uint64_t progFp = 0;
+    auto publishOverlay = [&] {
+        overlay = std::make_shared<const Instrumentation>(plan);
+        progFp = combineFingerprints(
+            baseFp, fingerprintInstrumentation(plan));
+    };
+    publishOverlay();
 
     ProfileKind kind = lbr ? ProfileKind::Lbr : ProfileKind::Lcr;
     StatisticalRanker ranker;
@@ -91,14 +109,18 @@ runAutoDiag(ProgramPtr prog, const Workload &failing,
 
     auto makeRunner = [&](const Workload &workload,
                           std::uint64_t seed_base) {
-        return [prog, &opts, &workload,
-                seed_base](std::uint64_t i) {
+        MachineOptions proto = workload.forRun(0);
+        proto.lbrEntries = opts.log.lbrEntries;
+        proto.lcrEntries = opts.log.lcrEntries;
+        std::uint64_t optionsFp = fingerprintMachineOptions(proto);
+        return [prog, &opts, &workload, seed_base, &overlay, &progFp,
+                optionsFp](std::uint64_t i) {
             MachineOptions machineOpts =
                 workload.forRun(seed_base + i);
             machineOpts.lbrEntries = opts.log.lbrEntries;
             machineOpts.lcrEntries = opts.log.lcrEntries;
-            Machine machine(prog, machineOpts);
-            return machine.run();
+            return memoizedRun(prog, overlay, progFp, optionsFp,
+                               machineOpts);
         };
     };
     auto failureRunner = makeRunner(failing, 0);
@@ -156,23 +178,25 @@ runAutoDiag(ProgramPtr prog, const Workload &failing,
             faultInstr = run.failure->instrIndex;
         // Reactive scheme: now that the failure location is known,
         // instrument its success site (a code patch, or dynamic
-        // binary rewriting on the deployed binary). The pool drained
-        // before we got here, so no Machine observes the mutation.
+        // binary rewriting on the deployed binary). Only the O(sites)
+        // overlay is touched — the pool drained before we got here,
+        // and the next batch picks up the republished plan.
         if (opts.scheme == transform::SuccessSiteScheme::Reactive) {
             obs::TraceSpan reinstr(obs::TraceCategory::Diag,
                                    obs::TraceId::DiagReinstrument,
                                    result.site);
             if (result.site == kSegfaultSite) {
                 transform::applySuccessSites(
-                    *prog, cfg, lbr,
+                    *prog, plan, cfg, lbr,
                     transform::SuccessSiteScheme::Reactive,
                     kSegfaultSite, faultInstr);
             } else {
                 transform::applySuccessSites(
-                    *prog, cfg, lbr,
+                    *prog, plan, cfg, lbr,
                     transform::SuccessSiteScheme::Reactive,
                     result.site);
             }
+            publishOverlay();
         }
         const ProfileRecord *profile =
             pickProfile(run, kind, site, false);

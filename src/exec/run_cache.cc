@@ -1,0 +1,345 @@
+#include "exec/run_cache.hh"
+
+#include <cstdlib>
+
+#include "obs/trace.hh"
+#include "program/fingerprint.hh"
+#include "support/logging.hh"
+
+namespace stm
+{
+
+namespace
+{
+
+std::uint64_t
+hashKey(const RunKey &key)
+{
+    FingerprintHasher f;
+    f.u64(key.programFp);
+    f.u64(key.optionsFp);
+    f.u64(key.seed);
+    return f.value();
+}
+
+std::size_t
+profileBytes(const ProfileRecord &p)
+{
+    return sizeof(ProfileRecord) +
+           p.lbr.capacity() * sizeof(BranchRecord) +
+           p.lcr.capacity() * sizeof(LcrRecord);
+}
+
+/** Rough per-node overhead of the std::map-based sample tables. */
+constexpr std::size_t kMapNodeOverhead = 48;
+
+} // namespace
+
+std::size_t
+approxRunResultBytes(const RunResult &result)
+{
+    std::size_t bytes = sizeof(RunResult);
+    if (result.failure)
+        bytes += result.failure->message.capacity();
+    bytes += result.output.capacity() * sizeof(Word);
+    for (const auto &p : result.profiles)
+        bytes += profileBytes(p);
+    bytes += result.btsTrace.capacity() * sizeof(BtsEntry);
+    std::size_t nodes = result.cbiCounts.size() +
+                        result.cbiSiteSamples.size() +
+                        result.cciCounts.size() +
+                        result.cciSiteSamples.size() +
+                        result.pbiSamples.size();
+    bytes += nodes * kMapNodeOverhead;
+    return bytes;
+}
+
+RunCache::RunCache() : RunCache(Options{}) {}
+
+RunCache::RunCache(Options opts) : opts_(opts)
+{
+    if (opts_.shards == 0)
+        opts_.shards = 1;
+    shardBudget_ = opts_.maxBytes / opts_.shards;
+    if (shardBudget_ == 0)
+        shardBudget_ = 1;
+    shards_.reserve(opts_.shards);
+    for (unsigned i = 0; i < opts_.shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+RunCache::Shard &
+RunCache::shardFor(std::uint64_t hash)
+{
+    return *shards_[hash % shards_.size()];
+}
+
+void
+RunCache::bumpCounter(const char *stat, std::uint64_t n)
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    stats_.counter(stat) += n;
+}
+
+bool
+RunCache::lookup(const RunKey &key, RunResult &out)
+{
+    std::uint64_t hash = hashKey(key);
+    Shard &shard = shardFor(hash);
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.index.find(hash);
+        if (it != shard.index.end()) {
+            for (auto entryIt : it->second) {
+                if (entryIt->key == key) {
+                    shard.lru.splice(shard.lru.begin(), shard.lru,
+                                     entryIt);
+                    out = entryIt->result;
+                    bumpCounter("hits");
+                    obs::traceInstant(obs::TraceCategory::Exec,
+                                      obs::TraceId::ExecCacheHit,
+                                      key.seed);
+                    return true;
+                }
+            }
+        }
+    }
+    bumpCounter("misses");
+    obs::traceInstant(obs::TraceCategory::Exec,
+                      obs::TraceId::ExecCacheMiss, key.seed);
+    return false;
+}
+
+void
+RunCache::insert(const RunKey &key, const RunResult &result)
+{
+    std::size_t bytes = approxRunResultBytes(result);
+    if (bytes > shardBudget_) {
+        // Caching it would immediately evict everything else in the
+        // shard for a single entry; not worth it.
+        bumpCounter("oversize");
+        return;
+    }
+    std::uint64_t hash = hashKey(key);
+    Shard &shard = shardFor(hash);
+    std::uint64_t evicted = 0;
+    std::uint64_t evictedBytes = 0;
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto indexIt = shard.index.find(hash);
+        if (indexIt != shard.index.end()) {
+            for (auto entryIt : indexIt->second) {
+                if (entryIt->key == key)
+                    return; // somebody else raced the insert
+            }
+        }
+        while (shard.bytes + bytes > shardBudget_ &&
+               !shard.lru.empty()) {
+            Entry &victim = shard.lru.back();
+            std::uint64_t victimHash = hashKey(victim.key);
+            auto chainIt = shard.index.find(victimHash);
+            auto &chain = chainIt->second;
+            for (auto cit = chain.begin(); cit != chain.end(); ++cit) {
+                if ((*cit)->key == victim.key) {
+                    chain.erase(cit);
+                    break;
+                }
+            }
+            if (chain.empty())
+                shard.index.erase(chainIt);
+            shard.bytes -= victim.bytes;
+            evictedBytes += victim.bytes;
+            shard.lru.pop_back();
+            ++evicted;
+        }
+        shard.lru.push_front(Entry{key, result, bytes});
+        shard.index[hash].push_back(shard.lru.begin());
+        shard.bytes += bytes;
+    }
+    bumpCounter("inserts");
+    if (evicted > 0) {
+        bumpCounter("evictions", evicted);
+        obs::traceInstant(obs::TraceCategory::Exec,
+                          obs::TraceId::ExecCacheEvict, evictedBytes);
+    }
+}
+
+std::size_t
+RunCache::size() const
+{
+    std::size_t n = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        n += shard->lru.size();
+    }
+    return n;
+}
+
+std::size_t
+RunCache::bytes() const
+{
+    std::size_t n = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        n += shard->bytes;
+    }
+    return n;
+}
+
+void
+RunCache::clear()
+{
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        shard->lru.clear();
+        shard->index.clear();
+        shard->bytes = 0;
+    }
+}
+
+void
+RunCache::noteVerified()
+{
+    bumpCounter("verified");
+}
+
+StatGroup
+RunCache::statsSnapshot() const
+{
+    StatGroup snap("exec.run_cache");
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        for (const char *stat : {"hits", "misses", "inserts",
+                                 "evictions", "verified", "oversize"})
+            snap.counter(stat) += stats_.value(stat);
+    }
+    snap.gauge("entries").set(static_cast<double>(size()));
+    snap.gauge("bytes").set(static_cast<double>(bytes()));
+    return snap;
+}
+
+double
+RunCache::hitRate() const
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    std::uint64_t hits = stats_.value("hits");
+    std::uint64_t misses = stats_.value("misses");
+    if (hits + misses == 0)
+        return 0.0;
+    return static_cast<double>(hits) /
+           static_cast<double>(hits + misses);
+}
+
+namespace
+{
+
+struct GlobalCacheState
+{
+    std::unique_ptr<RunCache> cache;
+    bool initialized = false;
+};
+
+GlobalCacheState &
+globalState()
+{
+    static GlobalCacheState state;
+    return state;
+}
+
+/** One-time lazy init from the environment (no explicit configure). */
+void
+initFromEnvironment(GlobalCacheState &state)
+{
+    state.initialized = true;
+    RunCacheMode mode = RunCacheMode::Off;
+    if (const char *env = std::getenv("STM_RUN_CACHE"))
+        mode = parseRunCacheMode(env);
+    if (std::getenv("STM_RUN_CACHE_VERIFY"))
+        mode = RunCacheMode::Verify;
+    if (mode == RunCacheMode::Off)
+        return;
+    RunCache::Options opts;
+    opts.verify = mode == RunCacheMode::Verify;
+    if (const char *env = std::getenv("STM_RUN_CACHE_MB")) {
+        long mb = std::strtol(env, nullptr, 10);
+        if (mb >= 1)
+            opts.maxBytes = static_cast<std::size_t>(mb) * 1024 * 1024;
+    }
+    state.cache = std::make_unique<RunCache>(opts);
+}
+
+} // namespace
+
+RunCacheMode
+parseRunCacheMode(const std::string &text)
+{
+    if (text == "off")
+        return RunCacheMode::Off;
+    if (text == "on")
+        return RunCacheMode::On;
+    if (text == "verify")
+        return RunCacheMode::Verify;
+    fatal("unknown run-cache mode '{}' (want off|on|verify)", text);
+}
+
+void
+configureRunCache(RunCacheMode mode, std::size_t maxBytes)
+{
+    GlobalCacheState &state = globalState();
+    state.initialized = true;
+    if (mode == RunCacheMode::Off) {
+        state.cache.reset();
+        return;
+    }
+    RunCache::Options opts;
+    opts.verify = mode == RunCacheMode::Verify;
+    if (maxBytes > 0)
+        opts.maxBytes = maxBytes;
+    state.cache = std::make_unique<RunCache>(opts);
+}
+
+RunCache *
+globalRunCache()
+{
+    GlobalCacheState &state = globalState();
+    if (!state.initialized)
+        initFromEnvironment(state);
+    return state.cache.get();
+}
+
+RunResult
+memoizedRun(const ProgramPtr &prog,
+            const std::shared_ptr<const Instrumentation> &overlay,
+            std::uint64_t programFp, std::uint64_t optionsFp,
+            const MachineOptions &opts)
+{
+    RunCache *cache = globalRunCache();
+    if (!cache) {
+        Machine machine(prog, opts, overlay);
+        return machine.run();
+    }
+
+    RunKey key{programFp, optionsFp, opts.sched.seed};
+    RunResult cached;
+    if (cache->lookup(key, cached)) {
+        if (cache->verifyMode()) {
+            Machine machine(prog, opts, overlay);
+            RunResult replay = machine.run();
+            if (!(replay == cached)) {
+                fatal("run cache verify mismatch: program fp {}, "
+                      "options fp {}, seed {} — cached RunResult is "
+                      "not bit-identical to a replay",
+                      key.programFp, key.optionsFp, key.seed);
+            }
+            cache->noteVerified();
+        }
+        return cached;
+    }
+
+    Machine machine(prog, opts, overlay);
+    RunResult result = machine.run();
+    cache->insert(key, result);
+    return result;
+}
+
+} // namespace stm

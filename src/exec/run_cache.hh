@@ -1,0 +1,192 @@
+/**
+ * @file
+ * RunCache: a cross-phase memo table for deterministic VM runs.
+ *
+ * Every run in this reproduction is a pure function of (program
+ * content, instrumentation plan, machine options, scheduler seed):
+ * the interpreter draws all nondeterminism from the seeded PRNG.
+ * Diagnosis campaigns exploit repetition everywhere — LBRA and LCRA
+ * replay the same seeds across phases, the Table 4/6/7 benches replay
+ * whole campaigns across configurations, FleetSim replays the
+ * auto-diag workload across simulated machines — so identical keys
+ * recur constantly. RunCache memoizes the full RunResult under a
+ * content-addressed key (see program/fingerprint.hh):
+ *
+ *     (base-program fp ⊕ overlay fp, options digest, seed) → RunResult
+ *
+ * Properties:
+ *  - **Sharded and concurrent.** The key hash routes to one of N
+ *    shards, each with its own mutex, map, and LRU list, so RunPool
+ *    workers hit the cache in parallel with minimal contention.
+ *  - **Bounded.** A byte budget (split evenly across shards) caps
+ *    retained RunResults; least-recently-used entries are evicted.
+ *    Single results larger than a shard's whole budget are never
+ *    inserted (counted as `oversize`).
+ *  - **Verifiable.** In verify mode every hit is re-executed and the
+ *    replay compared bit-for-bit against the cached RunResult
+ *    (operator==); any mismatch is fatal. This turns the fingerprint
+ *    collision argument into a checked invariant — and doubles as a
+ *    whole-corpus determinism audit (see test_golden_determinism.cc).
+ *
+ * Process-wide wiring: callers go through memoizedRun(), which
+ * consults the global cache configured by configureRunCache() /
+ * the STM_RUN_CACHE environment variable and transparently executes
+ * a Machine on miss or when caching is off.
+ */
+
+#ifndef STM_EXEC_RUN_CACHE_HH
+#define STM_EXEC_RUN_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "support/stats.hh"
+#include "vm/machine.hh"
+#include "vm/run_result.hh"
+
+namespace stm
+{
+
+/** Cache key: full program fingerprint, options digest, seed. */
+struct RunKey
+{
+    std::uint64_t programFp = 0; //!< base fp combined with overlay fp
+    std::uint64_t optionsFp = 0; //!< MachineOptions digest sans seed
+    std::uint64_t seed = 0;      //!< sched.seed of this run
+
+    bool operator==(const RunKey &) const = default;
+};
+
+/** Approximate retained-heap size of one cached RunResult. */
+std::size_t approxRunResultBytes(const RunResult &result);
+
+/** A sharded, bounded, LRU-evicting map RunKey → RunResult. */
+class RunCache
+{
+  public:
+    struct Options
+    {
+        /** Total byte budget across all shards. */
+        std::size_t maxBytes = 256ull * 1024 * 1024;
+        /** Shard count (clamped to >= 1). */
+        unsigned shards = 8;
+        /** Re-execute every hit and assert bit-identity. */
+        bool verify = false;
+    };
+
+    RunCache();
+    explicit RunCache(Options opts);
+
+    RunCache(const RunCache &) = delete;
+    RunCache &operator=(const RunCache &) = delete;
+
+    /**
+     * Copy the cached result for @p key into @p out and return true;
+     * false on miss. A hit refreshes the entry's LRU position.
+     */
+    bool lookup(const RunKey &key, RunResult &out);
+
+    /**
+     * Insert @p result under @p key (no-op if the key is already
+     * present or the result alone exceeds the shard budget), evicting
+     * least-recently-used entries as needed.
+     */
+    void insert(const RunKey &key, const RunResult &result);
+
+    bool verifyMode() const { return opts_.verify; }
+
+    /** Entries currently retained, summed over shards. */
+    std::size_t size() const;
+    /** Approximate bytes currently retained, summed over shards. */
+    std::size_t bytes() const;
+
+    /** Drop every entry (stats are kept). */
+    void clear();
+
+    /** Count one verify-mode replay comparison (memoizedRun). */
+    void noteVerified();
+
+    /**
+     * Snapshot of the cumulative statistics: counters hits, misses,
+     * inserts, evictions, verified, oversize; gauges entries, bytes.
+     */
+    StatGroup statsSnapshot() const;
+
+    /** Hits / (hits + misses), 0 when nothing was looked up. */
+    double hitRate() const;
+
+  private:
+    struct Entry
+    {
+        RunKey key;
+        RunResult result;
+        std::size_t bytes = 0;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        /** Most-recently-used first. */
+        std::list<Entry> lru;
+        std::unordered_map<std::uint64_t,
+                           std::vector<std::list<Entry>::iterator>>
+            index; //!< key hash → entries (collision chain)
+        std::size_t bytes = 0;
+    };
+
+    Shard &shardFor(std::uint64_t hash);
+    void bumpCounter(const char *stat, std::uint64_t n = 1);
+
+    Options opts_;
+    std::size_t shardBudget_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    mutable std::mutex statsMu_;
+    StatGroup stats_{"exec.run_cache"};
+};
+
+/** How memoizedRun treats the process-wide cache. */
+enum class RunCacheMode : std::uint8_t {
+    Off,    //!< always execute; no cache exists
+    On,     //!< serve hits, insert misses
+    Verify, //!< serve hits but re-execute and assert bit-identity
+};
+
+/**
+ * Install (or tear down, for Off) the process-wide run cache. The
+ * previous cache and its statistics are discarded. @p maxBytes 0
+ * keeps the default budget.
+ */
+void configureRunCache(RunCacheMode mode, std::size_t maxBytes = 0);
+
+/** Parse "off"/"on"/"verify" (fatal on anything else). */
+RunCacheMode parseRunCacheMode(const std::string &text);
+
+/**
+ * The process-wide cache, or nullptr when caching is off. First use
+ * consults the environment: STM_RUN_CACHE=off|on|verify, with
+ * STM_RUN_CACHE_VERIFY (any value) forcing verify mode and
+ * STM_RUN_CACHE_MB overriding the byte budget.
+ */
+RunCache *globalRunCache();
+
+/**
+ * Execute — or recall — one run: the memoizing analogue of
+ * `Machine(prog, opts, overlay).run()`. @p programFp must be the
+ * full program fingerprint (base combined with @p overlay's digest,
+ * or fingerprintProgram(*prog) when @p overlay is null); @p optionsFp
+ * the fingerprintMachineOptions(opts) digest. Campaigns compute both
+ * once per phase and share them across every seed in the batch.
+ */
+RunResult memoizedRun(const ProgramPtr &prog,
+                      const std::shared_ptr<const Instrumentation> &overlay,
+                      std::uint64_t programFp, std::uint64_t optionsFp,
+                      const MachineOptions &opts);
+
+} // namespace stm
+
+#endif // STM_EXEC_RUN_CACHE_HH

@@ -62,6 +62,7 @@ Collector::offer(RunProfile &&profile, std::uint64_t print)
 {
     Shard &shard = *shards_[print % shardCount_];
     bool blocked = false;
+    std::size_t highWater = 0;
     {
         std::unique_lock<std::mutex> lock(shard.mu);
         if (!shard.seen.insert(print).second) {
@@ -98,6 +99,14 @@ Collector::offer(RunProfile &&profile, std::uint64_t print)
         }
         shard.queue.push_back(std::move(profile));
         ++shard.stats.counter("accepted");
+        // Queue-depth high-water mark: how close ingest came to the
+        // shard capacity (and hence to blocking or shedding).
+        if (shard.queue.size() > shard.queueHighWater) {
+            shard.queueHighWater = shard.queue.size();
+            shard.stats.gauge("queue_high_water")
+                .set(static_cast<double>(shard.queueHighWater));
+        }
+        highWater = shard.queueHighWater;
     }
     obs::traceInstant(obs::TraceCategory::Fleet,
                       obs::TraceId::FleetIngest, print);
@@ -105,6 +114,11 @@ Collector::offer(RunProfile &&profile, std::uint64_t print)
     ++stats_.counter("accepted");
     if (blocked)
         ++stats_.counter("blocked");
+    if (highWater > queueHighWater_) {
+        queueHighWater_ = highWater;
+        stats_.gauge("queue_high_water")
+            .set(static_cast<double>(queueHighWater_));
+    }
     return IngestStatus::Accepted;
 }
 

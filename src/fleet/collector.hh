@@ -120,12 +120,16 @@ class Collector
     std::size_t queued() const;
 
     /**
-     * Aggregate ingest metrics: received, accepted, duplicates,
-     * decode_errors, dropped, blocked, drained.
+     * Aggregate ingest metrics: counters received, accepted,
+     * duplicates, decode_errors, dropped, blocked, drained; gauge
+     * queue_high_water (deepest any shard queue has been).
      */
     const StatGroup &stats() const { return stats_; }
 
-    /** Per-shard metrics: accepted, duplicates, dropped, drained. */
+    /**
+     * Per-shard metrics: counters accepted, duplicates, dropped,
+     * drained; gauge queue_high_water.
+     */
     const StatGroup &shardStats(unsigned shard) const;
 
   private:
@@ -138,6 +142,8 @@ class Collector
         std::deque<RunProfile> queue;
         std::unordered_set<std::uint64_t> seen; //!< fingerprints, ever
         StatGroup stats;
+        /** Deepest the queue has ever been (guarded by mu). */
+        std::size_t queueHighWater = 0;
     };
 
     IngestStatus offer(RunProfile &&profile, std::uint64_t print);
@@ -155,6 +161,8 @@ class Collector
      */
     mutable std::mutex statsMu_;
     StatGroup stats_;
+    /** Max of every shard's queueHighWater (guarded by statsMu_). */
+    std::size_t queueHighWater_ = 0;
 };
 
 } // namespace stm::fleet

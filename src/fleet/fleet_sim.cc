@@ -2,8 +2,10 @@
 
 #include <optional>
 
+#include "exec/run_cache.hh"
 #include "exec/run_pool.hh"
 #include "program/cfg.hh"
+#include "program/fingerprint.hh"
 #include "vm/machine.hh"
 
 namespace stm::fleet
@@ -47,25 +49,38 @@ captureFleetReports(const BugSpec &bug, const FleetOptions &opts)
     const Workload &failing = bug.failing;
     const Workload &succeeding = bug.succeeding;
 
-    // 1. Base instrumentation, before any fan-out (the program must
-    // never be mutated while Machines are in flight).
-    transform::clear(*prog);
+    // 1. Base instrumentation as a copy-on-write overlay: the fleet's
+    // deployed binary stays immutable; each phase ships an O(sites)
+    // plan (and the run cache can recall identical runs by content).
+    Instrumentation plan;
     if (lbr) {
-        transform::LbrLogPlan plan;
-        plan.lbrSelectMask = opts.log.lbrSelect;
-        plan.toggling = opts.log.toggling;
-        transform::applyLbrLog(*prog, plan);
+        transform::LbrLogPlan logPlan;
+        logPlan.lbrSelectMask = opts.log.lbrSelect;
+        logPlan.toggling = opts.log.toggling;
+        transform::applyLbrLog(*prog, plan, logPlan);
     } else {
-        transform::LcrLogPlan plan;
-        plan.lcrConfigMask = opts.log.lcrConfig.pack();
-        plan.toggling = opts.log.toggling;
-        transform::applyLcrLog(*prog, plan);
+        transform::LcrLogPlan logPlan;
+        logPlan.lcrConfigMask = opts.log.lcrConfig.pack();
+        logPlan.toggling = opts.log.toggling;
+        transform::applyLcrLog(*prog, plan, logPlan);
     }
     Cfg cfg(*prog);
     if (opts.scheme == transform::SuccessSiteScheme::Proactive) {
         transform::applySuccessSites(
-            *prog, cfg, lbr, transform::SuccessSiteScheme::Proactive);
+            *prog, plan, cfg, lbr,
+            transform::SuccessSiteScheme::Proactive);
     }
+
+    // Published overlay state, reassigned only between pool batches.
+    const std::uint64_t baseFp = fingerprintProgramBase(*prog);
+    std::shared_ptr<const Instrumentation> overlay;
+    std::uint64_t progFp = 0;
+    auto publishOverlay = [&] {
+        overlay = std::make_shared<const Instrumentation>(plan);
+        progFp = combineFingerprints(
+            baseFp, fingerprintInstrumentation(plan));
+    };
+    publishOverlay();
 
     ProfileKind kind = lbr ? ProfileKind::Lbr : ProfileKind::Lcr;
     std::uint64_t machines = opts.machines == 0 ? 1 : opts.machines;
@@ -73,14 +88,18 @@ captureFleetReports(const BugSpec &bug, const FleetOptions &opts)
 
     auto makeRunner = [&](const Workload &workload,
                           std::uint64_t seed_base) {
-        return [prog, &opts, &workload,
-                seed_base](std::uint64_t i) {
+        MachineOptions proto = workload.forRun(0);
+        proto.lbrEntries = opts.log.lbrEntries;
+        proto.lcrEntries = opts.log.lcrEntries;
+        std::uint64_t optionsFp = fingerprintMachineOptions(proto);
+        return [prog, &opts, &workload, seed_base, &overlay, &progFp,
+                optionsFp](std::uint64_t i) {
             MachineOptions machineOpts =
                 workload.forRun(seed_base + i);
             machineOpts.lbrEntries = opts.log.lbrEntries;
             machineOpts.lcrEntries = opts.log.lcrEntries;
-            Machine machine(prog, machineOpts);
-            return machine.run();
+            return memoizedRun(prog, overlay, progFp, optionsFp,
+                               machineOpts);
         };
     };
     auto failureRunner = makeRunner(failing, 0);
@@ -139,14 +158,15 @@ captureFleetReports(const BugSpec &bug, const FleetOptions &opts)
         if (opts.scheme == transform::SuccessSiteScheme::Reactive) {
             if (site == kSegfaultSite) {
                 transform::applySuccessSites(
-                    *prog, cfg, lbr,
+                    *prog, plan, cfg, lbr,
                     transform::SuccessSiteScheme::Reactive,
                     kSegfaultSite, faultInstr);
             } else {
                 transform::applySuccessSites(
-                    *prog, cfg, lbr,
+                    *prog, plan, cfg, lbr,
                     transform::SuccessSiteScheme::Reactive, site);
             }
+            publishOverlay();
         }
         const ProfileRecord *profile =
             pickProfile(run, kind, site, false);

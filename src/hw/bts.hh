@@ -30,6 +30,8 @@ struct BtsEntry
 {
     ThreadId thread = 0;
     BranchRecord record;
+
+    bool operator==(const BtsEntry &) const = default;
 };
 
 /**

@@ -231,6 +231,12 @@ traceIdName(TraceId id)
         return "diag.success_collect";
       case TraceId::DiagRank:
         return "diag.rank";
+      case TraceId::ExecCacheHit:
+        return "exec.cache_hit";
+      case TraceId::ExecCacheMiss:
+        return "exec.cache_miss";
+      case TraceId::ExecCacheEvict:
+        return "exec.cache_evict";
     }
     return "unknown";
 }

@@ -87,8 +87,12 @@ enum class TraceId : std::uint16_t {
     DiagFailureCollect, //!< post-pin failure-profile collection
     DiagSuccessCollect, //!< success-profile collection
     DiagRank,           //!< statistical ranking; arg = events ranked
+    // exec run cache (appended: dump ids above must stay stable)
+    ExecCacheHit,   //!< memoized result served; arg = seed
+    ExecCacheMiss,  //!< executed and inserted; arg = seed
+    ExecCacheEvict, //!< LRU entry evicted for space; arg = bytes freed
 };
-constexpr std::uint16_t kTraceIdCount = 18;
+constexpr std::uint16_t kTraceIdCount = 21;
 
 /** Human-readable names (used by the Chrome exporter and stats). */
 std::string traceCategoryName(TraceCategory category);

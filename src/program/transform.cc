@@ -24,19 +24,21 @@ addUnique(std::vector<Hook> &hooks, const Hook &hook)
 }
 
 void
-profileAtFailureSites(Program &prog, HookAction action)
+profileAtFailureSites(const Program &prog, Instrumentation &out,
+                      HookAction action)
 {
     for (const auto &site : prog.logSites) {
         if (!site.failureSite)
             continue;
-        addUnique(prog.instrumentation.before[site.instrIndex],
+        addUnique(out.before[site.instrIndex],
                   Hook{action, site.id, false});
     }
 }
 
 void
-attachSuccessSiteForLogSite(Program &prog, const Cfg &cfg,
-                            HookAction action, const LogSiteInfo &site)
+attachSuccessSiteForLogSite(const Program &prog, Instrumentation &out,
+                            const Cfg &cfg, HookAction action,
+                            const LogSiteInfo &site)
 {
     std::uint32_t leader = cfg.blockLeader(site.instrIndex);
     bool attached = false;
@@ -54,21 +56,20 @@ attachSuccessSiteForLogSite(Program &prog, const Cfg &cfg,
                 pred > 0 && prog.code[pred - 1].op == Opcode::Br &&
                 prog.code[pred - 1].srcBranch ==
                     prog.code[pred].srcBranch) {
-                addUnique(prog.instrumentation.before[pred - 1],
-                          hook);
+                addUnique(out.before[pred - 1], hook);
             } else {
-                addUnique(prog.instrumentation.before[pred], hook);
+                addUnique(out.before[pred], hook);
             }
             attached = true;
             break;
           case EdgeKind::CondTaken:
           case EdgeKind::Call:
-            addUnique(prog.instrumentation.before[pred], hook);
+            addUnique(out.before[pred], hook);
             attached = true;
             break;
           case EdgeKind::Fallthrough:
           case EdgeKind::Return:
-            addUnique(prog.instrumentation.after[pred], hook);
+            addUnique(out.after[pred], hook);
             attached = true;
             break;
         }
@@ -83,30 +84,43 @@ attachSuccessSiteForLogSite(Program &prog, const Cfg &cfg,
 } // namespace
 
 void
+applyLbrLog(const Program &prog, Instrumentation &out,
+            const LbrLogPlan &plan)
+{
+    out.enableLbrAtMain = true;
+    out.lbrSelectMask = plan.lbrSelectMask;
+    out.toggleLbrAroundLibraries = plan.toggling;
+    out.segfaultProfilesLbr = plan.segfaultHandler;
+    profileAtFailureSites(prog, out, HookAction::ProfileLbr);
+}
+
+void
 applyLbrLog(Program &prog, const LbrLogPlan &plan)
 {
-    Instrumentation &instr = prog.instrumentation;
-    instr.enableLbrAtMain = true;
-    instr.lbrSelectMask = plan.lbrSelectMask;
-    instr.toggleLbrAroundLibraries = plan.toggling;
-    instr.segfaultProfilesLbr = plan.segfaultHandler;
-    profileAtFailureSites(prog, HookAction::ProfileLbr);
+    applyLbrLog(prog, prog.instrumentation, plan);
+}
+
+void
+applyLcrLog(const Program &prog, Instrumentation &out,
+            const LcrLogPlan &plan)
+{
+    out.enableLcrAtMain = true;
+    out.lcrConfigMask = plan.lcrConfigMask;
+    out.toggleLcrAroundLibraries = plan.toggling;
+    out.segfaultProfilesLcr = plan.segfaultHandler;
+    profileAtFailureSites(prog, out, HookAction::ProfileLcr);
 }
 
 void
 applyLcrLog(Program &prog, const LcrLogPlan &plan)
 {
-    Instrumentation &instr = prog.instrumentation;
-    instr.enableLcrAtMain = true;
-    instr.lcrConfigMask = plan.lcrConfigMask;
-    instr.toggleLcrAroundLibraries = plan.toggling;
-    instr.segfaultProfilesLcr = plan.segfaultHandler;
-    profileAtFailureSites(prog, HookAction::ProfileLcr);
+    applyLcrLog(prog, prog.instrumentation, plan);
 }
 
 void
-applySuccessSites(Program &prog, const Cfg &cfg, bool lbr,
-                  SuccessSiteScheme scheme, LogSiteId observedSite,
+applySuccessSites(const Program &prog, Instrumentation &out,
+                  const Cfg &cfg, bool lbr, SuccessSiteScheme scheme,
+                  LogSiteId observedSite,
                   std::optional<std::uint32_t> faultingInstr)
 {
     HookAction action =
@@ -117,8 +131,10 @@ applySuccessSites(Program &prog, const Cfg &cfg, bool lbr,
         // proactive scheme cannot cover segfaults: faults manifest at
         // unexpected locations (Section 5.2).
         for (const auto &site : prog.logSites) {
-            if (site.failureSite)
-                attachSuccessSiteForLogSite(prog, cfg, action, site);
+            if (site.failureSite) {
+                attachSuccessSiteForLogSite(prog, out, cfg, action,
+                                            site);
+            }
         }
         return;
     }
@@ -133,7 +149,7 @@ applySuccessSites(Program &prog, const Cfg &cfg, bool lbr,
                   *faultingInstr);
         // Success site: right after the instruction that faulted in
         // the failing runs.
-        addUnique(prog.instrumentation.after[*faultingInstr],
+        addUnique(out.after[*faultingInstr],
                   Hook{action, kSegfaultSite, true});
         return;
     }
@@ -141,21 +157,29 @@ applySuccessSites(Program &prog, const Cfg &cfg, bool lbr,
     if (observedSite >= prog.logSites.size())
         fatal("reactive success site: unknown log site {}",
               observedSite);
-    attachSuccessSiteForLogSite(prog, cfg, action,
+    attachSuccessSiteForLogSite(prog, out, cfg, action,
                                 prog.logSites[observedSite]);
 }
 
 void
-applyCbi(Program &prog, double mean_period)
+applySuccessSites(Program &prog, const Cfg &cfg, bool lbr,
+                  SuccessSiteScheme scheme, LogSiteId observedSite,
+                  std::optional<std::uint32_t> faultingInstr)
 {
-    Instrumentation &instr = prog.instrumentation;
-    instr.cbiEnabled = true;
-    instr.cbiMeanPeriod = mean_period;
+    applySuccessSites(prog, prog.instrumentation, cfg, lbr, scheme,
+                      observedSite, faultingInstr);
+}
+
+void
+applyCbi(const Program &prog, Instrumentation &out, double mean_period)
+{
+    out.cbiEnabled = true;
+    out.cbiMeanPeriod = mean_period;
     for (std::uint32_t i = 0; i < prog.code.size(); ++i) {
         const Instruction &inst = prog.code[i];
         if (inst.op == Opcode::Br &&
             inst.srcBranch != kNoSourceBranch) {
-            addUnique(instr.before[i],
+            addUnique(out.before[i],
                       Hook{HookAction::CbiSample, inst.srcBranch,
                            false});
         }
@@ -163,34 +187,64 @@ applyCbi(Program &prog, double mean_period)
 }
 
 void
+applyCbi(Program &prog, double mean_period)
+{
+    applyCbi(prog, prog.instrumentation, mean_period);
+}
+
+void
+applyCci(Instrumentation &out, double mean_period)
+{
+    out.cciEnabled = true;
+    out.cciMeanPeriod = mean_period;
+}
+
+void
 applyCci(Program &prog, double mean_period)
 {
-    prog.instrumentation.cciEnabled = true;
-    prog.instrumentation.cciMeanPeriod = mean_period;
+    applyCci(prog.instrumentation, mean_period);
+}
+
+void
+applyPbi(Instrumentation &out, std::uint8_t load_mask,
+         std::uint8_t store_mask, std::uint64_t period)
+{
+    out.pbiEnabled = true;
+    out.pbiLoadMask = load_mask;
+    out.pbiStoreMask = store_mask;
+    out.pbiPeriod = period;
 }
 
 void
 applyPbi(Program &prog, std::uint8_t load_mask,
          std::uint8_t store_mask, std::uint64_t period)
 {
-    Instrumentation &instr = prog.instrumentation;
-    instr.pbiEnabled = true;
-    instr.pbiLoadMask = load_mask;
-    instr.pbiStoreMask = store_mask;
-    instr.pbiPeriod = period;
+    applyPbi(prog.instrumentation, load_mask, store_mask, period);
+}
+
+void
+applyBts(Instrumentation &out, std::uint64_t select_mask)
+{
+    out.btsEnabled = true;
+    out.btsSelectMask = select_mask;
 }
 
 void
 applyBts(Program &prog, std::uint64_t select_mask)
 {
-    prog.instrumentation.btsEnabled = true;
-    prog.instrumentation.btsSelectMask = select_mask;
+    applyBts(prog.instrumentation, select_mask);
+}
+
+void
+clear(Instrumentation &out)
+{
+    out = Instrumentation{};
 }
 
 void
 clear(Program &prog)
 {
-    prog.instrumentation = Instrumentation{};
+    clear(prog.instrumentation);
 }
 
 } // namespace stm::transform

@@ -11,6 +11,17 @@
  * charges their full instruction cost, so they are observationally
  * equivalent to inserted code — including their run-time overhead —
  * while keeping branch targets stable.
+ *
+ * Every transform comes in two forms:
+ *
+ *  - the overlay form, `apply*(const Program &, Instrumentation &,
+ *    ...)`, which reads the program's metadata and writes only the
+ *    caller's Instrumentation — the copy-on-write plan a campaign
+ *    builds per phase against one immutable base Program (O(sites)
+ *    to build, copy, and fingerprint; pass it to Machine as the
+ *    overlay argument and to the run cache as the overlay digest);
+ *  - the legacy in-place form, `apply*(Program &, ...)`, which
+ *    forwards to the overlay form targeting prog.instrumentation.
  */
 
 #ifndef STM_PROGRAM_TRANSFORM_HH
@@ -43,6 +54,8 @@ struct LbrLogPlan
  *  3. LBR profiling right before every failure-logging call,
  *  4. a segfault handler that profiles LBR.
  */
+void applyLbrLog(const Program &prog, Instrumentation &out,
+                 const LbrLogPlan &plan);
 void applyLbrLog(Program &prog, const LbrLogPlan &plan);
 
 /** Options for the LCRLOG log-enhancement transform. */
@@ -55,6 +68,8 @@ struct LcrLogPlan
 };
 
 /** Apply the LCRLOG transformation (LCR analogue of applyLbrLog). */
+void applyLcrLog(const Program &prog, Instrumentation &out,
+                 const LcrLogPlan &plan);
 void applyLcrLog(Program &prog, const LcrLogPlan &plan);
 
 /** Success-run profile collection schemes (Section 5.2). */
@@ -87,6 +102,11 @@ enum class SuccessSiteScheme {
  * @param faultingInstr for Reactive segfault coverage: the faulting
  *        instruction index
  */
+void applySuccessSites(const Program &prog, Instrumentation &out,
+                       const Cfg &cfg, bool lbr,
+                       SuccessSiteScheme scheme,
+                       LogSiteId observedSite = 0,
+                       std::optional<std::uint32_t> faultingInstr = {});
 void applySuccessSites(Program &prog, const Cfg &cfg, bool lbr,
                        SuccessSiteScheme scheme,
                        LogSiteId observedSite = 0,
@@ -98,12 +118,15 @@ void applySuccessSites(Program &prog, const Cfg &cfg, bool lbr,
  * predicates with mean period @p mean_period (1/100 by default in the
  * paper).
  */
+void applyCbi(const Program &prog, Instrumentation &out,
+              double mean_period = 100.0);
 void applyCbi(Program &prog, double mean_period = 100.0);
 
 /**
  * Attach the CCI baseline's heavyweight software sampling of
  * interleaving predicates at memory accesses.
  */
+void applyCci(Instrumentation &out, double mean_period = 100.0);
 void applyCci(Program &prog, double mean_period = 100.0);
 
 /**
@@ -111,6 +134,8 @@ void applyCci(Program &prog, double mean_period = 100.0);
  * events matching the given Table 2 unit masks every @p period
  * events.
  */
+void applyPbi(Instrumentation &out, std::uint8_t load_mask,
+              std::uint8_t store_mask, std::uint64_t period = 20);
 void applyPbi(Program &prog, std::uint8_t load_mask,
               std::uint8_t store_mask, std::uint64_t period = 20);
 
@@ -118,8 +143,11 @@ void applyPbi(Program &prog, std::uint8_t load_mask,
  * Enable whole-execution branch tracing via the Branch Trace Store
  * (Section 2.1's rejected alternative; see bench_ablation_bts).
  */
+void applyBts(Instrumentation &out, std::uint64_t select_mask);
 void applyBts(Program &prog, std::uint64_t select_mask);
 
+/** Reset an instrumentation plan to the empty plan. */
+void clear(Instrumentation &out);
 /** Remove all instrumentation from the program. */
 void clear(Program &prog);
 

@@ -35,7 +35,7 @@ Machine::StepStatus
 Machine::execLibCall(Thread &t, const Instruction &inst)
 {
     auto fn = static_cast<LibFn>(inst.imm);
-    const Instrumentation &instr = prog_->instrumentation;
+    const Instrumentation &instr = *instr_;
     bool togLbr = instr.toggleLbrAroundLibraries;
     bool togLcr = instr.toggleLcrAroundLibraries;
 

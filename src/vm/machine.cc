@@ -24,15 +24,19 @@ libPc(LibFn fn, std::uint32_t off = 0)
 
 } // namespace
 
-Machine::Machine(ProgramPtr prog, MachineOptions opts)
+Machine::Machine(ProgramPtr prog, MachineOptions opts,
+                 std::shared_ptr<const Instrumentation> overlay)
     : prog_(std::move(prog)),
       opts_(std::move(opts)),
+      overlayHold_(std::move(overlay)),
       rng_(opts_.sched.seed, 7),
       bus_(opts_.cache),
       lcr_(opts_.lcrEntries)
 {
     if (!prog_)
         fatal("Machine requires a program");
+    instr_ = overlayHold_ ? overlayHold_.get()
+                          : &prog_->instrumentation;
     globalsEnd_ = prog_->globalsEnd();
 }
 
@@ -136,7 +140,7 @@ Machine::dataAccess(ThreadId tid, Addr pc, Addr addr, bool is_store,
     // predicates at (user, application-code) memory accesses.
     if (cciEnabled_ && !kernel && pc >= layout::kCodeBase &&
         pc < layout::kLibraryBase) [[unlikely]] {
-        const Instrumentation &instr = prog_->instrumentation;
+        const Instrumentation &instr = *instr_;
         chargeInstrumentation(5); // per-access fast path
         Thread &t = threadRef(tid);
         if (t.cciCountdown == 0)
@@ -195,7 +199,7 @@ Machine::initMemoryImage()
 void
 Machine::buildDispatchTables()
 {
-    const Instrumentation &instr = prog_->instrumentation;
+    const Instrumentation &instr = *instr_;
     std::size_t n = prog_->code.size();
     code_ = prog_->code.data();
     codeSize_ = static_cast<std::uint32_t>(n);
@@ -242,13 +246,13 @@ Machine::spawnThread(std::uint32_t entry_pc, Word arg)
     auto pmu = std::make_unique<Pmu>(opts_.lbrEntries);
     // Threads created after main enabled LBR inherit the per-core
     // configuration (the driver enables recording on every core).
-    if (tid > 0 && prog_->instrumentation.enableLbrAtMain) {
-        pmu->lbr().writeSelect(prog_->instrumentation.lbrSelectMask);
+    if (tid > 0 && instr_->enableLbrAtMain) {
+        pmu->lbr().writeSelect(instr_->lbrSelectMask);
         pmu->lbr().writeDebugCtl(msr::kDebugCtlEnableLbr);
     }
     // PBI baseline: program two counters (loads, stores) to sample
     // the pc of matching coherence events on overflow interrupts.
-    const Instrumentation &instr = prog_->instrumentation;
+    const Instrumentation &instr = *instr_;
     if (instr.pbiEnabled) {
         auto sampler = [this](const CoherenceEvent &event) {
             // ~interrupt + handler cost
@@ -319,7 +323,7 @@ Machine::endRun(RunOutcome outcome, ThreadId tid,
 void
 Machine::profileOnFault(ThreadId tid)
 {
-    const Instrumentation &instr = prog_->instrumentation;
+    const Instrumentation &instr = *instr_;
     if (instr.segfaultProfilesLbr)
         driver::profileLbr(*this, tid, kSegfaultSite, false);
     if (instr.segfaultProfilesLcr)
@@ -342,7 +346,7 @@ Machine::run()
     }
 
     // Inserted configure/enable code at the entry of main (Figure 7).
-    const Instrumentation &instr = prog_->instrumentation;
+    const Instrumentation &instr = *instr_;
     if (instr.enableLbrAtMain) {
         driver::cleanLbr(*this, main.id);
         driver::configLbr(*this, main.id, instr.lbrSelectMask);
@@ -415,7 +419,7 @@ Machine::run()
     // Interpreter steps count as user instructions; charged here in
     // one shot rather than per step (chargeUser adds library bodies).
     result_.stats.userInstructions += steps_;
-    if (prog_->instrumentation.btsEnabled)
+    if (instr_->btsEnabled)
         result_.btsTrace = bts_.trace();
 
     // Fold this run's hot-path totals into the process-wide "vm"
@@ -679,8 +683,7 @@ Machine::executeOne(Thread &t, bool probe_preempt)
       }
       case Opcode::LogInfo: {
         // Informational logging: a printf-like library body.
-        const Instrumentation &instrumentation =
-            prog_->instrumentation;
+        const Instrumentation &instrumentation = *instr_;
         bool togLbr = instrumentation.toggleLbrAroundLibraries;
         bool togLcr = instrumentation.toggleLcrAroundLibraries;
         if (togLbr)
@@ -947,7 +950,7 @@ Machine::runHooks(Thread &t, const std::vector<Hook> &hooks)
 void
 Machine::cbiSample(Thread &t, const Hook &hook)
 {
-    const Instrumentation &instr = prog_->instrumentation;
+    const Instrumentation &instr = *instr_;
     // Fast path: a decrement-and-test on the sampling countdown.
     chargeInstrumentation(1);
     if (t.cbiCountdown == 0) {

@@ -42,7 +42,17 @@ namespace stm
 class Machine
 {
   public:
-    Machine(ProgramPtr prog, MachineOptions opts = {});
+    /**
+     * @p overlay, when non-null, is the copy-on-write instrumentation
+     * plan for this run: the Machine reads every hook table and
+     * scalar knob from it instead of prog->instrumentation, so one
+     * immutable base Program can be shared by concurrent runs under
+     * different per-phase plans (see program/transform.hh). The
+     * Machine keeps the shared_ptr alive for the whole run — the
+     * dispatch tables store raw pointers into its hook lists.
+     */
+    Machine(ProgramPtr prog, MachineOptions opts = {},
+            std::shared_ptr<const Instrumentation> overlay = nullptr);
     ~Machine();
 
     Machine(const Machine &) = delete;
@@ -55,6 +65,8 @@ class Machine
 
     const Program &program() const { return *prog_; }
     const MachineOptions &options() const { return opts_; }
+    /** The instrumentation plan in effect (overlay or the program's). */
+    const Instrumentation &instrumentation() const { return *instr_; }
 
     Pmu &pmuOf(ThreadId tid);
     LcrDomain &lcrDomain() { return lcr_; }
@@ -169,6 +181,10 @@ class Machine
 
     ProgramPtr prog_;
     MachineOptions opts_;
+    /** Keeps an overlay plan alive; null when running the program's own. */
+    std::shared_ptr<const Instrumentation> overlayHold_;
+    /** The plan every read goes through (overlay or &prog_->instrumentation). */
+    const Instrumentation *instr_ = nullptr;
     Pcg32 rng_;
 
     std::vector<std::unique_ptr<Thread>> threads_;

@@ -52,6 +52,8 @@ struct FailureInfo
     /** Log-site id for ErrorLogged; kSegfaultSite for fault-like ends. */
     LogSiteId site = kSegfaultSite;
     std::string message;
+
+    bool operator==(const FailureInfo &) const = default;
 };
 
 /** Which hardware record a profile snapshot came from. */
@@ -67,6 +69,8 @@ struct ProfileRecord
     std::uint64_t step = 0; //!< global step at collection time
     std::vector<BranchRecord> lbr; //!< newest first
     std::vector<LcrRecord> lcr;    //!< newest first
+
+    bool operator==(const ProfileRecord &) const = default;
 };
 
 /** Instruction-count statistics of a run. */
@@ -121,6 +125,8 @@ struct RunStats
         return static_cast<double>(steady) /
                static_cast<double>(base);
     }
+
+    bool operator==(const RunStats &) const = default;
 };
 
 /** A CBI branch-predicate key: (source branch, outcome). */
@@ -164,6 +170,12 @@ struct RunResult
     {
         return outcome != RunOutcome::Completed;
     }
+
+    /**
+     * Bit-exact equality over every observable field; the run cache's
+     * verify mode leans on this to assert replay identity.
+     */
+    bool operator==(const RunResult &) const = default;
 
     /** The last profile of kind @p kind at @p site, if any. */
     const ProfileRecord *

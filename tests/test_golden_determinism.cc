@@ -24,6 +24,8 @@
 #include <string>
 
 #include "corpus/registry.hh"
+#include "diag/auto_diag.hh"
+#include "exec/run_cache.hh"
 #include "hw/msr.hh"
 #include "program/transform.hh"
 #include "vm/machine.hh"
@@ -411,6 +413,95 @@ TEST(GoldenDeterminism, RepeatedRunsAreBitIdentical)
         std::uint64_t second = fingerprint(runConfig(bug, Config::LogFail));
         EXPECT_EQ(first, second) << id;
     }
+}
+
+// ---- run-cache transparency over the full corpus --------------------------
+
+namespace
+{
+
+/** Restore the no-cache default however a test exits. */
+struct GlobalCacheGuard
+{
+    ~GlobalCacheGuard() { configureRunCache(RunCacheMode::Off); }
+};
+
+/** The paper's deployment campaign: LBRA/LCRA at default budgets. */
+AutoDiagResult
+runCampaign(const BugSpec &bug)
+{
+    AutoDiagOptions opts;
+    opts.absencePredicates = bug.isConcurrent;
+    return bug.isConcurrent
+               ? runLcra(bug.program, bug.failing, bug.succeeding,
+                         opts)
+               : runLbra(bug.program, bug.failing, bug.succeeding,
+                         opts);
+}
+
+void
+expectSameDiagnosis(const AutoDiagResult &a, const AutoDiagResult &b,
+                    const std::string &id)
+{
+    EXPECT_EQ(a.diagnosed, b.diagnosed) << id;
+    EXPECT_EQ(a.site, b.site) << id;
+    EXPECT_EQ(a.failureRunsUsed, b.failureRunsUsed) << id;
+    EXPECT_EQ(a.failureAttempts, b.failureAttempts) << id;
+    EXPECT_EQ(a.successRunsUsed, b.successRunsUsed) << id;
+    EXPECT_EQ(a.successAttempts, b.successAttempts) << id;
+    ASSERT_EQ(a.ranking.size(), b.ranking.size()) << id;
+    for (std::size_t i = 0; i < a.ranking.size(); ++i) {
+        const RankedEvent &x = a.ranking[i];
+        const RankedEvent &y = b.ranking[i];
+        EXPECT_TRUE(x.event == y.event) << id << " rank " << i;
+        EXPECT_EQ(x.absence, y.absence) << id << " rank " << i;
+        EXPECT_EQ(x.failureRuns, y.failureRuns) << id << " rank " << i;
+        EXPECT_EQ(x.successRuns, y.successRuns) << id << " rank " << i;
+        // Exact: both sides compute from identical integer tallies.
+        EXPECT_EQ(x.precision, y.precision) << id << " rank " << i;
+        EXPECT_EQ(x.recall, y.recall) << id << " rank " << i;
+        EXPECT_EQ(x.score, y.score) << id << " rank " << i;
+    }
+}
+
+} // namespace
+
+/**
+ * Memoization must be invisible: for every corpus bug, the ranking a
+ * campaign produces with the run cache on is field-identical to the
+ * cache-off ranking (which the golden table above already ties to the
+ * seed interpreter).
+ */
+TEST(GoldenDeterminism, CacheOnRankingsMatchCacheOffForAllBugs)
+{
+    GlobalCacheGuard guard;
+    for (const BugSpec &bug : corpus::allBugs()) {
+        configureRunCache(RunCacheMode::Off);
+        AutoDiagResult off = runCampaign(bug);
+        configureRunCache(RunCacheMode::On);
+        AutoDiagResult on = runCampaign(bug);
+        expectSameDiagnosis(off, on, bug.id);
+    }
+}
+
+/**
+ * Whole-corpus verify-mode audit: run every campaign twice against
+ * one verify-mode cache. The second pass hits on every run of the
+ * first and re-executes each one, asserting the cached RunResult is
+ * bit-identical to a fresh replay (fatal on any divergence).
+ */
+TEST(GoldenDeterminism, VerifyModeCampaignsOverTheFullCorpus)
+{
+    GlobalCacheGuard guard;
+    configureRunCache(RunCacheMode::Verify);
+    for (const BugSpec &bug : corpus::allBugs()) {
+        AutoDiagResult first = runCampaign(bug);
+        AutoDiagResult second = runCampaign(bug);
+        expectSameDiagnosis(first, second, bug.id);
+    }
+    RunCache *cache = globalRunCache();
+    ASSERT_NE(cache, nullptr);
+    EXPECT_GE(cache->statsSnapshot().value("verified"), 1u);
 }
 
 } // namespace stm

@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "program/builder.hh"
 #include "program/cfg.hh"
+#include "program/fingerprint.hh"
 #include "program/transform.hh"
 #include "vm/machine.hh"
 
@@ -237,6 +240,106 @@ TEST(Transform, HooksAreIdempotent)
     std::uint32_t siteIdx = gp.prog->logSite(gp.site).instrIndex;
     EXPECT_EQ(gp.prog->instrumentation.before.at(siteIdx).size(),
               1u);
+}
+
+// ---- copy-on-write overlay forms ------------------------------------------
+
+TEST(TransformOverlay, OverlayLeavesTheBaseProgramUntouched)
+{
+    GuardedProgram gp = guardedErrorProgram();
+    const std::uint64_t baseFp = fingerprintProgramBase(*gp.prog);
+    const std::uint64_t fullFp = fingerprintProgram(*gp.prog);
+
+    Instrumentation plan;
+    transform::LbrLogPlan lbr;
+    lbr.lbrSelectMask = msr::kPaperLbrSelect;
+    transform::applyLbrLog(*gp.prog, plan, lbr);
+    transform::applyCbi(*gp.prog, plan);
+
+    EXPECT_FALSE(plan.empty());
+    EXPECT_TRUE(gp.prog->instrumentation.empty());
+    EXPECT_EQ(fingerprintProgramBase(*gp.prog), baseFp);
+    EXPECT_EQ(fingerprintProgram(*gp.prog), fullFp);
+    EXPECT_NE(fingerprintProgram(*gp.prog, plan), fullFp);
+}
+
+TEST(TransformOverlay, ClearRestoresTheBaseFingerprint)
+{
+    GuardedProgram gp = guardedErrorProgram();
+    const std::uint64_t emptyFp =
+        fingerprintProgram(*gp.prog, gp.prog->instrumentation);
+
+    Instrumentation plan;
+    transform::LbrLogPlan lbr;
+    lbr.lbrSelectMask = msr::kPaperLbrSelect;
+    transform::applyLbrLog(*gp.prog, plan, lbr);
+    Cfg cfg(*gp.prog);
+    transform::applySuccessSites(
+        *gp.prog, plan, cfg, true,
+        transform::SuccessSiteScheme::Reactive, gp.site);
+    EXPECT_NE(fingerprintProgram(*gp.prog, plan), emptyFp);
+
+    transform::clear(plan);
+    EXPECT_TRUE(plan.empty());
+    EXPECT_EQ(fingerprintProgram(*gp.prog, plan), emptyFp);
+}
+
+TEST(TransformOverlay, TwoOverlaysOnOneBaseAreIndependent)
+{
+    GuardedProgram gp = guardedErrorProgram();
+    auto lbrPlan = std::make_shared<Instrumentation>();
+    transform::LbrLogPlan lbr;
+    lbr.lbrSelectMask = msr::kPaperLbrSelect;
+    transform::applyLbrLog(*gp.prog, *lbrPlan, lbr);
+
+    auto cbiPlan = std::make_shared<Instrumentation>();
+    transform::applyCbi(*gp.prog, *cbiPlan, 1.0);
+
+    EXPECT_NE(fingerprintInstrumentation(*lbrPlan),
+              fingerprintInstrumentation(*cbiPlan));
+
+    // Each overlay drives a Machine on the same untouched base, and
+    // each sees only its own hooks.
+    MachineOptions failOpts;
+    failOpts.globalOverrides = {{"x", {1}}};
+    RunResult lbrRun = Machine(gp.prog, failOpts, lbrPlan).run();
+    RunResult cbiRun = Machine(gp.prog, failOpts, cbiPlan).run();
+    EXPECT_FALSE(lbrRun.profiles.empty());
+    EXPECT_TRUE(lbrRun.cbiSiteSamples.empty());
+    EXPECT_FALSE(cbiRun.cbiSiteSamples.empty());
+    EXPECT_TRUE(cbiRun.profiles.empty());
+    EXPECT_TRUE(gp.prog->instrumentation.empty());
+}
+
+TEST(TransformOverlay, OverlayRunMatchesInPlaceInstrumentation)
+{
+    transform::LbrLogPlan lbr;
+    lbr.lbrSelectMask = msr::kPaperLbrSelect;
+    MachineOptions failOpts;
+    failOpts.globalOverrides = {{"x", {1}}};
+
+    // Legacy form: mutate the program's own instrumentation.
+    GuardedProgram inPlace = guardedErrorProgram();
+    transform::applyLbrLog(*inPlace.prog, lbr);
+    Cfg cfg1(*inPlace.prog);
+    transform::applySuccessSites(
+        *inPlace.prog, cfg1, true,
+        transform::SuccessSiteScheme::Reactive, inPlace.site);
+    RunResult a = Machine(inPlace.prog, failOpts).run();
+
+    // Overlay form: identical plan against an untouched base.
+    GuardedProgram base = guardedErrorProgram();
+    auto plan = std::make_shared<Instrumentation>();
+    transform::applyLbrLog(*base.prog, *plan, lbr);
+    Cfg cfg2(*base.prog);
+    transform::applySuccessSites(
+        *base.prog, *plan, cfg2, true,
+        transform::SuccessSiteScheme::Reactive, base.site);
+    RunResult b = Machine(base.prog, failOpts, plan).run();
+
+    EXPECT_TRUE(a == b); // bit-exact RunResult equality
+    EXPECT_EQ(fingerprintProgram(*inPlace.prog),
+              fingerprintProgram(*base.prog, *plan));
 }
 
 TEST(Transform, CbiSamplingObservesPredicates)

@@ -30,6 +30,7 @@
 #include "diag/auto_diag.hh"
 #include "diag/log_enhance.hh"
 #include "diag/report.hh"
+#include "exec/run_cache.hh"
 #include "exec/run_pool.hh"
 #include "fleet/fleet_sim.hh"
 #include "support/logging.hh"
@@ -54,6 +55,9 @@ struct CliOptions
     unsigned jobs = 0; //!< 0 = STM_JOBS, else hardware concurrency
     std::uint64_t fleet = 0; //!< 0 = in-process; N = fleet machines
     std::string tracePath;   //!< dump trace events here when set
+    bool runCacheSet = false;       //!< --run-cache given
+    RunCacheMode runCache = RunCacheMode::Off;
+    std::size_t runCacheBytes = 0;  //!< 0 = the cache's default budget
 };
 
 void
@@ -83,7 +87,13 @@ usage()
            "                    wire-format collector (same ranking)\n"
         << "  --trace FILE      record trace events for the run and\n"
            "                    dump them to FILE (.json = Chrome\n"
-           "                    trace_event, else binary STMT)\n";
+           "                    trace_event, else binary STMT)\n"
+        << "  --run-cache MODE  off|on|verify: memoize identical runs\n"
+           "                    (default: STM_RUN_CACHE env, else "
+           "off;\n"
+           "                    verify re-executes every hit and\n"
+           "                    asserts bit-identical results)\n"
+        << "  --run-cache-mb N  run-cache byte budget in MiB\n";
 }
 
 bool
@@ -137,6 +147,18 @@ try {
             if (!v)
                 return false;
             out->tracePath = v;
+        } else if (arg == "--run-cache") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->runCache = parseRunCacheMode(v);
+            out->runCacheSet = true;
+        } else if (arg == "--run-cache-mb") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->runCacheBytes = std::stoul(v) * std::size_t{1024} *
+                                 std::size_t{1024};
         } else if (arg == "--help" || arg == "-h") {
             return false;
         } else if (!arg.empty() && arg[0] != '-') {
@@ -191,6 +213,8 @@ main(int argc, char **argv)
         return listCorpus();
     if (cli.jobs > 0)
         setDefaultJobs(cli.jobs);
+    if (cli.runCacheSet)
+        configureRunCache(cli.runCache, cli.runCacheBytes);
 
     BugSpec bug;
     try {
