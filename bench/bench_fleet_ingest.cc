@@ -4,11 +4,20 @@
  *
  * The collection service (src/fleet) is the chokepoint of the paper's
  * deployment story: every profile a production machine reports
- * crosses decode -> CRC -> fingerprint -> shard queue before the
- * streaming ranker sees it. This bench measures sustained wire-frame
- * ingest — producers pushing pre-serialized frames while a consumer
- * drains — across shard counts {1, 2, 4, 8}, single- and
- * multi-producer.
+ * crosses fingerprint -> dedup -> shard ring before the streaming
+ * ranker sees it. This bench measures the zero-copy producer path —
+ * submit() encoding frames straight into per-producer arenas and
+ * publishing ring descriptors, while a consumer drains views in
+ * place — across shards {1, 2, 4, 8} × producers {1, 2, 4, 8}, plus
+ * a payload-size sweep (LBR ring depth 0/8/32/128) and one wire-path
+ * reference configuration (pre-serialized frames through ingest(),
+ * which adds CRC validation and one frame memcpy).
+ *
+ * Per-producer scaling efficiency is reported for every
+ * multi-producer configuration: rate(P) / rate(1) at the same shard
+ * count and payload. The lock-free rings must not collapse under
+ * contention — the acceptance bar is monotonically non-decreasing
+ * throughput from 1 to 4 producers.
  *
  * Output: human-readable table on stdout plus machine-readable
  * BENCH_fleet_ingest.json (override with --out FILE), embedding the
@@ -16,9 +25,10 @@
  * cross-checkable against what the service believes happened.
  *
  * The single-shard single-producer configuration is checked against a
- * 100k reports/sec floor (disable with --no-check): one shard must
- * absorb a fleet's worth of reports with CRC validation and dedup on,
- * or the service, not the fleet, is the bottleneck.
+ * 1M reports/sec floor (--check-floor makes the check explicit for
+ * CI; --no-check disables it): one shard must absorb a fleet's worth
+ * of reports with fingerprint dedup on, or the service, not the
+ * fleet, is the bottleneck.
  *
  * Flags: --reports N frames per configuration (default 40000);
  * --repeat N best-of-N per configuration (default 3).
@@ -46,9 +56,10 @@ using namespace stm::bench;
 namespace
 {
 
-/** A small, realistic report: LBR kind, 8-entry ring. */
+/** A realistic report: LBR kind, @p lbr_entries -deep ring. */
 fleet::RunProfile
-syntheticProfile(Pcg32 &rng, std::uint64_t serial)
+syntheticProfile(Pcg32 &rng, std::uint64_t serial,
+                 unsigned lbr_entries)
 {
     fleet::RunProfile p;
     p.machineId = serial % 64;
@@ -59,7 +70,7 @@ syntheticProfile(Pcg32 &rng, std::uint64_t serial)
     p.site = 1;
     p.thread = 0;
     p.step = serial;
-    for (int i = 0; i < 8; ++i) {
+    for (unsigned i = 0; i < lbr_entries; ++i) {
         BranchRecord b;
         b.fromIp = layout::codeAddr(rng.nextBounded(400));
         b.toIp = layout::codeAddr(rng.nextBounded(400));
@@ -73,11 +84,16 @@ syntheticProfile(Pcg32 &rng, std::uint64_t serial)
 
 struct ConfigResult
 {
+    std::string path; //!< "submit" (zero-copy) or "wire" (compat)
     unsigned shards = 0;
     unsigned producers = 0;
+    unsigned lbrEntries = 0;
     std::uint64_t reports = 0;
     std::uint64_t wireBytes = 0;
     double wallSec = 0.0;
+    /** rate(P) / rate(1) at the same shards and payload; 1.0 for the
+     * single-producer baseline itself. */
+    double scalingEfficiency = 1.0;
     std::string statsJson;
 
     double
@@ -90,15 +106,17 @@ struct ConfigResult
 };
 
 /**
- * One timed pass: @p producers threads split the frames evenly and
- * ingest them into a fresh bounded collector while a consumer thread
- * drains, exactly the shape of the live service. The clock stops when
- * every frame has been both accepted and drained.
+ * One timed pass: @p producers threads split the reports evenly and
+ * submit them into a fresh bounded collector while a consumer thread
+ * drains views in place, exactly the shape of the live service. The
+ * clock stops when every report has been both accepted and drained.
  */
 ConfigResult
-timeConfigOnce(const std::vector<std::vector<std::uint8_t>> &frames,
+timeConfigOnce(const std::vector<fleet::RunProfile> &profiles,
+               const std::vector<std::vector<std::uint8_t>> &frames,
                unsigned shards, unsigned producers)
 {
+    bool wirePath = !frames.empty();
     fleet::CollectorOptions opts;
     opts.shards = shards;
     opts.shardCapacity = 4096;
@@ -106,18 +124,24 @@ timeConfigOnce(const std::vector<std::vector<std::uint8_t>> &frames,
     fleet::Collector collector(opts);
 
     ConfigResult out;
+    out.path = wirePath ? "wire" : "submit";
     out.shards = shards;
     out.producers = producers;
-    out.reports = frames.size();
+    out.reports = profiles.size();
 
+    // Start barrier: thread creation stays outside the timed region
+    // so producer counts are compared on ingest work alone.
     std::atomic<bool> producing{true};
-    auto start = std::chrono::steady_clock::now();
+    std::atomic<unsigned> ready{0};
+    std::atomic<bool> go{false};
     std::thread consumer([&] {
         std::size_t drained = 0;
-        while (drained < frames.size()) {
-            drained += collector.drainInto([](fleet::RunProfile &&) {});
+        while (drained < profiles.size()) {
+            drained += collector.drainViews(
+                [](const fleet::RunProfileView &) {});
             if (!producing.load(std::memory_order_acquire) &&
-                collector.queued() == 0 && drained >= frames.size())
+                collector.queued() == 0 &&
+                drained >= profiles.size())
                 break;
             std::this_thread::yield();
         }
@@ -125,11 +149,24 @@ timeConfigOnce(const std::vector<std::vector<std::uint8_t>> &frames,
     std::vector<std::thread> threads;
     for (unsigned t = 0; t < producers; ++t) {
         threads.emplace_back([&, t] {
-            for (std::size_t i = t; i < frames.size();
-                 i += producers)
-                collector.ingest(frames[i]);
+            ready.fetch_add(1, std::memory_order_relaxed);
+            while (!go.load(std::memory_order_acquire))
+                std::this_thread::yield();
+            if (wirePath) {
+                for (std::size_t i = t; i < frames.size();
+                     i += producers)
+                    collector.ingest(frames[i]);
+            } else {
+                for (std::size_t i = t; i < profiles.size();
+                     i += producers)
+                    collector.submit(profiles[i]);
+            }
         });
     }
+    while (ready.load(std::memory_order_relaxed) < producers)
+        std::this_thread::yield();
+    auto start = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
     for (auto &t : threads)
         t.join();
     producing.store(false, std::memory_order_release);
@@ -137,24 +174,46 @@ timeConfigOnce(const std::vector<std::vector<std::uint8_t>> &frames,
     std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
     out.wallSec = elapsed.count();
-    for (const auto &f : frames)
-        out.wireBytes += f.size();
+    for (const auto &p : profiles)
+        out.wireBytes += fleet::encodedFrameSize(p);
     out.statsJson = collector.stats().toJson();
     return out;
 }
 
 ConfigResult
-timeConfig(const std::vector<std::vector<std::uint8_t>> &frames,
+timeConfig(const std::vector<fleet::RunProfile> &profiles,
+           const std::vector<std::vector<std::uint8_t>> &frames,
            unsigned shards, unsigned producers,
            std::uint64_t repeats)
 {
     ConfigResult best;
     for (std::uint64_t rep = 0; rep < repeats; ++rep) {
-        ConfigResult r = timeConfigOnce(frames, shards, producers);
+        ConfigResult r =
+            timeConfigOnce(profiles, frames, shards, producers);
         if (rep == 0 || r.wallSec < best.wallSec)
             best = r;
     }
     return best;
+}
+
+void
+printRow(const ConfigResult &r, unsigned payload_bytes)
+{
+    std::ostringstream ws, rate, mbs, eff;
+    ws << std::fixed << std::setprecision(3) << r.wallSec;
+    rate << std::fixed << std::setprecision(0) << r.rate() / 1e3;
+    mbs << std::fixed << std::setprecision(1)
+        << (r.wallSec > 0.0
+                ? static_cast<double>(r.wireBytes) / 1e6 / r.wallSec
+                : 0.0);
+    eff << std::fixed << std::setprecision(2)
+        << r.scalingEfficiency;
+    std::cout << cell(r.path, 8)
+              << cell(std::to_string(r.shards), 8)
+              << cell(std::to_string(r.producers), 11)
+              << cell(std::to_string(payload_bytes), 10)
+              << cell(ws.str(), 9) << cell(rate.str(), 12)
+              << cell(mbs.str(), 8) << cell(eff.str(), 6) << '\n';
 }
 
 void
@@ -168,15 +227,20 @@ writeJson(const std::string &path,
     for (std::size_t i = 0; i < results.size(); ++i) {
         const ConfigResult &r = results[i];
         os.precision(6);
-        os << "    {\"shards\": " << r.shards
+        os << "    {\"path\": \"" << r.path
+           << "\", \"shards\": " << r.shards
            << ", \"producers\": " << r.producers
+           << ", \"lbr_entries\": " << r.lbrEntries
            << ", \"reports\": " << r.reports
            << ", \"wire_bytes\": " << r.wireBytes
            << ", \"wall_sec\": " << r.wallSec
            << ", \"reports_per_sec\": ";
         os.precision(0);
-        os << r.rate() << ",\n     \"collector\": " << r.statsJson
-           << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+        os << r.rate() << ",\n     \"scaling_efficiency\": ";
+        os.precision(3);
+        os << r.scalingEfficiency
+           << ",\n     \"collector\": " << r.statsJson << "}"
+           << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os.precision(0);
     os << "  ],\n  \"floor_reports_per_sec\": " << floorRate
@@ -195,6 +259,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--no-check"))
             check = false;
+        else if (!std::strcmp(argv[i], "--check-floor"))
+            check = true;
         else if (i + 1 < argc && !std::strcmp(argv[i], "--reports"))
             reports = std::strtoull(argv[++i], nullptr, 10);
         else if (i + 1 < argc && !std::strcmp(argv[i], "--repeat"))
@@ -205,56 +271,98 @@ main(int argc, char **argv)
     if (repeats == 0)
         repeats = 1;
 
-    // Pre-serialize outside the timed region: the bench measures the
-    // service, not the agents.
-    Pcg32 rng(2014);
-    std::vector<std::vector<std::uint8_t>> frames;
-    frames.reserve(reports);
-    for (std::uint64_t i = 0; i < reports; ++i)
-        frames.push_back(
-            fleet::serialize(syntheticProfile(rng, i)));
+    constexpr unsigned kDefaultLbrEntries = 8;
+    constexpr double kFloorRate = 1000000.0;
 
-    constexpr double kFloorRate = 100000.0;
+    // Pre-build reports (and, for the wire reference row,
+    // pre-serialize them) outside the timed region: the bench
+    // measures the service, not the agents.
+    auto buildProfiles = [&](unsigned lbrEntries) {
+        Pcg32 rng(2014);
+        std::vector<fleet::RunProfile> profiles;
+        profiles.reserve(reports);
+        for (std::uint64_t i = 0; i < reports; ++i)
+            profiles.push_back(
+                syntheticProfile(rng, i, lbrEntries));
+        return profiles;
+    };
+    std::vector<fleet::RunProfile> profiles =
+        buildProfiles(kDefaultLbrEntries);
+    unsigned defaultPayload = static_cast<unsigned>(
+        fleet::encodedFrameSize(profiles.front()));
+
     std::cout << "Fleet collector ingest throughput (" << reports
-              << " wire frames per config, best of " << repeats
+              << " reports per config, best of " << repeats
               << ")\n\n"
-              << cell("shards", 8) << cell("producers", 11)
+              << cell("path", 8) << cell("shards", 8)
+              << cell("producers", 11) << cell("frame B", 10)
               << cell("wall s", 9) << cell("Kreports/s", 12)
-              << cell("MB/s", 8) << '\n';
+              << cell("MB/s", 8) << cell("eff", 6) << '\n';
 
     std::vector<ConfigResult> results;
+    std::vector<std::vector<std::uint8_t>> noFrames;
+
+    // 1. Shard × producer grid on the zero-copy path, default payload.
     for (unsigned shards : {1u, 2u, 4u, 8u}) {
-        for (unsigned producers : {1u, 4u}) {
-            ConfigResult r =
-                timeConfig(frames, shards, producers, repeats);
-            std::ostringstream ws, rate, mbs;
-            ws << std::fixed << std::setprecision(3) << r.wallSec;
-            rate << std::fixed << std::setprecision(1)
-                 << r.rate() / 1e3;
-            mbs << std::fixed << std::setprecision(1)
-                << (r.wallSec > 0.0
-                        ? static_cast<double>(r.wireBytes) / 1e6 /
-                              r.wallSec
-                        : 0.0);
-            std::cout << cell(std::to_string(r.shards), 8)
-                      << cell(std::to_string(r.producers), 11)
-                      << cell(ws.str(), 9) << cell(rate.str(), 12)
-                      << cell(mbs.str(), 8) << '\n';
+        double baseRate = 0.0;
+        for (unsigned producers : {1u, 2u, 4u, 8u}) {
+            ConfigResult r = timeConfig(profiles, noFrames, shards,
+                                        producers, repeats);
+            r.lbrEntries = kDefaultLbrEntries;
+            if (producers == 1)
+                baseRate = r.rate();
+            else if (baseRate > 0.0)
+                r.scalingEfficiency = r.rate() / baseRate;
+            printRow(r, defaultPayload);
             results.push_back(std::move(r));
         }
+    }
+
+    // 2. Payload-size sweep, single shard, producers {1, 4}.
+    for (unsigned lbrEntries : {0u, 32u, 128u}) {
+        std::vector<fleet::RunProfile> sized =
+            buildProfiles(lbrEntries);
+        unsigned payload = static_cast<unsigned>(
+            fleet::encodedFrameSize(sized.front()));
+        double baseRate = 0.0;
+        for (unsigned producers : {1u, 4u}) {
+            ConfigResult r = timeConfig(sized, noFrames, 1,
+                                        producers, repeats);
+            r.lbrEntries = lbrEntries;
+            if (producers == 1)
+                baseRate = r.rate();
+            else if (baseRate > 0.0)
+                r.scalingEfficiency = r.rate() / baseRate;
+            printRow(r, payload);
+            results.push_back(std::move(r));
+        }
+    }
+
+    // 3. Wire-path reference (pre-serialized frames through the
+    // validating, one-memcpy compatibility path).
+    {
+        std::vector<std::vector<std::uint8_t>> frames;
+        frames.reserve(profiles.size());
+        for (const auto &p : profiles)
+            frames.push_back(fleet::serialize(p));
+        ConfigResult r =
+            timeConfig(profiles, frames, 1, 1, repeats);
+        r.lbrEntries = kDefaultLbrEntries;
+        printRow(r, defaultPayload);
+        results.push_back(std::move(r));
     }
 
     writeJson(outPath, results, kFloorRate);
     std::cout << "\n(written to " << outPath << ")\n";
 
     if (check) {
-        // results[0] is shards=1, producers=1.
+        // results[0] is submit path, shards=1, producers=1.
         double single = results.front().rate();
         std::cout << "floor check: " << std::fixed
                   << std::setprecision(2) << single / kFloorRate
-                  << "x of the 100k reports/sec single-shard floor\n";
+                  << "x of the 1M reports/sec single-shard floor\n";
         if (single < kFloorRate) {
-            std::cerr << "FAIL: single-shard ingest below 100k "
+            std::cerr << "FAIL: single-shard ingest below 1M "
                          "reports/sec\n";
             return 1;
         }

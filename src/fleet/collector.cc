@@ -1,124 +1,235 @@
 #include "fleet/collector.hh"
 
+#include <chrono>
+#include <cstring>
+
 #include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace stm::fleet
 {
 
+namespace
+{
+
+/** Source of globally unique collector ids (never reused, so a stale
+ * thread-local producer cache can never alias a new collector that
+ * happens to land at the same address). */
+std::atomic<std::uint64_t> nextCollectorId{1};
+
+} // namespace
+
 Collector::Collector(const CollectorOptions &opts)
     : shardCount_(opts.shards == 0 ? 1 : opts.shards),
-      capacity_(opts.shardCapacity == 0 ? 1 : opts.shardCapacity),
-      overflow_(opts.overflow), stats_("fleet.collector")
+      overflow_(opts.overflow),
+      arenaBytes_(opts.arenaBytes == 0 ? std::size_t{1} << 20
+                                       : opts.arenaBytes),
+      id_(nextCollectorId.fetch_add(1, std::memory_order_relaxed)),
+      stats_("fleet.collector")
 {
+    std::size_t capacity =
+        opts.shardCapacity == 0 ? 1 : opts.shardCapacity;
     shards_.reserve(shardCount_);
     for (unsigned s = 0; s < shardCount_; ++s) {
         shards_.push_back(std::make_unique<Shard>(
-            strfmt("fleet.shard{}", s)));
+            strfmt("fleet.shard{}", s), capacity));
     }
+}
+
+Collector::~Collector()
+{
+    // Frames still queued at destruction: arena frames die with their
+    // arenas, heap-owned frames must be reclaimed here.
+    FrameDesc desc;
+    for (auto &shardPtr : shards_)
+        while (shardPtr->ring.tryPop(&desc))
+            if (desc.arena == nullptr)
+                delete[] desc.data;
+}
+
+Collector::ProducerState &
+Collector::localProducer()
+{
+    // Single-entry cache: the common shape is one live collector per
+    // producer thread, and a hit is two loads — no lock, no atomics.
+    struct Cache
+    {
+        std::uint64_t collector = 0;
+        ProducerState *state = nullptr;
+    };
+    thread_local Cache cache;
+    if (cache.collector == id_)
+        return *cache.state;
+
+    std::lock_guard<std::mutex> lock(producersMu_);
+    for (auto &prod : producers_) {
+        if (prod->owner == std::this_thread::get_id()) {
+            cache = {id_, prod.get()};
+            return *cache.state;
+        }
+    }
+    producers_.push_back(std::make_unique<ProducerState>(
+        arenaBytes_, std::this_thread::get_id()));
+    cache = {id_, producers_.back().get()};
+    return *cache.state;
+}
+
+Collector::FrameDesc
+Collector::acquireFrame(ProducerState &prod, std::size_t size)
+{
+    FrameDesc desc;
+    desc.len = static_cast<std::uint32_t>(size);
+    if (std::uint8_t *p = prod.arena.reserve(size)) {
+        desc.data = p;
+        desc.arena = &prod.arena;
+        return desc;
+    }
+    // Arena saturated (consumer behind) or frame larger than a
+    // region: fall back to an owned heap frame rather than invent a
+    // third overflow condition — the ring alone decides the policy.
+    desc.data = new std::uint8_t[size];
+    desc.arena = nullptr;
+    return desc;
+}
+
+void
+Collector::releaseFrame(const FrameDesc &desc)
+{
+    if (desc.arena) {
+        desc.arena->unreserve(const_cast<std::uint8_t *>(desc.data),
+                              desc.len);
+    } else {
+        delete[] desc.data;
+    }
+}
+
+void
+Collector::countDuplicate(Shard &shard, std::uint64_t print)
+{
+    obs::traceInstant(obs::TraceCategory::Fleet,
+                      obs::TraceId::FleetDuplicate, print);
+    shard.duplicates.fetch_add(1, std::memory_order_relaxed);
+    duplicates_.fetch_add(1, std::memory_order_relaxed);
 }
 
 IngestStatus
 Collector::ingest(const std::uint8_t *data, std::size_t size)
 {
-    {
-        std::lock_guard<std::mutex> lock(statsMu_);
-        ++stats_.counter("received");
-    }
+    received_.fetch_add(1, std::memory_order_relaxed);
     if (closed_.load(std::memory_order_acquire))
         return IngestStatus::Closed;
 
-    RunProfile profile;
-    WireStatus ws = deserialize(data, size, &profile);
+    WireStatus ws = validateFrame(data, size);
     if (ws != WireStatus::Ok) {
         obs::traceInstant(obs::TraceCategory::Fleet,
                           obs::TraceId::FleetDecodeError,
                           static_cast<std::uint64_t>(ws));
-        std::lock_guard<std::mutex> lock(statsMu_);
-        ++stats_.counter("decode_errors");
-        ++stats_.counter(
-            strfmt("decode_error.{}", wireStatusName(ws)));
+        decodeErrors_.fetch_add(1, std::memory_order_relaxed);
+        decodeErrorBy_[static_cast<std::uint8_t>(ws)].fetch_add(
+            1, std::memory_order_relaxed);
         return IngestStatus::DecodeError;
     }
-    std::uint64_t print = fingerprint(profile);
-    return offer(std::move(profile), print);
+
+    // The canonical fingerprint is FNV over the payload encoding, and
+    // a validated frame *is* that encoding — hash the bytes in place
+    // instead of decoding and re-encoding.
+    std::uint64_t print = fingerprintPayload(data + kWireHeaderSize,
+                                             size - kWireHeaderSize);
+    unsigned shardIndex =
+        static_cast<unsigned>(print % shardCount_);
+    Shard &shard = *shards_[shardIndex];
+    if (!shard.seen.insert(print)) {
+        countDuplicate(shard, print);
+        return IngestStatus::Duplicate;
+    }
+
+    ProducerState &prod = localProducer();
+    FrameDesc desc = acquireFrame(prod, size);
+    std::memcpy(const_cast<std::uint8_t *>(desc.data), data, size);
+    return commit(shard, shardIndex, desc, print);
 }
 
 IngestStatus
-Collector::ingestDecoded(RunProfile &&profile)
+Collector::submit(const RunProfile &profile)
 {
-    {
-        std::lock_guard<std::mutex> lock(statsMu_);
-        ++stats_.counter("received");
-    }
+    received_.fetch_add(1, std::memory_order_relaxed);
     if (closed_.load(std::memory_order_acquire))
         return IngestStatus::Closed;
-    std::uint64_t print = fingerprint(profile);
-    return offer(std::move(profile), print);
+
+    // One encoding pass: serialize straight into the arena, then
+    // fingerprint the contiguous payload bytes just written (FNV over
+    // the payload encoding — identical to fingerprint(profile), which
+    // would walk the profile a second time). A duplicate rolls the
+    // reservation back (LIFO, same thread, no intervening reserve).
+    ProducerState &prod = localProducer();
+    std::size_t frameSize = encodedFrameSize(profile);
+    FrameDesc desc = acquireFrame(prod, frameSize);
+    serializeInto(profile, const_cast<std::uint8_t *>(desc.data));
+    std::uint64_t print = fingerprintPayload(
+        desc.data + kWireHeaderSize, frameSize - kWireHeaderSize);
+
+    unsigned shardIndex =
+        static_cast<unsigned>(print % shardCount_);
+    Shard &shard = *shards_[shardIndex];
+    if (!shard.seen.insert(print)) {
+        releaseFrame(desc);
+        countDuplicate(shard, print);
+        return IngestStatus::Duplicate;
+    }
+    return commit(shard, shardIndex, desc, print);
 }
 
 IngestStatus
-Collector::offer(RunProfile &&profile, std::uint64_t print)
+Collector::commit(Shard &shard, unsigned shard_index,
+                  const FrameDesc &desc, std::uint64_t print)
 {
-    Shard &shard = *shards_[print % shardCount_];
-    bool blocked = false;
-    std::size_t highWater = 0;
-    {
-        std::unique_lock<std::mutex> lock(shard.mu);
-        if (!shard.seen.insert(print).second) {
+    bool waited = false;
+    if (!shard.ring.tryPush(desc)) {
+        if (overflow_ == OverflowPolicy::Drop) {
+            // The fingerprint stays in `seen`: a shed report's
+            // retransmission is still a duplicate, matching a lossy
+            // UDP-style intake where the agent resends blindly.
+            releaseFrame(desc);
             obs::traceInstant(obs::TraceCategory::Fleet,
-                              obs::TraceId::FleetDuplicate, print);
-            ++shard.stats.counter("duplicates");
-            std::lock_guard<std::mutex> slock(statsMu_);
-            ++stats_.counter("duplicates");
-            return IngestStatus::Duplicate;
+                              obs::TraceId::FleetDrop, print);
+            shard.dropped.fetch_add(1, std::memory_order_relaxed);
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return IngestStatus::Dropped;
         }
-        if (shard.queue.size() >= capacity_) {
-            if (overflow_ == OverflowPolicy::Drop) {
-                // The fingerprint stays in `seen`: a shed report's
-                // retransmission is still a duplicate, matching a
-                // lossy UDP-style intake where the agent resends
-                // blindly.
-                obs::traceInstant(obs::TraceCategory::Fleet,
-                                  obs::TraceId::FleetDrop, print);
-                ++shard.stats.counter("dropped");
-                std::lock_guard<std::mutex> slock(statsMu_);
-                ++stats_.counter("dropped");
-                return IngestStatus::Dropped;
-            }
-            blocked = true;
-            shard.spaceCv.wait(lock, [&] {
-                return shard.queue.size() < capacity_ ||
-                       closed_.load(std::memory_order_acquire);
-            });
-            if (shard.queue.size() >= capacity_) {
-                // Woken by close() with the shard still full.
+        // Block: bounded condvar fallback, entered only behind a full
+        // ring. Timed waits sidestep the lost-wakeup window between a
+        // failed push and the wait (the consumer only notifies when
+        // it sees waiters).
+        waited = true;
+        for (;;) {
+            if (shard.ring.tryPush(desc))
+                break; // space appeared; accept even if closing
+            if (closed_.load(std::memory_order_acquire)) {
+                releaseFrame(desc);
                 shard.seen.erase(print);
                 return IngestStatus::Closed;
             }
+            std::unique_lock<std::mutex> lock(spaceMu_);
+            waiters_.fetch_add(1, std::memory_order_relaxed);
+            spaceCv_.wait_for(lock, std::chrono::milliseconds(1));
+            waiters_.fetch_sub(1, std::memory_order_relaxed);
         }
-        shard.queue.push_back(std::move(profile));
-        ++shard.stats.counter("accepted");
-        // Queue-depth high-water mark: how close ingest came to the
-        // shard capacity (and hence to blocking or shedding).
-        if (shard.queue.size() > shard.queueHighWater) {
-            shard.queueHighWater = shard.queue.size();
-            shard.stats.gauge("queue_high_water")
-                .set(static_cast<double>(shard.queueHighWater));
-        }
-        highWater = shard.queueHighWater;
     }
+
+    obs::traceInstant(obs::TraceCategory::Fleet,
+                      obs::TraceId::FleetSqDoorbell, shard_index);
     obs::traceInstant(obs::TraceCategory::Fleet,
                       obs::TraceId::FleetIngest, print);
-    std::lock_guard<std::mutex> lock(statsMu_);
-    ++stats_.counter("accepted");
-    if (blocked)
-        ++stats_.counter("blocked");
-    if (highWater > queueHighWater_) {
-        queueHighWater_ = highWater;
-        stats_.gauge("queue_high_water")
-            .set(static_cast<double>(queueHighWater_));
-    }
+    shard.accepted.fetch_add(1, std::memory_order_relaxed);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (waited)
+        blocked_.fetch_add(1, std::memory_order_relaxed);
+    // Ring-depth high-water mark: how close ingest came to the shard
+    // capacity (and hence to blocking or shedding). size() is a racy
+    // estimate, which is fine for a gauge.
+    std::uint64_t depth = shard.ring.size();
+    atomicMax(shard.highWater, depth);
+    atomicMax(highWater_, depth);
     return IngestStatus::Accepted;
 }
 
@@ -133,27 +244,51 @@ Collector::drain()
 std::size_t
 Collector::drainInto(const std::function<void(RunProfile &&)> &sink)
 {
+    return drainViews(
+        [&](const RunProfileView &v) { sink(v.materialize()); });
+}
+
+std::size_t
+Collector::drainViews(
+    const std::function<void(const RunProfileView &)> &sink)
+{
     obs::TraceSpan drainSpan(obs::TraceCategory::Fleet,
                              obs::TraceId::FleetDrain);
+    std::lock_guard<std::mutex> consumer(consumerMu_);
     std::size_t delivered = 0;
     for (auto &shardPtr : shards_) {
         Shard &shard = *shardPtr;
-        std::deque<RunProfile> batch;
-        {
-            std::lock_guard<std::mutex> lock(shard.mu);
-            batch.swap(shard.queue);
-            shard.stats.counter("drained") +=
-                static_cast<std::uint64_t>(batch.size());
+        std::size_t batch = 0;
+        FrameDesc desc;
+        while (shard.ring.tryPop(&desc)) {
+            // Frames were validated (or produced by our own encoder)
+            // before they crossed the ring, so the structural walk
+            // can skip the CRC and enum passes.
+            RunProfileView view;
+            WireStatus ws =
+                decodeFrameView(desc.data, desc.len, &view, true);
+            if (ws == WireStatus::Ok)
+                sink(view);
+            // Completion doorbell: the frame's bytes are free to be
+            // recycled the moment the callback returns.
+            if (desc.arena)
+                desc.arena->complete(desc.data, desc.len);
+            else
+                delete[] desc.data;
+            ++batch;
         }
-        shard.spaceCv.notify_all();
-        delivered += batch.size();
-        for (RunProfile &p : batch)
-            sink(std::move(p));
+        if (batch != 0) {
+            shard.drained.fetch_add(batch,
+                                    std::memory_order_relaxed);
+            obs::traceInstant(obs::TraceCategory::Fleet,
+                              obs::TraceId::FleetCqDoorbell, batch);
+            if (waiters_.load(std::memory_order_relaxed) != 0)
+                spaceCv_.notify_all();
+        }
+        delivered += batch;
     }
     drainSpan.setArg(delivered);
-    std::lock_guard<std::mutex> lock(statsMu_);
-    stats_.counter("drained") +=
-        static_cast<std::uint64_t>(delivered);
+    drained_.fetch_add(delivered, std::memory_order_relaxed);
     return delivered;
 }
 
@@ -161,23 +296,53 @@ void
 Collector::close()
 {
     closed_.store(true, std::memory_order_release);
-    for (auto &shardPtr : shards_) {
-        // Lock/unlock pairs the store with waiters mid-predicate.
-        std::lock_guard<std::mutex> lock(shardPtr->mu);
-    }
-    for (auto &shardPtr : shards_)
-        shardPtr->spaceCv.notify_all();
+    // Lock/unlock pairs the store with waiters between their failed
+    // push and their wait.
+    { std::lock_guard<std::mutex> lock(spaceMu_); }
+    spaceCv_.notify_all();
 }
 
 std::size_t
 Collector::queued() const
 {
     std::size_t total = 0;
-    for (const auto &shardPtr : shards_) {
-        std::lock_guard<std::mutex> lock(shardPtr->mu);
-        total += shardPtr->queue.size();
-    }
+    for (const auto &shardPtr : shards_)
+        total += shardPtr->ring.size();
     return total;
+}
+
+const StatGroup &
+Collector::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    auto publish = [&](const std::string &name, std::uint64_t v) {
+        Counter &c = stats_.counter(name);
+        c.reset();
+        c += v;
+    };
+    publish("received", received_.load(std::memory_order_relaxed));
+    publish("accepted", accepted_.load(std::memory_order_relaxed));
+    publish("duplicates",
+            duplicates_.load(std::memory_order_relaxed));
+    publish("decode_errors",
+            decodeErrors_.load(std::memory_order_relaxed));
+    publish("dropped", dropped_.load(std::memory_order_relaxed));
+    publish("blocked", blocked_.load(std::memory_order_relaxed));
+    publish("drained", drained_.load(std::memory_order_relaxed));
+    for (std::uint8_t s = 0; s < kWireStatusCount; ++s) {
+        std::uint64_t n =
+            decodeErrorBy_[s].load(std::memory_order_relaxed);
+        if (n != 0) {
+            publish(strfmt("decode_error.{}",
+                           wireStatusName(
+                               static_cast<WireStatus>(s))),
+                    n);
+        }
+    }
+    stats_.gauge("queue_high_water")
+        .set(static_cast<double>(
+            highWater_.load(std::memory_order_relaxed)));
+    return stats_;
 }
 
 const StatGroup &
@@ -185,7 +350,22 @@ Collector::shardStats(unsigned shard) const
 {
     if (shard >= shardCount_)
         panic("shardStats({}) with {} shards", shard, shardCount_);
-    return shards_[shard]->stats;
+    const Shard &s = *shards_[shard];
+    std::lock_guard<std::mutex> lock(statsMu_);
+    auto publish = [&](const std::string &name, std::uint64_t v) {
+        Counter &c = s.stats.counter(name);
+        c.reset();
+        c += v;
+    };
+    publish("accepted", s.accepted.load(std::memory_order_relaxed));
+    publish("duplicates",
+            s.duplicates.load(std::memory_order_relaxed));
+    publish("dropped", s.dropped.load(std::memory_order_relaxed));
+    publish("drained", s.drained.load(std::memory_order_relaxed));
+    s.stats.gauge("queue_high_water")
+        .set(static_cast<double>(
+            s.highWater.load(std::memory_order_relaxed)));
+    return s.stats;
 }
 
 } // namespace stm::fleet

@@ -268,9 +268,13 @@ runFleetDiagnosis(const BugSpec &bug, const FleetOptions &opts,
     // The ranker consumes after every frame — the streaming shape a
     // live service has, and what keeps a single-threaded driver from
     // blocking on its own full shard under OverflowPolicy::Block.
+    // The drain side is the zero-copy path: each frame is decoded in
+    // place from the collector's arena and folded into the ranker
+    // without ever materializing a RunProfile.
     IncrementalRanker ranker;
     auto pump = [&] {
-        sink.drainInto([&](RunProfile &&p) { ranker.ingest(p); });
+        sink.drainViews(
+            [&](const RunProfileView &v) { ranker.ingest(v); });
     };
     std::uint64_t sent = 0;
     for (const RunProfile &p : capture.reports) {

@@ -18,6 +18,23 @@ IncrementalRanker::ingest(const RunProfile &report)
 }
 
 void
+IncrementalRanker::ingest(const RunProfileView &report)
+{
+    std::set<EventKey> events;
+    if (report.kind() == ProfileKind::Lbr) {
+        for (std::size_t i = 0; i < report.lbrSize(); ++i)
+            events.insert(eventOfBranchRecord(report.lbr(i)));
+    } else {
+        for (std::size_t i = 0; i < report.lcrSize(); ++i)
+            events.insert(eventOfLcrRecord(report.lcr(i)));
+    }
+    if (report.failure())
+        addFailureEvents(events);
+    else
+        addSuccessEvents(events);
+}
+
+void
 IncrementalRanker::addFailureEvents(const std::set<EventKey> &events)
 {
     ++failures_;

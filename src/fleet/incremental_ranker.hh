@@ -42,6 +42,14 @@ class IncrementalRanker
     /** Fold one decoded report into the model. */
     void ingest(const RunProfile &report);
 
+    /**
+     * Fold one report straight from its wire view (the collector's
+     * zero-copy drain path): records are decoded register-to-register
+     * into the event set, never materialized into vectors. Tallies
+     * identically to ingest(RunProfile) over the same report.
+     */
+    void ingest(const RunProfileView &report);
+
     /** Fold a pre-extracted event set (profile-less producers). */
     void addFailureEvents(const std::set<EventKey> &events);
     void addSuccessEvents(const std::set<EventKey> &events);

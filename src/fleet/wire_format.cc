@@ -39,16 +39,76 @@ getLe32(const std::uint8_t *p)
            (static_cast<std::uint32_t>(getLe16(p + 2)) << 16);
 }
 
-/** Little-endian append helpers. */
+std::uint64_t
+getLe64(const std::uint8_t *p)
+{
+    return getLe32(p) |
+           (static_cast<std::uint64_t>(getLe32(p + 4)) << 32);
+}
+
+/**
+ * Encoding sinks. The canonical payload encoder is templated over
+ * where the bytes go, so one definition serves three consumers:
+ * vector-building (serialize), in-place arena writes (serializeInto),
+ * and the streaming fingerprint (FnvSink hashes the encoding without
+ * ever buffering it). Divergence between fingerprint and wire bytes
+ * is impossible by construction.
+ */
+struct VectorSink
+{
+    std::vector<std::uint8_t> &out;
+
+    void put(std::uint8_t b) { out.push_back(b); }
+
+    void
+    write(const std::uint8_t *p, std::size_t n)
+    {
+        out.insert(out.end(), p, p + n);
+    }
+};
+
+struct RawSink
+{
+    std::uint8_t *p;
+
+    void put(std::uint8_t b) { *p++ = b; }
+
+    void
+    write(const std::uint8_t *q, std::size_t n)
+    {
+        std::memcpy(p, q, n);
+        p += n;
+    }
+};
+
+struct FnvSink
+{
+    std::uint64_t h = kFnv1aBasis;
+
+    void
+    put(std::uint8_t b)
+    {
+        h = (h ^ b) * kFnv1aPrime;
+    }
+
+    void
+    write(const std::uint8_t *p, std::size_t n)
+    {
+        h = fnv1a(p, n, h);
+    }
+};
+
+/** Little-endian append helpers over any sink. */
+template <typename Sink>
 class Writer
 {
   public:
-    explicit Writer(std::vector<std::uint8_t> &out) : out_(out) {}
+    explicit Writer(Sink &sink) : sink_(sink) {}
 
     void
     u8(std::uint8_t v)
     {
-        out_.push_back(v);
+        sink_.put(v);
     }
 
     void
@@ -76,87 +136,20 @@ class Writer
     str(const std::string &s)
     {
         u32(static_cast<std::uint32_t>(s.size()));
-        out_.insert(out_.end(), s.begin(), s.end());
+        sink_.write(reinterpret_cast<const std::uint8_t *>(s.data()),
+                    s.size());
     }
 
   private:
-    std::vector<std::uint8_t> &out_;
-};
-
-/** Bounds-checked little-endian reads; any overrun poisons the reader. */
-class Reader
-{
-  public:
-    Reader(const std::uint8_t *data, std::size_t size)
-        : data_(data), size_(size)
-    {
-    }
-
-    bool ok() const { return ok_; }
-    std::size_t remaining() const { return size_ - pos_; }
-
-    std::uint8_t
-    u8()
-    {
-        if (!take(1))
-            return 0;
-        return data_[pos_ - 1];
-    }
-
-    std::uint16_t
-    u16()
-    {
-        std::uint16_t lo = u8(), hi = u8();
-        return static_cast<std::uint16_t>(lo | (hi << 8));
-    }
-
-    std::uint32_t
-    u32()
-    {
-        std::uint32_t lo = u16(), hi = u16();
-        return lo | (hi << 16);
-    }
-
-    std::uint64_t
-    u64()
-    {
-        std::uint64_t lo = u32(), hi = u32();
-        return lo | (hi << 32);
-    }
-
-    std::string
-    str()
-    {
-        std::uint32_t len = u32();
-        if (!take(len))
-            return {};
-        return std::string(
-            reinterpret_cast<const char *>(data_ + pos_ - len), len);
-    }
-
-  private:
-    bool
-    take(std::size_t n)
-    {
-        if (!ok_ || n > size_ - pos_) {
-            ok_ = false;
-            return false;
-        }
-        pos_ += n;
-        return true;
-    }
-
-    const std::uint8_t *data_;
-    std::size_t size_;
-    std::size_t pos_ = 0;
-    bool ok_ = true;
+    Sink &sink_;
 };
 
 /** Canonical payload encoding (everything after the frame header). */
+template <typename Sink>
 void
-encodePayload(const RunProfile &p, std::vector<std::uint8_t> &out)
+encodePayload(const RunProfile &p, Sink &sink)
 {
-    Writer w(out);
+    Writer<Sink> w(sink);
     w.u64(p.machineId);
     w.u64(p.runSeed);
     w.str(p.bugId);
@@ -181,74 +174,6 @@ encodePayload(const RunProfile &p, std::vector<std::uint8_t> &out)
         w.u8(r.store ? 1 : 0);
     }
 }
-
-/**
- * Decode the canonical payload. Strict: every byte must be consumed
- * and every enum must hold a defined value.
- */
-bool
-decodePayload(Reader &r, RunProfile *out)
-{
-    RunProfile p;
-    p.machineId = r.u64();
-    p.runSeed = r.u64();
-    p.bugId = r.str();
-    std::uint8_t failure = r.u8();
-    std::uint8_t kind = r.u8();
-    p.site = r.u32();
-    p.thread = r.u32();
-    p.step = r.u64();
-    if (failure > 1 || kind > 1)
-        return false;
-    p.failure = failure != 0;
-    p.kind = static_cast<ProfileKind>(kind);
-
-    std::uint32_t nLbr = r.u32();
-    if (!r.ok() || nLbr > r.remaining() / 23) // min encoded size
-        return false;
-    p.lbr.resize(nLbr);
-    for (BranchRecord &b : p.lbr) {
-        b.fromIp = r.u64();
-        b.toIp = r.u64();
-        std::uint8_t bkind = r.u8();
-        std::uint8_t kernel = r.u8();
-        b.srcBranch = r.u32();
-        std::uint8_t outcome = r.u8();
-        if (bkind > static_cast<std::uint8_t>(BranchKind::FarBranch) ||
-            kernel > 1 || outcome > 1) {
-            return false;
-        }
-        b.kind = static_cast<BranchKind>(bkind);
-        b.kernel = kernel != 0;
-        b.outcome = outcome != 0;
-    }
-
-    std::uint32_t nLcr = r.u32();
-    if (!r.ok() || nLcr > r.remaining() / 10) // min encoded size
-        return false;
-    p.lcr.resize(nLcr);
-    for (LcrRecord &c : p.lcr) {
-        c.pc = r.u64();
-        std::uint8_t state = r.u8();
-        std::uint8_t store = r.u8();
-        if (state > static_cast<std::uint8_t>(MesiState::Modified) ||
-            store > 1) {
-            return false;
-        }
-        c.observed = static_cast<MesiState>(state);
-        c.store = store != 0;
-    }
-
-    if (!r.ok() || r.remaining() != 0)
-        return false;
-    *out = std::move(p);
-    return true;
-}
-
-} // namespace
-
-namespace
-{
 
 /**
  * CRC of the covered frame region: version + flags + payload (bytes
@@ -292,30 +217,43 @@ wireStatusName(WireStatus status)
     return "unknown";
 }
 
+std::size_t
+encodedPayloadSize(const RunProfile &profile)
+{
+    // Scalars (38) + bugId length prefix is inside the 38; records
+    // are fixed-width. Layout: 8+8 ids, 4+len bugId, 1+1 flags,
+    // 4+4 site/thread, 8 step, 4+23n LBR, 4+10m LCR.
+    return 38 + profile.bugId.size() + 4 +
+           kWireLbrRecordSize * profile.lbr.size() + 4 +
+           kWireLcrRecordSize * profile.lcr.size();
+}
+
+std::size_t
+serializeInto(const RunProfile &profile, std::uint8_t *out)
+{
+    RawSink sink{out + kWireHeaderSize};
+    encodePayload(profile, sink);
+    std::size_t payloadLen =
+        static_cast<std::size_t>(sink.p - (out + kWireHeaderSize));
+    putLe32(out, kWireMagic);
+    putLe16(out + 4, kWireVersion);
+    putLe16(out + 6, 0); // flags, reserved
+    putLe32(out + 8, static_cast<std::uint32_t>(payloadLen));
+    putLe32(out + 12, frameCrc(out, payloadLen));
+    return kWireHeaderSize + payloadLen;
+}
+
 std::vector<std::uint8_t>
 serialize(const RunProfile &profile)
 {
-    // Header placeholder first; payload appended in place so the
-    // frame is built with a single allocation.
-    std::vector<std::uint8_t> frame;
-    frame.reserve(kWireHeaderSize + 64 + 23 * profile.lbr.size() +
-                  10 * profile.lcr.size() + profile.bugId.size());
-    frame.resize(kWireHeaderSize);
-    encodePayload(profile, frame);
-
-    std::size_t payloadLen = frame.size() - kWireHeaderSize;
-    putLe32(frame.data(), kWireMagic);
-    putLe16(frame.data() + 4, kWireVersion);
-    putLe16(frame.data() + 6, 0); // flags, reserved
-    putLe32(frame.data() + 8,
-            static_cast<std::uint32_t>(payloadLen));
-    putLe32(frame.data() + 12, frameCrc(frame.data(), payloadLen));
+    std::vector<std::uint8_t> frame(encodedFrameSize(profile));
+    serializeInto(profile, frame.data());
     return frame;
 }
 
 WireStatus
-deserialize(const std::uint8_t *data, std::size_t size,
-            RunProfile *out)
+decodeFrameView(const std::uint8_t *data, std::size_t size,
+                RunProfileView *out, bool trusted)
 {
     if (size < kWireHeaderSize)
         return WireStatus::Truncated;
@@ -332,23 +270,171 @@ deserialize(const std::uint8_t *data, std::size_t size,
     if (payloadLen < size - kWireHeaderSize)
         return WireStatus::Malformed; // trailing bytes
 
-    if (frameCrc(data, payloadLen) != getLe32(data + 12))
+    if (!trusted && frameCrc(data, payloadLen) != getLe32(data + 12))
         return WireStatus::BadCrc;
 
-    Reader r(data + kWireHeaderSize, payloadLen);
-    if (!decodePayload(r, out))
+    // Structural walk over the payload. Nothing is copied: scalars
+    // are decoded into the view, the record arrays are only
+    // bounds-checked (and, for untrusted bytes, enum-range-checked)
+    // and remembered by position.
+    const std::uint8_t *p = data + kWireHeaderSize;
+    std::size_t rem = payloadLen;
+
+    // Scalar prefix up to the bugId length: 8+8+4 bytes.
+    if (rem < 20)
         return WireStatus::Malformed;
+    RunProfileView v;
+    v.machineId_ = getLe64(p);
+    v.runSeed_ = getLe64(p + 8);
+    std::uint32_t bugLen = getLe32(p + 16);
+    p += 20;
+    rem -= 20;
+    if (bugLen > rem)
+        return WireStatus::Malformed;
+    v.bugId_ = std::string_view(reinterpret_cast<const char *>(p),
+                                bugLen);
+    p += bugLen;
+    rem -= bugLen;
+
+    // failure u8, kind u8, site u32, thread u32, step u64.
+    if (rem < 18)
+        return WireStatus::Malformed;
+    std::uint8_t failure = p[0];
+    std::uint8_t kind = p[1];
+    if (failure > 1 || kind > 1)
+        return WireStatus::Malformed;
+    v.failure_ = failure != 0;
+    v.kind_ = static_cast<ProfileKind>(kind);
+    v.site_ = getLe32(p + 2);
+    v.thread_ = getLe32(p + 6);
+    v.step_ = getLe64(p + 10);
+    p += 18;
+    rem -= 18;
+
+    if (rem < 4)
+        return WireStatus::Malformed;
+    std::uint32_t nLbr = getLe32(p);
+    p += 4;
+    rem -= 4;
+    if (nLbr > rem / kWireLbrRecordSize)
+        return WireStatus::Malformed;
+    v.lbrBytes_ = p;
+    v.lbrCount_ = nLbr;
+    if (!trusted) {
+        const std::uint8_t *r = p;
+        for (std::uint32_t i = 0; i < nLbr;
+             ++i, r += kWireLbrRecordSize) {
+            std::uint8_t bkind = r[16];
+            std::uint8_t kernel = r[17];
+            std::uint8_t outcome = r[22];
+            if (bkind >
+                    static_cast<std::uint8_t>(BranchKind::FarBranch) ||
+                kernel > 1 || outcome > 1) {
+                return WireStatus::Malformed;
+            }
+        }
+    }
+    p += static_cast<std::size_t>(nLbr) * kWireLbrRecordSize;
+    rem -= static_cast<std::size_t>(nLbr) * kWireLbrRecordSize;
+
+    if (rem < 4)
+        return WireStatus::Malformed;
+    std::uint32_t nLcr = getLe32(p);
+    p += 4;
+    rem -= 4;
+    if (nLcr > rem / kWireLcrRecordSize)
+        return WireStatus::Malformed;
+    v.lcrBytes_ = p;
+    v.lcrCount_ = nLcr;
+    if (!trusted) {
+        const std::uint8_t *r = p;
+        for (std::uint32_t i = 0; i < nLcr;
+             ++i, r += kWireLcrRecordSize) {
+            std::uint8_t state = r[8];
+            std::uint8_t store = r[9];
+            if (state >
+                    static_cast<std::uint8_t>(MesiState::Modified) ||
+                store > 1) {
+                return WireStatus::Malformed;
+            }
+        }
+    }
+    p += static_cast<std::size_t>(nLcr) * kWireLcrRecordSize;
+    rem -= static_cast<std::size_t>(nLcr) * kWireLcrRecordSize;
+
+    if (rem != 0)
+        return WireStatus::Malformed;
+
+    v.payload_ = data + kWireHeaderSize;
+    v.payloadLen_ = payloadLen;
+    *out = v;
+    return WireStatus::Ok;
+}
+
+BranchRecord
+RunProfileView::lbr(std::size_t i) const
+{
+    const std::uint8_t *r = lbrBytes_ + i * kWireLbrRecordSize;
+    BranchRecord b;
+    b.fromIp = getLe64(r);
+    b.toIp = getLe64(r + 8);
+    b.kind = static_cast<BranchKind>(r[16]);
+    b.kernel = r[17] != 0;
+    b.srcBranch = getLe32(r + 18);
+    b.outcome = r[22] != 0;
+    return b;
+}
+
+LcrRecord
+RunProfileView::lcr(std::size_t i) const
+{
+    const std::uint8_t *r = lcrBytes_ + i * kWireLcrRecordSize;
+    LcrRecord c;
+    c.pc = getLe64(r);
+    c.observed = static_cast<MesiState>(r[8]);
+    c.store = r[9] != 0;
+    return c;
+}
+
+RunProfile
+RunProfileView::materialize() const
+{
+    RunProfile p;
+    p.machineId = machineId_;
+    p.runSeed = runSeed_;
+    p.bugId = std::string(bugId_);
+    p.failure = failure_;
+    p.kind = kind_;
+    p.site = site_;
+    p.thread = thread_;
+    p.step = step_;
+    p.lbr.reserve(lbrCount_);
+    for (std::size_t i = 0; i < lbrCount_; ++i)
+        p.lbr.push_back(lbr(i));
+    p.lcr.reserve(lcrCount_);
+    for (std::size_t i = 0; i < lcrCount_; ++i)
+        p.lcr.push_back(lcr(i));
+    return p;
+}
+
+WireStatus
+deserialize(const std::uint8_t *data, std::size_t size,
+            RunProfile *out)
+{
+    RunProfileView view;
+    WireStatus status = decodeFrameView(data, size, &view);
+    if (status != WireStatus::Ok)
+        return status;
+    *out = view.materialize();
     return WireStatus::Ok;
 }
 
 std::uint64_t
 fingerprint(const RunProfile &profile)
 {
-    std::vector<std::uint8_t> payload;
-    payload.reserve(64 + 23 * profile.lbr.size() +
-                    10 * profile.lcr.size() + profile.bugId.size());
-    encodePayload(profile, payload);
-    return fnv1a(payload.data(), payload.size());
+    FnvSink sink;
+    encodePayload(profile, sink);
+    return sink.h;
 }
 
 RunProfile

@@ -25,11 +25,25 @@
  * decoder must never crash or misread on hostile bytes — reports
  * cross the network from machines we do not control.
  *
- * The canonical fingerprint — FNV-1a over the encoded payload — keys
- * duplicate suppression in the collector: re-sent frames (network
- * retry, double-reporting agent) hash identically, while any
- * differing field, including machine id and run seed, produces a
- * distinct fingerprint.
+ * Two decode shapes share that discipline:
+ *
+ *  - deserialize() materializes an owning RunProfile (vectors,
+ *    string) — the compatibility/API-boundary path.
+ *  - decodeFrameView() fills a non-owning RunProfileView over the
+ *    frame bytes: scalars are decoded into the view, the LBR/LCR
+ *    records stay encoded in place and are unpacked register-to-
+ *    register on access. This is the collector's zero-copy drain
+ *    path — no allocation, no byte copy, same WireStatus partition
+ *    as deserialize() on any input.
+ *
+ * Producers can also encode without intermediate buffers:
+ * encodedFrameSize() is exact, and serializeInto() writes the frame
+ * directly into caller memory (the per-producer arena). The canonical
+ * fingerprint — FNV-1a over the encoded payload — is computed by
+ * streaming the encoder into the hash, so fingerprint(profile) never
+ * allocates either; fingerprintPayload() gives the same value from
+ * already-encoded payload bytes, which is what the collector uses so
+ * the hot path hashes each byte exactly once.
  */
 
 #ifndef STM_FLEET_WIRE_FORMAT_HH
@@ -37,10 +51,12 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hw/lbr.hh"
 #include "hw/lcr.hh"
+#include "support/checksum.hh"
 #include "vm/run_result.hh"
 
 namespace stm::fleet
@@ -54,6 +70,10 @@ constexpr std::uint16_t kWireVersion = 1;
 
 /** Fixed frame header size in bytes. */
 constexpr std::size_t kWireHeaderSize = 16;
+
+/** Encoded sizes of the fixed-width payload pieces. */
+constexpr std::size_t kWireLbrRecordSize = 23;
+constexpr std::size_t kWireLcrRecordSize = 10;
 
 /** One machine's report of one monitored run. */
 struct RunProfile
@@ -89,12 +109,87 @@ enum class WireStatus : std::uint8_t {
     BadCrc,     //!< checksum mismatch (bit rot / tampering)
     Malformed,  //!< payload structure inconsistent with its length
 };
+constexpr std::uint8_t kWireStatusCount = 6;
 
 /** Human-readable status name. */
 std::string wireStatusName(WireStatus status);
 
+/**
+ * Non-owning decoded view of one wire frame. Scalar fields are
+ * unpacked at decode time; the LBR/LCR records stay in their encoded
+ * form inside the caller's buffer and are decoded per access (a
+ * handful of register loads, no allocation). The view is valid only
+ * while the underlying frame bytes are.
+ */
+class RunProfileView
+{
+  public:
+    std::uint64_t machineId() const { return machineId_; }
+    std::uint64_t runSeed() const { return runSeed_; }
+    std::string_view bugId() const { return bugId_; }
+    bool failure() const { return failure_; }
+    ProfileKind kind() const { return kind_; }
+    LogSiteId site() const { return site_; }
+    ThreadId thread() const { return thread_; }
+    std::uint64_t step() const { return step_; }
+
+    std::size_t lbrSize() const { return lbrCount_; }
+    std::size_t lcrSize() const { return lcrCount_; }
+
+    /** Decode the i-th LBR record in place. @pre i < lbrSize() */
+    BranchRecord lbr(std::size_t i) const;
+
+    /** Decode the i-th LCR record in place. @pre i < lcrSize() */
+    LcrRecord lcr(std::size_t i) const;
+
+    /** The encoded payload bytes (the fingerprint domain). */
+    const std::uint8_t *payload() const { return payload_; }
+    std::size_t payloadSize() const { return payloadLen_; }
+
+    /** Copy out an owning RunProfile (the API-boundary escape). */
+    RunProfile materialize() const;
+
+  private:
+    friend WireStatus decodeFrameView(const std::uint8_t *,
+                                      std::size_t, RunProfileView *,
+                                      bool);
+
+    const std::uint8_t *payload_ = nullptr;
+    std::size_t payloadLen_ = 0;
+    const std::uint8_t *lbrBytes_ = nullptr;
+    const std::uint8_t *lcrBytes_ = nullptr;
+    std::uint32_t lbrCount_ = 0;
+    std::uint32_t lcrCount_ = 0;
+    std::uint64_t machineId_ = 0;
+    std::uint64_t runSeed_ = 0;
+    std::uint64_t step_ = 0;
+    std::string_view bugId_;
+    LogSiteId site_ = kSegfaultSite;
+    ThreadId thread_ = 0;
+    bool failure_ = true;
+    ProfileKind kind_ = ProfileKind::Lbr;
+};
+
 /** Encode @p profile into a self-contained frame. */
 std::vector<std::uint8_t> serialize(const RunProfile &profile);
+
+/** Exact encoded payload / frame size of @p profile. */
+std::size_t encodedPayloadSize(const RunProfile &profile);
+
+inline std::size_t
+encodedFrameSize(const RunProfile &profile)
+{
+    return kWireHeaderSize + encodedPayloadSize(profile);
+}
+
+/**
+ * Encode @p profile directly into caller memory (the zero-copy
+ * producer path: @p out points into the producer's arena and must
+ * have room for encodedFrameSize(profile) bytes). Returns the frame
+ * size written.
+ */
+std::size_t serializeInto(const RunProfile &profile,
+                          std::uint8_t *out);
 
 /**
  * Decode one frame. On success fills @p out and returns Ok; on any
@@ -112,12 +207,45 @@ deserialize(const std::vector<std::uint8_t> &wire, RunProfile *out)
 }
 
 /**
+ * Decode one frame into a non-owning view. Exactly the hostile-byte
+ * discipline of deserialize() — identical WireStatus for any input —
+ * but no allocation and no byte copy; @p out aliases @p data.
+ *
+ * @p trusted skips the CRC pass and the per-record enum range walk
+ * for bytes that already passed validation (the collector's drain
+ * re-decoding frames its own ingest validated); structural bounds
+ * are still enforced. Hostile input must always use the default.
+ */
+WireStatus decodeFrameView(const std::uint8_t *data, std::size_t size,
+                           RunProfileView *out, bool trusted = false);
+
+/**
+ * Validate one frame without materializing anything: returns exactly
+ * the status deserialize() would. The collector's ingest boundary.
+ */
+inline WireStatus
+validateFrame(const std::uint8_t *data, std::size_t size)
+{
+    RunProfileView scratch;
+    return decodeFrameView(data, size, &scratch);
+}
+
+/**
  * Canonical 64-bit fingerprint of @p profile: FNV-1a over the
- * canonical payload encoding. Equal profiles fingerprint equally on
- * every machine; any field difference changes the fingerprint (up to
- * hash collision). Used for duplicate suppression and shard routing.
+ * canonical payload encoding, computed by streaming the encoder into
+ * the hash (no buffer, no allocation). Equal profiles fingerprint
+ * equally on every machine; any field difference changes the
+ * fingerprint (up to hash collision). Used for duplicate suppression
+ * and shard routing.
  */
 std::uint64_t fingerprint(const RunProfile &profile);
+
+/** The same fingerprint from already-encoded payload bytes. */
+inline std::uint64_t
+fingerprintPayload(const std::uint8_t *payload, std::size_t size)
+{
+    return fnv1a(payload, size);
+}
 
 /** CRC32 (IEEE 802.3, reflected) of @p size bytes at @p data. */
 std::uint32_t crc32(const std::uint8_t *data, std::size_t size);

@@ -237,6 +237,10 @@ traceIdName(TraceId id)
         return "exec.cache_miss";
       case TraceId::ExecCacheEvict:
         return "exec.cache_evict";
+      case TraceId::FleetSqDoorbell:
+        return "fleet.sq_doorbell";
+      case TraceId::FleetCqDoorbell:
+        return "fleet.cq_doorbell";
     }
     return "unknown";
 }

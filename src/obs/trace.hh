@@ -91,8 +91,11 @@ enum class TraceId : std::uint16_t {
     ExecCacheHit,   //!< memoized result served; arg = seed
     ExecCacheMiss,  //!< executed and inserted; arg = seed
     ExecCacheEvict, //!< LRU entry evicted for space; arg = bytes freed
+    // fleet ring transport (appended: dump ids above must stay stable)
+    FleetSqDoorbell, //!< descriptor published to a shard ring; arg = shard
+    FleetCqDoorbell, //!< drain batch completed frames; arg = completed
 };
-constexpr std::uint16_t kTraceIdCount = 21;
+constexpr std::uint16_t kTraceIdCount = 23;
 
 /** Human-readable names (used by the Chrome exporter and stats). */
 std::string traceCategoryName(TraceCategory category);

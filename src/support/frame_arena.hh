@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Caller-owned per-producer frame arena: the byte store behind the
+ * zero-copy wire path.
+ *
+ * A producer encodes each wire frame directly into its own arena and
+ * submits only an (offset, len) descriptor; the consumer decodes the
+ * frame *in place* and then posts a completion. The arena is split
+ * into a small number of equal regions, each with an atomic
+ * in-flight byte counter — the completion-queue doorbell of this
+ * layer:
+ *
+ *   - The producer bump-allocates within the active region (plain
+ *     arithmetic, single-writer, no atomics beyond one relaxed add to
+ *     the region's in-flight counter).
+ *   - The consumer, after it has finished reading a frame's bytes,
+ *     releases them with `complete()` — one fetch_sub(release) on the
+ *     region counter.
+ *   - When the active region is exhausted the producer advances to
+ *     the next region, but only once that region's in-flight counter
+ *     reads zero with acquire order. That acquire/release pair is the
+ *     whole lifetime rule: every consumer read of a region's bytes
+ *     happens-before the producer's next write into that region.
+ *
+ * Regions (rather than a byte-FIFO) make out-of-order completion
+ * free: frames from one producer fan out to different collector
+ * shards and complete in whatever order the drain visits them, and a
+ * counter does not care. The cost is granularity — a region can be
+ * recycled only when *all* its frames have completed — which the
+ * region count keeps small.
+ *
+ * Frames larger than a region take a heap-allocated detour (the
+ * caller keeps the returned pointer and frees it after consumption);
+ * the arena only refuses, never resizes, so the fast path never
+ * allocates.
+ */
+
+#ifndef STM_SUPPORT_FRAME_ARENA_HH
+#define STM_SUPPORT_FRAME_ARENA_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "support/mpsc_ring.hh"
+
+namespace stm
+{
+
+/** Region-recycling bump allocator for in-flight wire frames. */
+class FrameArena
+{
+  public:
+    static constexpr std::size_t kRegions = 4;
+
+    /**
+     * Total arena capacity in bytes, split evenly across kRegions
+     * regions (region size is rounded up to at least 4 KiB).
+     */
+    explicit FrameArena(std::size_t total_bytes)
+        : regionSize_(
+              ((total_bytes / kRegions < 4096 ? 4096
+                                              : total_bytes / kRegions) +
+               63) &
+              ~std::size_t{63}),
+          bytes_(new std::uint8_t[regionSize_ * kRegions])
+    {
+        for (Region &r : regions_)
+            r.inflight.store(0, std::memory_order_relaxed);
+    }
+
+    std::size_t regionSize() const { return regionSize_; }
+
+    /**
+     * Reserve @p len bytes for one frame. Returns the write pointer,
+     * or nullptr when every candidate region still has frames in
+     * flight (arena backpressure: the caller polls completions, waits,
+     * or sheds per its overflow policy) or @p len exceeds a region.
+     * Producer-side only; never blocks.
+     */
+    std::uint8_t *
+    reserve(std::size_t len)
+    {
+        if (len > regionSize_)
+            return nullptr;
+        Region &active = regions_[active_];
+        if (bump_ + len <= regionSize_) {
+            std::uint8_t *p =
+                bytes_.get() + active_ * regionSize_ + bump_;
+            bump_ += len;
+            active.inflight.fetch_add(len, std::memory_order_relaxed);
+            return p;
+        }
+        // Active region exhausted: advance to the next region iff the
+        // consumer has completed every frame in it. The acquire load
+        // pairs with complete()'s release so recycled bytes are never
+        // written while still being read.
+        std::size_t next = (active_ + 1) % kRegions;
+        if (regions_[next].inflight.load(std::memory_order_acquire) !=
+            0) {
+            return nullptr;
+        }
+        active_ = next;
+        bump_ = 0;
+        return reserve(len);
+    }
+
+    /**
+     * Roll back the most recent reserve() (duplicate suppressed, ring
+     * rejected the descriptor). LIFO only; producer-side only.
+     */
+    void
+    unreserve(std::uint8_t *p, std::size_t len)
+    {
+        bump_ -= len;
+        (void)p;
+        regions_[active_].inflight.fetch_sub(
+            len, std::memory_order_relaxed);
+    }
+
+    /**
+     * Completion doorbell: the consumer is done reading @p len bytes
+     * at @p p. Safe from exactly one consumer thread concurrently
+     * with the producer.
+     */
+    void
+    complete(const std::uint8_t *p, std::size_t len)
+    {
+        std::size_t region =
+            static_cast<std::size_t>(p - bytes_.get()) / regionSize_;
+        regions_[region].inflight.fetch_sub(
+            len, std::memory_order_release);
+    }
+
+    /** True iff @p p points into this arena's bytes. */
+    bool
+    owns(const std::uint8_t *p) const
+    {
+        return p >= bytes_.get() &&
+               p < bytes_.get() + regionSize_ * kRegions;
+    }
+
+    /** Bytes currently reserved and not yet completed (approximate). */
+    std::size_t
+    inflightBytes() const
+    {
+        std::size_t total = 0;
+        for (const Region &r : regions_)
+            total += r.inflight.load(std::memory_order_relaxed);
+        return total;
+    }
+
+  private:
+    struct Region
+    {
+        alignas(kCacheLineSize) std::atomic<std::size_t> inflight;
+    };
+
+    std::size_t regionSize_;
+    std::unique_ptr<std::uint8_t[]> bytes_;
+    Region regions_[kRegions];
+    /** Producer-private cursor: active region and offset within it. */
+    std::size_t active_ = 0;
+    std::size_t bump_ = 0;
+};
+
+} // namespace stm
+
+#endif // STM_SUPPORT_FRAME_ARENA_HH

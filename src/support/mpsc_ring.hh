@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Fixed-slot lock-free multi-producer / single-consumer ring, the
+ * submission-queue half of an NVMe-style SQ/CQ pair.
+ *
+ * The shape is the classic bounded sequence ring (Vyukov): a
+ * power-of-two array of slots, each carrying a sequence number that
+ * doubles as the wrap-aware doorbell for that slot, plus a producer
+ * tail ticket and a consumer head ticket on their own cache lines.
+ *
+ *   - A producer claims a ticket with one CAS on the tail, writes the
+ *     record into its slot, and "rings the doorbell" by storing the
+ *     published sequence into the slot with release order. No mutex,
+ *     no wait: a full ring fails the push immediately and the caller
+ *     applies its overflow policy.
+ *   - The single consumer polls the head slot's sequence with acquire
+ *     order; the published value means the record is ready, so the
+ *     consumer reads it and recycles the slot to the sequence the
+ *     producer of the *next* lap expects to find. Batched draining is
+ *     just this in a loop.
+ *
+ * Sequence encoding: slot states are spread on the even/odd number
+ * line — `2*ticket` = free for `ticket`, `2*ticket + 1` = published
+ * by `ticket`, recycled to `2*(ticket + capacity)`. The classic
+ * `ticket + 1` encoding collides at capacity 1 (published-by-T equals
+ * free-for-T+1 on the same slot, so a second push would overwrite an
+ * unconsumed record); doubling makes the three states distinct at
+ * every power-of-two capacity, including 1. Wrap-around never
+ * compares indices directly: all comparisons are signed differences
+ * of the monotonically increasing sequences, so the ring is correct
+ * across 2^63 operations.
+ *
+ * Memory-order argument (the doorbell handshake):
+ *   - producer: slot write -> seq.store(publish, release). The
+ *     consumer's seq.load(acquire) that observes the published
+ *     sequence therefore happens-after the record write: the consumer
+ *     never reads a half-written record.
+ *   - consumer: record read -> seq.store(recycle, release). The
+ *     next-lap producer's seq.load(acquire) that observes the
+ *     recycled sequence happens-after the consumer's read: a producer
+ *     never overwrites a record still being consumed.
+ *   - tail CAS is acq_rel so ticket claims are totally ordered; head
+ *     is written only by the consumer (a relaxed store suffices, it is
+ *     re-read only by the consumer and by approximate size()).
+ */
+
+#ifndef STM_SUPPORT_MPSC_RING_HH
+#define STM_SUPPORT_MPSC_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+
+namespace stm
+{
+
+/** Destructive-interference padding for hot atomics. */
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/** Round @p n up to the next power of two (min 1). */
+constexpr std::size_t
+ceilPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/** Relaxed atomic max: raise @p target to at least @p value. */
+inline void
+atomicMax(std::atomic<std::uint64_t> &target, std::uint64_t value)
+{
+    std::uint64_t cur = target.load(std::memory_order_relaxed);
+    while (cur < value &&
+           !target.compare_exchange_weak(cur, value,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+/**
+ * Bounded lock-free MPSC ring of trivially-copyable records.
+ *
+ * Producers: any number of threads may tryPush() concurrently.
+ * Consumer: exactly one thread at a time may tryPop() / size-advance;
+ * the owner serializes drains (the fleet Collector holds a drain-side
+ * mutex around whole batches, never around single records).
+ */
+template <typename T>
+class MpscRing
+{
+  public:
+    /** @p capacity is rounded up to a power of two (min 1). */
+    explicit MpscRing(std::size_t capacity)
+        : capacity_(ceilPow2(capacity == 0 ? 1 : capacity)),
+          mask_(capacity_ - 1), slots_(new Slot[capacity_])
+    {
+        for (std::size_t i = 0; i < capacity_; ++i)
+            slots_[i].seq.store(2 * i, std::memory_order_relaxed);
+        tail_.store(0, std::memory_order_relaxed);
+        head_.store(0, std::memory_order_relaxed);
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Publish one record. Returns false when the ring is full (the
+     * caller's overflow policy decides what happens next); never
+     * blocks, never locks, never copies more than the record itself.
+     */
+    bool
+    tryPush(const T &value)
+    {
+        std::uint64_t ticket = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            Slot &slot = slots_[ticket & mask_];
+            std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+            std::int64_t dif = static_cast<std::int64_t>(seq) -
+                               static_cast<std::int64_t>(2 * ticket);
+            if (dif == 0) {
+                if (tail_.compare_exchange_weak(
+                        ticket, ticket + 1,
+                        std::memory_order_acq_rel,
+                        std::memory_order_relaxed)) {
+                    slot.value = value;
+                    slot.seq.store(2 * ticket + 1,
+                                   std::memory_order_release);
+                    return true;
+                }
+                // CAS failure reloaded `ticket`; retry with it.
+            } else if (dif < 0) {
+                // The slot still holds an unconsumed record: full.
+                return false;
+            } else {
+                // Another producer claimed this ticket; chase the tail.
+                ticket = tail_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /**
+     * Consume the oldest published record. Returns false when the
+     * ring is empty *or* the head record is claimed but not yet
+     * published (the consumer simply retries on its next pass rather
+     * than spinning on a stalled producer). Single consumer only.
+     */
+    bool
+    tryPop(T *out)
+    {
+        std::uint64_t head = head_.load(std::memory_order_relaxed);
+        Slot &slot = slots_[head & mask_];
+        std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+        if (static_cast<std::int64_t>(seq) -
+                static_cast<std::int64_t>(2 * head + 1) !=
+            0) {
+            return false;
+        }
+        *out = slot.value;
+        slot.seq.store(2 * (head + capacity_),
+                       std::memory_order_release);
+        head_.store(head + 1, std::memory_order_relaxed);
+        return true;
+    }
+
+    /**
+     * Records currently in flight (claimed or published). Exact when
+     * producers and consumer are quiescent; a racy estimate otherwise.
+     */
+    std::size_t
+    size() const
+    {
+        std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        std::uint64_t head = head_.load(std::memory_order_relaxed);
+        return tail > head ? static_cast<std::size_t>(tail - head) : 0;
+    }
+
+    bool empty() const { return size() == 0; }
+
+  private:
+    struct Slot
+    {
+        std::atomic<std::uint64_t> seq;
+        T value;
+    };
+
+    std::size_t capacity_;
+    std::size_t mask_;
+    std::unique_ptr<Slot[]> slots_;
+    /** Producer ticket (SQ tail doorbell), alone on its line. */
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> tail_;
+    /** Consumer ticket (SQ head doorbell), alone on its line. */
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> head_;
+    char pad_[kCacheLineSize]{};
+};
+
+} // namespace stm
+
+#endif // STM_SUPPORT_MPSC_RING_HH

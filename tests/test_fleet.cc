@@ -215,6 +215,143 @@ TEST(WireFormat, FingerprintIsCanonicalAndSensitive)
               fleet::fingerprint(differentLabel));
 }
 
+// ---- zero-copy frame views ----------------------------------------------
+
+TEST(WireFormat, ViewAliasesTheFrameAndMaterializesEqually)
+{
+    Pcg32 rng(31);
+    for (int i = 0; i < 200; ++i) {
+        RunProfile p = randomProfile(rng);
+        std::vector<std::uint8_t> wire = fleet::serialize(p);
+        fleet::RunProfileView v;
+        ASSERT_EQ(
+            fleet::decodeFrameView(wire.data(), wire.size(), &v),
+            WireStatus::Ok)
+            << "profile " << i;
+        // Zero copy: the view's payload IS the frame's payload bytes.
+        EXPECT_EQ(v.payload(), wire.data() + fleet::kWireHeaderSize);
+        EXPECT_EQ(v.payloadSize(),
+                  wire.size() - fleet::kWireHeaderSize);
+        EXPECT_EQ(v.machineId(), p.machineId);
+        EXPECT_EQ(v.runSeed(), p.runSeed);
+        EXPECT_EQ(v.bugId(), p.bugId);
+        EXPECT_EQ(v.failure(), p.failure);
+        EXPECT_EQ(v.kind(), p.kind);
+        EXPECT_EQ(v.site(), p.site);
+        EXPECT_EQ(v.thread(), p.thread);
+        EXPECT_EQ(v.step(), p.step);
+        ASSERT_EQ(v.lbrSize(), p.lbr.size());
+        for (std::size_t r = 0; r < p.lbr.size(); ++r)
+            EXPECT_EQ(v.lbr(r), p.lbr[r]) << "lbr record " << r;
+        ASSERT_EQ(v.lcrSize(), p.lcr.size());
+        for (std::size_t r = 0; r < p.lcr.size(); ++r)
+            EXPECT_EQ(v.lcr(r), p.lcr[r]) << "lcr record " << r;
+        EXPECT_EQ(v.materialize(), p);
+    }
+}
+
+TEST(WireFormat, ViewStatusMatchesDeserializeOnEveryTruncation)
+{
+    Pcg32 rng(32);
+    RunProfile p = randomProfile(rng);
+    std::vector<std::uint8_t> wire = fleet::serialize(p);
+    for (std::size_t len = 0; len <= wire.size(); ++len) {
+        RunProfile q;
+        fleet::RunProfileView v;
+        // The two decode shapes must agree status-for-status on any
+        // prefix, not merely both reject.
+        EXPECT_EQ(fleet::decodeFrameView(wire.data(), len, &v),
+                  fleet::deserialize(wire.data(), len, &q))
+            << "prefix length " << len;
+    }
+}
+
+TEST(WireFormat, ViewStatusMatchesDeserializeOnEveryByteCorruption)
+{
+    Pcg32 rng(33);
+    RunProfile p = randomProfile(rng);
+    std::vector<std::uint8_t> wire = fleet::serialize(p);
+    for (std::size_t at = 0; at < wire.size(); ++at) {
+        for (std::uint8_t bit : {0x01, 0x80}) {
+            std::vector<std::uint8_t> bad = wire;
+            bad[at] ^= bit;
+            RunProfile q;
+            fleet::RunProfileView v;
+            WireStatus want =
+                fleet::deserialize(bad.data(), bad.size(), &q);
+            EXPECT_EQ(
+                fleet::decodeFrameView(bad.data(), bad.size(), &v),
+                want)
+                << "byte " << at << " bit " << int(bit);
+        }
+    }
+    // And on trailing garbage, for completeness of the partition.
+    std::vector<std::uint8_t> trailing = wire;
+    trailing.push_back(0);
+    fleet::RunProfileView v;
+    EXPECT_EQ(fleet::decodeFrameView(trailing.data(),
+                                     trailing.size(), &v),
+              WireStatus::Malformed);
+}
+
+TEST(WireFormat, TrustedDecodeSkipsCrcButKeepsBounds)
+{
+    Pcg32 rng(34);
+    RunProfile p = randomProfile(rng);
+    p.bugId = "trusted-path";
+    std::vector<std::uint8_t> wire = fleet::serialize(p);
+    // Flip a bugId byte: structure-neutral, so the trusted decode
+    // (re-reading bytes the collector's own ingest already validated)
+    // skips the CRC pass and succeeds, while the hostile-input
+    // default still catches the rot.
+    std::vector<std::uint8_t> bad = wire;
+    bad[fleet::kWireHeaderSize + 20] ^= 0x20; // first bugId byte
+    fleet::RunProfileView v;
+    EXPECT_EQ(fleet::decodeFrameView(bad.data(), bad.size(), &v),
+              WireStatus::BadCrc);
+    EXPECT_EQ(fleet::decodeFrameView(bad.data(), bad.size(), &v,
+                                     /*trusted=*/true),
+              WireStatus::Ok);
+    // Structural bounds stay enforced even when trusted: a truncated
+    // frame can never be misread.
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+        EXPECT_NE(fleet::decodeFrameView(wire.data(), len, &v,
+                                         /*trusted=*/true),
+                  WireStatus::Ok)
+            << "prefix length " << len;
+    }
+}
+
+TEST(WireFormat, SerializeIntoMatchesSerialize)
+{
+    Pcg32 rng(35);
+    for (int i = 0; i < 100; ++i) {
+        RunProfile p = randomProfile(rng);
+        std::vector<std::uint8_t> wire = fleet::serialize(p);
+        ASSERT_EQ(fleet::encodedFrameSize(p), wire.size());
+        std::vector<std::uint8_t> direct(wire.size(), 0xAA);
+        EXPECT_EQ(fleet::serializeInto(p, direct.data()),
+                  wire.size());
+        EXPECT_EQ(direct, wire) << "profile " << i;
+    }
+}
+
+TEST(WireFormat, PayloadFingerprintMatchesProfileFingerprint)
+{
+    // The collector hashes the encoded payload bytes directly (one
+    // walk, no re-encode); that must be the canonical fingerprint.
+    Pcg32 rng(36);
+    for (int i = 0; i < 100; ++i) {
+        RunProfile p = randomProfile(rng);
+        std::vector<std::uint8_t> wire = fleet::serialize(p);
+        EXPECT_EQ(fleet::fingerprintPayload(
+                      wire.data() + fleet::kWireHeaderSize,
+                      wire.size() - fleet::kWireHeaderSize),
+                  fleet::fingerprint(p))
+            << "profile " << i;
+    }
+}
+
 // ---- collector ----------------------------------------------------------
 
 TEST(Collector, AcceptsAndDrainsInArrivalOrderPerShard)
@@ -481,6 +618,107 @@ streamRank(const std::vector<RunProfile> &reports, bool absence,
     collector.drainInto(
         [&](RunProfile &&p) { ranker.ingest(p); });
     return ranker.rank(absence);
+}
+
+TEST(Collector, SubmitSharesDedupWithTheWirePath)
+{
+    // submit() (the zero-copy producer path) and ingest() (the wire
+    // path) must land in the same fingerprint space: the same report
+    // is a duplicate no matter which door it arrives through.
+    Collector collector;
+    Pcg32 rng(51);
+    RunProfile p = randomProfile(rng);
+    EXPECT_EQ(collector.submit(p), IngestStatus::Accepted);
+    EXPECT_EQ(collector.ingest(fleet::serialize(p)),
+              IngestStatus::Duplicate);
+    EXPECT_EQ(collector.submit(p), IngestStatus::Duplicate);
+    std::vector<RunProfile> out = collector.drain();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], p);
+    EXPECT_EQ(collector.stats().value("duplicates"), 2u);
+}
+
+TEST(Collector, DrainViewsDecodesEveryFrameInPlace)
+{
+    CollectorOptions opts;
+    opts.shards = 4;
+    Collector collector(opts);
+    Pcg32 rng(52);
+    std::vector<RunProfile> sent;
+    for (int i = 0; i < 64; ++i) {
+        sent.push_back(randomProfile(rng));
+        ASSERT_EQ(collector.submit(sent.back()),
+                  IngestStatus::Accepted);
+    }
+    EXPECT_EQ(collector.queued(), sent.size());
+    std::vector<RunProfile> got;
+    collector.drainViews([&](const fleet::RunProfileView &v) {
+        got.push_back(v.materialize());
+    });
+    EXPECT_EQ(collector.queued(), 0u);
+    ASSERT_EQ(got.size(), sent.size());
+    // Shards interleave, so compare as multisets (by fingerprint).
+    auto byFingerprint = [](const RunProfile &a, const RunProfile &b) {
+        return fleet::fingerprint(a) < fleet::fingerprint(b);
+    };
+    std::sort(sent.begin(), sent.end(), byFingerprint);
+    std::sort(got.begin(), got.end(), byFingerprint);
+    EXPECT_EQ(got, sent);
+    EXPECT_EQ(collector.stats().value("drained"), sent.size());
+}
+
+TEST(Collector, OversizeFramesTakeTheHeapDetour)
+{
+    // An arena region is at least 4 KiB; a frame bigger than that
+    // must fall back to a heap allocation — never trip the overflow
+    // policy, never be refused.
+    CollectorOptions opts;
+    opts.shards = 1;
+    opts.arenaBytes = 4096; // region size bottoms out at 4096
+    Collector collector(opts);
+    Pcg32 rng(53);
+    RunProfile big = randomProfile(rng);
+    big.kind = ProfileKind::Lbr;
+    big.lcr.clear();
+    BranchRecord proto;
+    proto.fromIp = layout::codeAddr(1);
+    proto.toIp = layout::codeAddr(2);
+    proto.kind = static_cast<BranchKind>(1);
+    proto.kernel = false;
+    proto.srcBranch = kNoSourceBranch;
+    proto.outcome = true;
+    while (fleet::encodedFrameSize(big) <= 4096)
+        big.lbr.push_back(proto);
+    ASSERT_EQ(collector.submit(big), IngestStatus::Accepted);
+    std::vector<RunProfile> out = collector.drain();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], big);
+    // An undrained heap frame at destruction must not leak (the
+    // ASan lane watches this path).
+    RunProfile second = big;
+    second.machineId ^= 0x5A5A;
+    ASSERT_EQ(collector.submit(second), IngestStatus::Accepted);
+}
+
+TEST(Collector, DroppedFingerprintStaysSuppressed)
+{
+    CollectorOptions opts;
+    opts.shards = 1;
+    opts.shardCapacity = 1;
+    opts.overflow = OverflowPolicy::Drop;
+    Collector collector(opts);
+    Pcg32 rng(54);
+    RunProfile a = randomProfile(rng);
+    RunProfile b = randomProfile(rng);
+    EXPECT_EQ(collector.submit(a), IngestStatus::Accepted);
+    EXPECT_EQ(collector.submit(b), IngestStatus::Dropped);
+    EXPECT_EQ(collector.drain().size(), 1u);
+    // The dropped report's fingerprint stays in `seen`: a
+    // retransmission after a shed is a duplicate, not a second
+    // chance — exactly the old queue's accounting.
+    EXPECT_EQ(collector.submit(b), IngestStatus::Duplicate);
+    EXPECT_EQ(collector.stats().value("dropped"), 1u);
+    EXPECT_EQ(collector.stats().value("duplicates"), 1u);
 }
 
 TEST(IncrementalRanker, CacheInvalidatesOnIngest)

@@ -37,6 +37,7 @@ struct CliOptions
     bool conf1 = false;
     bool drop = false;
     std::size_t capacity = 4096;
+    std::size_t arenaMb = 1;
     std::uint32_t duplicateEvery = 3;
     std::uint32_t corruptEvery = 5;
     std::size_t top = 5;
@@ -57,7 +58,12 @@ usage()
            "(default 10)\n"
         << "  --entries N       LBR/LCR record depth (default 16)\n"
         << "  --conf1           space-saving LCR configuration\n"
-        << "  --capacity N      per-shard queue bound (default 4096)\n"
+        << "  --ring-slots N    per-shard submission-ring slots, "
+           "rounded\n"
+           "                    up to a power of two (default 4096)\n"
+        << "  --capacity N      alias for --ring-slots (legacy name)\n"
+        << "  --arena-mb N      per-producer frame arena size in MiB "
+           "(default 1)\n"
         << "  --drop            shed load when a shard is full "
            "(default: block)\n"
         << "  --dup-every N     retransmit every N-th frame "
@@ -104,8 +110,11 @@ try {
                 return false;
         } else if (arg == "--conf1") {
             out->conf1 = true;
-        } else if (arg == "--capacity") {
+        } else if (arg == "--capacity" || arg == "--ring-slots") {
             if (!numeric(&out->capacity))
+                return false;
+        } else if (arg == "--arena-mb") {
+            if (!numeric(&out->arenaMb))
                 return false;
         } else if (arg == "--drop") {
             out->drop = true;
@@ -201,6 +210,7 @@ main(int argc, char **argv)
     copts.shards = opts.shards;
     copts.shardCapacity = opts.shardCapacity;
     copts.overflow = opts.overflow;
+    copts.arenaBytes = cli.arenaMb << 20;
     fleet::Collector collector(copts);
 
     std::cout << "fleet collection: " << cli.machines
