@@ -24,6 +24,21 @@
  * standard way to measure the machine rather than its neighbors);
  * --jobs is accepted for symmetry with the other benches but the
  * measurement itself is single-run (serial) by design.
+ *
+ * Dispatch A/B: --dispatch threaded|switch|ab selects the interpreter
+ * loop (threaded = computed goto where compiled in, switch = portable
+ * fallback). "ab" times every workload under both and adds a switch
+ * column plus per-workload speedup; the JSON gains ips_switch fields.
+ * Every mode also reports the superinstruction hit rate per workload
+ * (share of retired instructions executed inside a fused pair).
+ *
+ * Profiling: --pair-histogram FILE skips the bench and instead runs
+ * the full corpus registry under golden-style configurations with
+ * opcode-pair profiling on (switch loop, unfused streams), then
+ * writes the aggregate statically-adjacent opcode-pair histogram to
+ * FILE. This is the data the superinstruction selection table in
+ * vm/decoded_program.cc was chosen from (DESIGN.md §13); CI uploads
+ * the artifact so the selection stays auditable.
  */
 
 #include <chrono>
@@ -63,13 +78,34 @@ struct WorkloadResult
     std::uint64_t runs = 0;
     std::uint64_t instructions = 0;
     std::uint64_t steps = 0;
+    std::uint64_t fusedPairs = 0;
     double wallSec = 0.0;
+    /** Filled only in --dispatch ab mode. */
+    double wallSecSwitch = 0.0;
 
     double
     ips() const
     {
         return wallSec > 0.0
                    ? static_cast<double>(instructions) / wallSec
+                   : 0.0;
+    }
+
+    double
+    ipsSwitch() const
+    {
+        return wallSecSwitch > 0.0
+                   ? static_cast<double>(instructions) / wallSecSwitch
+                   : 0.0;
+    }
+
+    /** Share of retired steps executed inside a superinstruction. */
+    double
+    superHitRate() const
+    {
+        return steps > 0
+                   ? static_cast<double>(2 * fusedPairs) /
+                         static_cast<double>(steps)
                    : 0.0;
     }
 };
@@ -113,16 +149,22 @@ instrument(BugSpec &bug, const std::string &kind)
 
 WorkloadResult
 timeWorkloadOnce(const BugSpec &bug, const WorkloadSpec &spec,
-                 std::uint64_t runs)
+                 std::uint64_t runs, DispatchMode mode)
 {
     const Workload &w = spec.failing ? bug.failing : bug.succeeding;
 
     WorkloadResult out;
     out.name = spec.name;
     out.runs = runs;
+    // fusedPairs lives in the process-wide vm stat group (it is
+    // Machine-internal, not part of the observable RunResult); take
+    // it as a delta around the timed loop.
+    const std::uint64_t fusedBefore = vmStats().value("fused_pairs");
     auto start = std::chrono::steady_clock::now();
     for (std::uint64_t i = 0; i < runs; ++i) {
-        Machine machine(bug.program, w.forRun(i));
+        MachineOptions opts = w.forRun(i);
+        opts.dispatch = mode;
+        Machine machine(bug.program, opts);
         RunResult r = machine.run();
         out.instructions += r.stats.userInstructions +
                             r.stats.kernelInstructions +
@@ -132,6 +174,7 @@ timeWorkloadOnce(const BugSpec &bug, const WorkloadSpec &spec,
     std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
     out.wallSec = elapsed.count();
+    out.fusedPairs = vmStats().value("fused_pairs") - fusedBefore;
     return out;
 }
 
@@ -142,14 +185,14 @@ timeWorkloadOnce(const BugSpec &bug, const WorkloadSpec &spec,
  */
 WorkloadResult
 timeWorkload(const WorkloadSpec &spec, std::uint64_t runs,
-             std::uint64_t repeats)
+             std::uint64_t repeats, DispatchMode mode)
 {
     BugSpec bug = corpus::bugById(spec.bugId);
     instrument(bug, spec.instrument);
 
     WorkloadResult best;
     for (std::uint64_t rep = 0; rep < repeats; ++rep) {
-        WorkloadResult r = timeWorkloadOnce(bug, spec, runs);
+        WorkloadResult r = timeWorkloadOnce(bug, spec, runs, mode);
         if (rep == 0 || r.wallSec < best.wallSec)
             best = r;
     }
@@ -180,7 +223,8 @@ slurp(const std::string &path)
 void
 writeJson(const std::string &path,
           const std::vector<WorkloadResult> &results,
-          const WorkloadResult &aggregate, double baselineIps)
+          const WorkloadResult &aggregate, double baselineIps,
+          bool abMode)
 {
     std::ofstream os(path);
     os << std::fixed;
@@ -190,24 +234,43 @@ writeJson(const std::string &path,
         os.precision(6);
         os << "    {\"name\": \"" << r.name << "\", \"runs\": "
            << r.runs << ", \"instructions\": " << r.instructions
-           << ", \"steps\": " << r.steps << ", \"wall_sec\": "
-           << r.wallSec << ", \"ips\": ";
+           << ", \"steps\": " << r.steps << ", \"fused_pairs\": "
+           << r.fusedPairs << ", \"super_hit_rate\": ";
+        os.precision(4);
+        os << r.superHitRate();
+        os.precision(6);
+        os << ", \"wall_sec\": " << r.wallSec << ", \"ips\": ";
         os.precision(0);
-        os << r.ips() << "}" << (i + 1 < results.size() ? "," : "")
-           << "\n";
+        os << r.ips();
+        if (abMode) {
+            os << ", \"ips_switch\": " << r.ipsSwitch();
+        }
+        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os.precision(6);
     os << "  ],\n  \"aggregate\": {\"instructions\": "
        << aggregate.instructions << ", \"steps\": " << aggregate.steps
-       << ", \"wall_sec\": " << aggregate.wallSec
+       << ", \"fused_pairs\": " << aggregate.fusedPairs
+       << ", \"super_hit_rate\": ";
+    os.precision(4);
+    os << aggregate.superHitRate();
+    os.precision(6);
+    os << ", \"wall_sec\": " << aggregate.wallSec
        << ", \"aggregate_ips\": ";
     os.precision(0);
     os << aggregate.ips() << ", \"steps_per_sec\": "
        << (aggregate.wallSec > 0.0
                ? static_cast<double>(aggregate.steps) /
                      aggregate.wallSec
-               : 0.0)
-       << "}";
+               : 0.0);
+    if (abMode) {
+        os << ", \"aggregate_ips_switch\": "
+           << (aggregate.wallSecSwitch > 0.0
+                   ? static_cast<double>(aggregate.instructions) /
+                         aggregate.wallSecSwitch
+                   : 0.0);
+    }
+    os << "}";
     if (baselineIps > 0.0) {
         os << ",\n  \"baseline_ips\": " << baselineIps;
         os.precision(3);
@@ -215,6 +278,81 @@ writeJson(const std::string &path,
            << aggregate.ips() / baselineIps;
     }
     os << "\n}\n";
+}
+
+/**
+ * --pair-histogram mode: full corpus registry under the golden-style
+ * configurations with opcode-pair profiling on. Writes the aggregate
+ * histogram (statically adjacent pairs only, descending) to @p path.
+ */
+int
+runPairHistogram(const std::string &path)
+{
+    setOpcodePairProfiling(true);
+    resetOpcodePairHistogram();
+
+    std::vector<BugSpec> bugs = corpus::allBugs();
+    std::vector<BugSpec> micro = corpus::microBugs();
+    bugs.insert(bugs.end(), micro.begin(), micro.end());
+
+    std::uint64_t runsDone = 0;
+    for (BugSpec &bug : bugs) {
+        // Mirror the golden-determinism configurations: bare fail and
+        // succeed, the log plan (LBR for sequential, LCR for
+        // concurrent), and CBI for sequential entries.
+        std::vector<std::string> kinds = {"", "bare-succ",
+                                          bug.isConcurrent ? "lcrlog"
+                                                           : "lbrlog"};
+        if (!bug.isConcurrent)
+            kinds.push_back("cbi");
+        for (const std::string &kind : kinds) {
+            bool succeeding = kind == "bare-succ";
+            instrument(bug, succeeding ? "" : kind);
+            const Workload &w =
+                succeeding ? bug.succeeding : bug.failing;
+            Machine machine(bug.program, w.forRun(0));
+            machine.run();
+            ++runsDone;
+        }
+    }
+    setOpcodePairProfiling(false);
+
+    std::vector<OpcodePairCount> rows = opcodePairHistogram(40);
+    std::uint64_t total = 0;
+    for (const auto &row : opcodePairHistogram())
+        total += row.count;
+
+    std::cout << "opcode-pair histogram over " << runsDone
+              << " corpus runs (" << total
+              << " statically adjacent pairs)\n\n"
+              << cell("first", 10) << cell("second", 10)
+              << cell("count", 12) << cell("share", 8) << '\n';
+    std::ofstream os(path);
+    os << "{\n  \"runs\": " << runsDone << ",\n  \"total_pairs\": "
+       << total << ",\n  \"pairs\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const OpcodePairCount &row = rows[i];
+        double share =
+            total > 0 ? static_cast<double>(row.count) /
+                            static_cast<double>(total)
+                      : 0.0;
+        if (i < 15) {
+            std::ostringstream sh;
+            sh << std::fixed << std::setprecision(3) << share;
+            std::cout << cell(opcodeName(row.first), 10)
+                      << cell(opcodeName(row.second), 10)
+                      << cell(std::to_string(row.count), 12)
+                      << cell(sh.str(), 8) << '\n';
+        }
+        os << "    {\"first\": \"" << opcodeName(row.first)
+           << "\", \"second\": \"" << opcodeName(row.second)
+           << "\", \"count\": " << row.count << ", \"share\": "
+           << std::fixed << std::setprecision(4) << share << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "(written to " << path << ")\n";
+    return 0;
 }
 
 } // namespace
@@ -228,6 +366,8 @@ main(int argc, char **argv)
     std::string outPath = "BENCH_vm_throughput.json";
     std::string baselinePath;
     std::string floorPath;
+    std::string dispatchArg = "threaded";
+    std::string histogramPath;
     for (int i = 1; i + 1 < argc; ++i) {
         if (!std::strcmp(argv[i], "--runs"))
             runs = std::strtoull(argv[i + 1], nullptr, 10);
@@ -239,36 +379,83 @@ main(int argc, char **argv)
             baselinePath = argv[i + 1];
         else if (!std::strcmp(argv[i], "--check-floor"))
             floorPath = argv[i + 1];
+        else if (!std::strcmp(argv[i], "--dispatch"))
+            dispatchArg = argv[i + 1];
+        else if (!std::strcmp(argv[i], "--pair-histogram"))
+            histogramPath = argv[i + 1];
+    }
+
+    if (!histogramPath.empty())
+        return runPairHistogram(histogramPath);
+
+    const bool abMode = dispatchArg == "ab";
+    DispatchMode primary = DispatchMode::Threaded;
+    if (dispatchArg == "switch")
+        primary = DispatchMode::Switch;
+    else if (dispatchArg != "threaded" && !abMode) {
+        std::cerr << "error: --dispatch must be threaded, switch, or "
+                     "ab (got '"
+                  << dispatchArg << "')\n";
+        return 2;
     }
 
     if (repeats == 0)
         repeats = 1;
     std::cout << "Single-run interpreter throughput (mixed corpus, "
               << runs << " runs per workload, best of " << repeats
-              << ")\n\n"
+              << ", dispatch " << dispatchArg;
+    if (primary != DispatchMode::Switch &&
+        !threadedDispatchAvailable()) {
+        std::cout << " -> switch: threaded not compiled in";
+    }
+    std::cout << ")\n\n"
               << cell("workload", 26) << cell("runs", 7)
               << cell("Minstr", 9) << cell("wall s", 9)
-              << cell("Minstr/s", 10) << '\n';
+              << cell("Minstr/s", 10) << cell("super%", 8);
+    if (abMode)
+        std::cout << cell("sw Mi/s", 9) << cell("thr/sw", 8);
+    std::cout << '\n';
 
     resetVmStats();
     std::vector<WorkloadResult> results;
     WorkloadResult aggregate;
     aggregate.name = "aggregate";
     for (const WorkloadSpec &spec : mixedCorpus()) {
-        WorkloadResult r = timeWorkload(spec, runs, repeats);
-        std::ostringstream mi, ws, ips;
+        WorkloadResult r = timeWorkload(spec, runs, repeats, primary);
+        if (abMode) {
+            WorkloadResult rs =
+                timeWorkload(spec, runs, repeats,
+                             DispatchMode::Switch);
+            r.wallSecSwitch = rs.wallSec;
+        }
+        std::ostringstream mi, ws, ips, sup;
         mi << std::fixed << std::setprecision(1)
            << static_cast<double>(r.instructions) / 1e6;
         ws << std::fixed << std::setprecision(3) << r.wallSec;
         ips << std::fixed << std::setprecision(1) << r.ips() / 1e6;
+        sup << std::fixed << std::setprecision(1)
+            << 100.0 * r.superHitRate();
         std::cout << cell(r.name, 26)
                   << cell(std::to_string(r.runs), 7)
                   << cell(mi.str(), 9) << cell(ws.str(), 9)
-                  << cell(ips.str(), 10) << '\n';
+                  << cell(ips.str(), 10) << cell(sup.str(), 8);
+        if (abMode) {
+            std::ostringstream sw, sp;
+            sw << std::fixed << std::setprecision(1)
+               << r.ipsSwitch() / 1e6;
+            sp << std::fixed << std::setprecision(2)
+               << (r.wallSecSwitch > 0.0 && r.wallSec > 0.0
+                       ? r.wallSecSwitch / r.wallSec
+                       : 0.0);
+            std::cout << cell(sw.str(), 9) << cell(sp.str(), 8);
+        }
+        std::cout << '\n';
         aggregate.runs += r.runs;
         aggregate.instructions += r.instructions;
         aggregate.steps += r.steps;
+        aggregate.fusedPairs += r.fusedPairs;
         aggregate.wallSec += r.wallSec;
+        aggregate.wallSecSwitch += r.wallSecSwitch;
         results.push_back(std::move(r));
     }
 
@@ -277,11 +464,27 @@ main(int argc, char **argv)
               << static_cast<double>(aggregate.steps) / 1e6 /
                      aggregate.wallSec
               << " Msteps/s) over " << aggregate.runs << " runs\n";
+    if (abMode) {
+        std::cout << "aggregate (switch dispatch): "
+                  << (aggregate.wallSecSwitch > 0.0
+                          ? static_cast<double>(
+                                aggregate.instructions) /
+                                aggregate.wallSecSwitch / 1e6
+                          : 0.0)
+                  << " Minstr/s, threaded speedup "
+                  << (aggregate.wallSec > 0.0
+                          ? aggregate.wallSecSwitch /
+                                aggregate.wallSec
+                          : 0.0)
+                  << "x\n";
+    }
     std::cout << "vm fast-path: mru-hit-rate "
               << std::setprecision(3)
               << vmStats().gaugeValue("mru_hit_rate")
               << ", page-fast-rate "
-              << vmStats().gaugeValue("mem_fast_rate") << '\n';
+              << vmStats().gaugeValue("mem_fast_rate")
+              << ", super-hit-rate " << aggregate.superHitRate()
+              << '\n';
 
     double baselineIps = 0.0;
     if (!baselinePath.empty()) {
@@ -294,7 +497,7 @@ main(int argc, char **argv)
         }
     }
 
-    writeJson(outPath, results, aggregate, baselineIps);
+    writeJson(outPath, results, aggregate, baselineIps, abMode);
     std::cout << "(written to " << outPath << ")\n";
 
     if (!floorPath.empty()) {

@@ -58,6 +58,10 @@ enum class Opcode : std::uint8_t {
     Halt,     //!< terminate the whole program normally
 };
 
+/** Number of opcodes (the enum is dense, Nop..Halt). */
+constexpr std::size_t kOpcodeCount =
+    static_cast<std::size_t>(Opcode::Halt) + 1;
+
 /** Comparison condition for Br. */
 enum class Cond : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
 

@@ -241,6 +241,12 @@ traceIdName(TraceId id)
         return "fleet.sq_doorbell";
       case TraceId::FleetCqDoorbell:
         return "fleet.cq_doorbell";
+      case TraceId::VmDecodeHit:
+        return "vm.decode_hit";
+      case TraceId::VmDecodeMiss:
+        return "vm.decode_miss";
+      case TraceId::VmDecodeEvict:
+        return "vm.decode_evict";
     }
     return "unknown";
 }

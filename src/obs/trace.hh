@@ -94,8 +94,12 @@ enum class TraceId : std::uint16_t {
     // fleet ring transport (appended: dump ids above must stay stable)
     FleetSqDoorbell, //!< descriptor published to a shard ring; arg = shard
     FleetCqDoorbell, //!< drain batch completed frames; arg = completed
+    // vm predecode cache (appended: dump ids above must stay stable)
+    VmDecodeHit,   //!< predecoded program served from cache; arg = pcs
+    VmDecodeMiss,  //!< predecode built on miss; arg = pcs
+    VmDecodeEvict, //!< LRU predecode evicted for space; arg = bytes freed
 };
-constexpr std::uint16_t kTraceIdCount = 23;
+constexpr std::uint16_t kTraceIdCount = 26;
 
 /** Human-readable names (used by the Chrome exporter and stats). */
 std::string traceCategoryName(TraceCategory category);

@@ -160,6 +160,29 @@ fingerprintInstrumentation(const Instrumentation &instr)
 }
 
 std::uint64_t
+fingerprintHookTables(const Instrumentation &instr)
+{
+    FingerprintHasher f;
+    hashHookTable(f, instr.before);
+    hashHookTable(f, instr.after);
+    return f.value();
+}
+
+std::uint64_t
+memoizedProgramBaseFingerprint(const Program &prog)
+{
+    std::uint64_t v =
+        prog.baseFpMemo.value.load(std::memory_order_relaxed);
+    if (v != 0)
+        return v;
+    v = fingerprintProgramBase(prog);
+    // A true digest of 0 (p = 2^-64) is simply never memoized; the
+    // value returned stays correct either way.
+    prog.baseFpMemo.value.store(v, std::memory_order_relaxed);
+    return v;
+}
+
+std::uint64_t
 combineFingerprints(std::uint64_t a, std::uint64_t b)
 {
     FingerprintHasher f;

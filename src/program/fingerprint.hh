@@ -106,6 +106,24 @@ std::uint64_t fingerprintProgramBase(const Program &prog);
  */
 std::uint64_t fingerprintInstrumentation(const Instrumentation &instr);
 
+/**
+ * Digest of ONLY the hook side tables of a plan (same canonical pc
+ * order as fingerprintInstrumentation, scalar knobs excluded). This
+ * is the decode-cache key component: the predecoded operand stream
+ * depends on the program and on which pcs carry hooks, but not on
+ * the scalar knobs, so overlay publication during reactive
+ * re-instrumentation re-predecodes only when a hook table actually
+ * changed.
+ */
+std::uint64_t fingerprintHookTables(const Instrumentation &instr);
+
+/**
+ * fingerprintProgramBase() through the Program's memo slot: computed
+ * on first use, O(1) after. Thread-safe (racing computations store
+ * the same pure-function value).
+ */
+std::uint64_t memoizedProgramBaseFingerprint(const Program &prog);
+
 /** Order-sensitive combination of two digests. */
 std::uint64_t combineFingerprints(std::uint64_t a, std::uint64_t b);
 

@@ -49,6 +49,9 @@ Program::rebuildDispatchFlags()
     instrFlags.resize(code.size());
     for (std::size_t i = 0; i < code.size(); ++i)
         instrFlags[i] = dispatchFlagsOf(code[i].op);
+    // The flags are part of the base fingerprint; drop any memo
+    // computed before this (builder re-finalization).
+    baseFpMemo.value.store(0, std::memory_order_relaxed);
 }
 
 const Function *

@@ -12,6 +12,7 @@
 #ifndef STM_PROGRAM_PROGRAM_HH
 #define STM_PROGRAM_PROGRAM_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -188,6 +189,30 @@ class Program
 
     /** Recompute instrFlags from `code` (called by the builder). */
     void rebuildDispatchFlags();
+
+    /**
+     * Memo slot for fingerprintProgramBase (0 = not yet computed).
+     * The base digest is O(program) and hashed once per cache probe
+     * by both the run cache and the decode cache, so
+     * memoizedProgramBaseFingerprint() computes it once per Program.
+     * Safe because nothing mutates a Program after builder
+     * finalization (rebuildDispatchFlags resets the memo as a
+     * belt-and-braces measure). Copies start unmemoized.
+     */
+    struct FingerprintMemo
+    {
+        std::atomic<std::uint64_t> value{0};
+
+        FingerprintMemo() = default;
+        FingerprintMemo(const FingerprintMemo &) noexcept {}
+        FingerprintMemo &
+        operator=(const FingerprintMemo &) noexcept
+        {
+            value.store(0, std::memory_order_relaxed);
+            return *this;
+        }
+    };
+    mutable FingerprintMemo baseFpMemo;
 
     /** Index of function @p fname; panics if absent. */
     const Function &functionByName(const std::string &fname) const;

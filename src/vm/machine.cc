@@ -6,6 +6,7 @@
 #include "driver/kernel_driver.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
+#include "vm/decode_cache.hh"
 #include "vm/vm_stats.hh"
 
 namespace stm
@@ -197,35 +198,24 @@ Machine::initMemoryImage()
 }
 
 void
-Machine::buildDispatchTables()
+Machine::prepareDispatch()
 {
-    const Instrumentation &instr = *instr_;
-    std::size_t n = prog_->code.size();
     code_ = prog_->code.data();
-    codeSize_ = static_cast<std::uint32_t>(n);
-    cciEnabled_ = instr.cciEnabled;
+    codeSize_ = static_cast<std::uint32_t>(prog_->code.size());
+    cciEnabled_ = instr_->cciEnabled;
 
-    if (prog_->instrFlags.size() == n) {
-        execFlags_ = prog_->instrFlags;
-    } else {
-        // Hand-assembled program without builder finalization.
-        execFlags_.resize(n);
-        for (std::size_t i = 0; i < n; ++i)
-            execFlags_[i] = dispatchFlagsOf(code_[i].op);
-    }
-    beforeHooks_.assign(n, nullptr);
-    afterHooks_.assign(n, nullptr);
-    for (const auto &[pc, hooks] : instr.before) {
-        if (pc < n && !hooks.empty()) {
-            beforeHooks_[pc] = &hooks;
-            execFlags_[pc] |= dispatch::kHasBeforeHooks;
-        }
-    }
-    for (const auto &[pc, hooks] : instr.after) {
-        if (pc < n && !hooks.empty()) {
-            afterHooks_[pc] = &hooks;
-            execFlags_[pc] |= dispatch::kHasAfterHooks;
-        }
+    // Pair profiling needs architectural opcodes in retirement order,
+    // so it forces the switch loop over an unfused stream.
+    pairProf_ = opcodePairProfilingEnabled();
+    const bool fuse = opts_.enableSuperinstructions && !pairProf_;
+    decoded_ = globalDecodeCache().acquire(*prog_, *instr_, fuse);
+    dops_ = decoded_->ops.data();
+
+    useThreaded_ = kThreadedDispatchAvailable && !pairProf_ &&
+                   opts_.dispatch != DispatchMode::Switch;
+    if (pairProf_) {
+        pairLocal_ =
+            std::make_unique<std::uint64_t[]>(kOpcodePairTableSize);
     }
 }
 
@@ -336,7 +326,7 @@ Machine::run()
     auto runStart = std::chrono::steady_clock::now();
     obs::TraceSpan runSpan(obs::TraceCategory::Vm, obs::TraceId::VmRun,
                            opts_.sched.seed);
-    buildDispatchTables();
+    prepareDispatch();
     initMemoryImage();
 
     Thread &main = spawnThread(prog_->entry, 0);
@@ -432,13 +422,26 @@ Machine::run()
             .count());
     sample.memAccesses = memory_.accesses();
     sample.memFastHits = memory_.fastHits();
+    sample.fusedPairs = fusedPairs_;
     for (std::uint32_t c = 0; c < bus_.numCores(); ++c) {
         sample.cacheLookups += bus_.cache(c).lookups();
         sample.cacheMruHits += bus_.cache(c).mruHits();
     }
     recordVmRun(sample);
+    if (pairProf_ && pairLocal_)
+        accumulateOpcodePairs(pairLocal_.get());
     runSpan.setArg(steps_);
     return std::move(result_);
+}
+
+Machine::StepStatus
+Machine::stepLimitHang(Thread &t)
+{
+    // Hang: the "paste"-style symptom. Profile whoever runs.
+    profileOnFault(t.id);
+    endRun(RunOutcome::StepLimit, t.id, t.pc, kSegfaultSite,
+           "step limit exceeded (hang)");
+    return StepStatus::RunEnded;
 }
 
 Machine::StepStatus
@@ -448,306 +451,28 @@ Machine::runQuantum(Thread &t, std::uint32_t &quantum_left)
     // span per scheduling quantum, tagged with the running thread.
     obs::TraceSpan quantumSpan(obs::TraceCategory::Vm,
                                obs::TraceId::VmQuantum, t.id);
-    const std::uint64_t maxSteps = opts_.maxSteps;
-    const double preemptProb = opts_.sched.preemptSharedProb;
-    while (true) {
-        if (steps_ >= maxSteps) [[unlikely]] {
-            // Hang: the "paste"-style symptom. Profile whoever runs.
-            profileOnFault(t.id);
-            endRun(RunOutcome::StepLimit, t.id, t.pc, kSegfaultSite,
-                   "step limit exceeded (hang)");
-            return StepStatus::RunEnded;
-        }
-        // The seeded-preemption probe runs inside executeOne (fused
-        // with its pc-bounds check and flags load); armed only when a
-        // preemption could actually land. Re-evaluated every step:
-        // Spawn can raise the thread count mid-quantum.
-        const bool probe = preemptProb > 0.0 && threads_.size() > 1;
-        StepStatus status = executeOne(t, probe);
-        if (status == StepStatus::RunEnded || ended_) [[unlikely]]
-            return StepStatus::RunEnded;
-        if (status == StepStatus::SwitchThread)
-            return StepStatus::SwitchThread;
-        if (--quantum_left == 0)
-            return StepStatus::Continue;
-    }
+#if STM_HAVE_THREADED_DISPATCH
+    if (useThreaded_) [[likely]]
+        return interpretThreaded(t, quantum_left);
+#endif
+    return interpretSwitch(t, quantum_left);
 }
 
-Machine::StepStatus
-Machine::executeOne(Thread &t, bool probe_preempt)
-{
-    if (t.pc >= codeSize_) [[unlikely]] {
-        raiseSegfault(t.id, "execution fell off the code segment");
-        return StepStatus::RunEnded;
-    }
-    std::uint32_t pc = t.pc;
-    const Instruction &inst = code_[pc];
-    const std::uint8_t flags = execFlags_[pc];
+// The interpreter loops themselves: one handler-body template
+// (vm/interp_loop.inc) instantiated for each dispatch mechanism.
+#define STM_INTERP_NAME interpretSwitch
+#define STM_INTERP_THREADED 0
+#include "vm/interp_loop.inc"
+#undef STM_INTERP_NAME
+#undef STM_INTERP_THREADED
 
-    // Seeded preemption right before shared-memory accesses: the
-    // mechanism that makes concurrency bugs manifest (Section 6's
-    // controlled scheduler). Probed before the instruction commits —
-    // and before any hooks — using the precomputed flags byte.
-    if (probe_preempt && (flags & dispatch::kAccessesMemory) &&
-        anyOtherRunnable(t.id)) {
-        Addr ea = static_cast<Addr>(t.regs[inst.ra]);
-        if (flags & dispatch::kMemEaImm)
-            ea += static_cast<Addr>(inst.imm);
-        bool shared = ea >= layout::kGlobalBase &&
-                      ea < layout::kStackBase;
-        if (shared && rng_.nextBool(opts_.sched.preemptSharedProb))
-            return StepStatus::SwitchThread;
-    }
-
-    if (flags & dispatch::kHasBeforeHooks) [[unlikely]] {
-        runHooks(t, *beforeHooks_[pc]);
-        if (ended_)
-            return StepStatus::RunEnded;
-    }
-
-    // steps_ is folded into stats.userInstructions once at the end of
-    // run(); bumping both per retired instruction would double the
-    // hot-loop counter traffic.
-    ++steps_;
-
-    StepStatus status = StepStatus::Continue;
-    auto &regs = t.regs;
-
-    switch (inst.op) {
-      case Opcode::Nop:
-        t.pc = pc + 1;
-        break;
-      case Opcode::Movi:
-        [[likely]] regs[inst.rd] = inst.imm;
-        t.pc = pc + 1;
-        break;
-      case Opcode::Mov:
-        [[likely]] regs[inst.rd] = regs[inst.ra];
-        t.pc = pc + 1;
-        break;
-      case Opcode::Add:
-        [[likely]] regs[inst.rd] = regs[inst.ra] + regs[inst.rb];
-        t.pc = pc + 1;
-        break;
-      case Opcode::Addi:
-        [[likely]] regs[inst.rd] = regs[inst.ra] + inst.imm;
-        t.pc = pc + 1;
-        break;
-      case Opcode::Sub:
-        regs[inst.rd] = regs[inst.ra] - regs[inst.rb];
-        t.pc = pc + 1;
-        break;
-      case Opcode::Mul:
-        regs[inst.rd] = regs[inst.ra] * regs[inst.rb];
-        t.pc = pc + 1;
-        break;
-      case Opcode::Div:
-      case Opcode::Mod:
-        if (regs[inst.rb] == 0) {
-            profileOnFault(t.id);
-            endRun(RunOutcome::ArithmeticFault, t.id, pc,
-                   kSegfaultSite, "division by zero");
-            return StepStatus::RunEnded;
-        }
-        regs[inst.rd] = inst.op == Opcode::Div
-                            ? regs[inst.ra] / regs[inst.rb]
-                            : regs[inst.ra] % regs[inst.rb];
-        t.pc = pc + 1;
-        break;
-      case Opcode::And:
-        regs[inst.rd] = regs[inst.ra] & regs[inst.rb];
-        t.pc = pc + 1;
-        break;
-      case Opcode::Or:
-        regs[inst.rd] = regs[inst.ra] | regs[inst.rb];
-        t.pc = pc + 1;
-        break;
-      case Opcode::Xor:
-        regs[inst.rd] = regs[inst.ra] ^ regs[inst.rb];
-        t.pc = pc + 1;
-        break;
-      case Opcode::Shl:
-        regs[inst.rd] = regs[inst.ra]
-                        << (regs[inst.rb] & 63);
-        t.pc = pc + 1;
-        break;
-      case Opcode::Shr:
-        regs[inst.rd] = regs[inst.ra] >> (regs[inst.rb] & 63);
-        t.pc = pc + 1;
-        break;
-      case Opcode::Not:
-        regs[inst.rd] = ~regs[inst.ra];
-        t.pc = pc + 1;
-        break;
-      case Opcode::Neg:
-        regs[inst.rd] = -regs[inst.ra];
-        t.pc = pc + 1;
-        break;
-      case Opcode::Lea:
-        regs[inst.rd] = static_cast<Word>(
-            prog_->symbols[inst.symId].addr + inst.imm);
-        t.pc = pc + 1;
-        break;
-
-      case Opcode::Load:
-      case Opcode::Store:
-        [[likely]] status = execMemory(t, inst);
-        break;
-
-      // Control flow is handled directly in this switch: a separate
-      // execControl would re-dispatch on the opcode a second time for
-      // ~20% of all retired instructions.
-      case Opcode::Br:
-        if (evalCond(inst.cond, regs[inst.ra], regs[inst.rb])) {
-            retireTakenBranch(t, inst, pc, inst.target);
-            t.pc = inst.target;
-        } else {
-            t.pc = pc + 1;
-        }
-        break;
-      case Opcode::Jmp:
-        retireTakenBranch(t, inst, pc, inst.target);
-        t.pc = inst.target;
-        break;
-      case Opcode::IJmp: {
-        Addr target = static_cast<Addr>(regs[inst.ra]);
-        std::uint32_t idx = static_cast<std::uint32_t>(
-            (target - layout::kCodeBase) / 4);
-        if (target < layout::kCodeBase || idx >= codeSize_) {
-            raiseSegfault(t.id, "indirect jump to invalid address");
-            return StepStatus::RunEnded;
-        }
-        retireTakenBranch(t, inst, pc, idx);
-        t.pc = idx;
-        break;
-      }
-      case Opcode::Call:
-        retireTakenBranch(t, inst, pc, inst.target);
-        t.callStack.push_back(pc + 1);
-        t.pc = inst.target;
-        break;
-      case Opcode::ICall: {
-        Addr target = static_cast<Addr>(regs[inst.ra]);
-        std::uint32_t idx = static_cast<std::uint32_t>(
-            (target - layout::kCodeBase) / 4);
-        if (target < layout::kCodeBase || idx >= codeSize_) {
-            raiseSegfault(t.id, "indirect call to invalid address");
-            return StepStatus::RunEnded;
-        }
-        retireTakenBranch(t, inst, pc, idx);
-        t.callStack.push_back(pc + 1);
-        t.pc = idx;
-        break;
-      }
-      case Opcode::Ret:
-        if (t.callStack.empty()) {
-            // Returning from the thread's entry function.
-            t.state = ThreadState::Done;
-            for (auto &other : threads_) {
-                if (other->state == ThreadState::BlockedOnJoin &&
-                    other->joinTarget == t.id) {
-                    other->state = ThreadState::Ready;
-                }
-            }
-            status = StepStatus::SwitchThread;
-            break;
-        }
-        retireTakenBranch(t, inst, pc, t.callStack.back());
-        t.pc = t.callStack.back();
-        t.callStack.pop_back();
-        break;
-      case Opcode::Halt:
-        endRun(RunOutcome::Completed, t.id, pc, 0, "");
-        return StepStatus::RunEnded;
-
-      case Opcode::Lock:
-      case Opcode::Unlock:
-      case Opcode::Spawn:
-      case Opcode::Join:
-      case Opcode::Yield:
-        status = execSync(t, inst);
-        break;
-
-      case Opcode::Syscall:
-        status = execSyscall(t, inst);
-        break;
-      case Opcode::LibCall:
-        status = execLibCall(t, inst);
-        break;
-
-      case Opcode::LogError: {
-        const LogSiteInfo &site = prog_->logSite(inst.logSite);
-        endRun(RunOutcome::ErrorLogged, t.id, pc, site.id,
-               site.message);
-        return StepStatus::RunEnded;
-      }
-      case Opcode::LogInfo: {
-        // Informational logging: a printf-like library body.
-        const Instrumentation &instrumentation = *instr_;
-        bool togLbr = instrumentation.toggleLbrAroundLibraries;
-        bool togLcr = instrumentation.toggleLcrAroundLibraries;
-        if (togLbr)
-            driver::disableLbr(*this, t.id);
-        if (togLcr)
-            driver::disableLcr(*this, t.id);
-        chargeUser(15);
-        if (!togLbr) {
-            retireLibraryBranch(t.id, libPc(LibFn::Printf, 1),
-                                libPc(LibFn::Printf, 2));
-            retireLibraryBranch(t.id, libPc(LibFn::Printf, 3),
-                                libPc(LibFn::Printf, 1));
-        }
-        if (togLcr)
-            driver::enableLcr(*this, t.id);
-        if (togLbr)
-            driver::enableLbr(*this, t.id);
-        t.pc = pc + 1;
-        break;
-      }
-      case Opcode::Out:
-        result_.output.push_back(regs[inst.ra]);
-        t.pc = pc + 1;
-        break;
-      case Opcode::AssertEq:
-        if (regs[inst.ra] != regs[inst.rb]) {
-            profileOnFault(t.id);
-            endRun(RunOutcome::AssertFailed, t.id, pc, kSegfaultSite,
-                   "assertion failed");
-            return StepStatus::RunEnded;
-        }
-        t.pc = pc + 1;
-        break;
-    }
-
-    if (ended_)
-        return StepStatus::RunEnded;
-
-    if (flags & dispatch::kHasAfterHooks) [[unlikely]] {
-        runHooks(t, *afterHooks_[pc]);
-        if (ended_)
-            return StepStatus::RunEnded;
-    }
-    return status;
-}
-
-Machine::StepStatus
-Machine::execMemory(Thread &t, const Instruction &inst)
-{
-    std::uint32_t pc = t.pc;
-    auto &regs = t.regs;
-    Addr ea = static_cast<Addr>(regs[inst.ra]) +
-              static_cast<Addr>(inst.imm);
-    bool isStore = inst.op == Opcode::Store;
-    Word value = isStore ? regs[inst.rb] : 0;
-    if (!dataAccess(t.id, layout::codeAddr(pc), ea, isStore, &value,
-                    inst.kernel)) {
-        return StepStatus::RunEnded;
-    }
-    if (!isStore)
-        regs[inst.rd] = value;
-    t.pc = pc + 1;
-    return StepStatus::Continue;
-}
+#if STM_HAVE_THREADED_DISPATCH
+#define STM_INTERP_NAME interpretThreaded
+#define STM_INTERP_THREADED 1
+#include "vm/interp_loop.inc"
+#undef STM_INTERP_NAME
+#undef STM_INTERP_THREADED
+#endif
 
 Machine::StepStatus
 Machine::execSync(Thread &t, const Instruction &inst)

@@ -30,6 +30,7 @@
 #include "hw/pmu.hh"
 #include "program/program.hh"
 #include "support/random.hh"
+#include "vm/decoded_program.hh"
 #include "vm/memory_image.hh"
 #include "vm/options.hh"
 #include "vm/run_result.hh"
@@ -48,8 +49,9 @@ class Machine
      * scalar knob from it instead of prog->instrumentation, so one
      * immutable base Program can be shared by concurrent runs under
      * different per-phase plans (see program/transform.hh). The
-     * Machine keeps the shared_ptr alive for the whole run — the
-     * dispatch tables store raw pointers into its hook lists.
+     * Machine keeps the shared_ptr alive for the whole run; the
+     * predecoded stream it dispatches over owns copies of the hook
+     * lists (vm/decoded_program.hh).
      */
     Machine(ProgramPtr prog, MachineOptions opts = {},
             std::shared_ptr<const Instrumentation> overlay = nullptr);
@@ -112,36 +114,49 @@ class Machine
     void initMemoryImage();
 
     /**
-     * Build the per-run dispatch tables: the per-pc flags byte
-     * (Program::instrFlags plus the hook-presence bits) and the
-     * before/after hook side tables, so executeOne never probes the
-     * instrumentation hash maps on the hot path.
+     * Acquire this run's predecoded operand stream from the global
+     * decode cache (built on first use per (program, hook-tables,
+     * fusion) key) and resolve the dispatch mode: token-threaded
+     * computed goto where compiled in and selected, the portable
+     * switch otherwise. Replaces PR 2's per-run dispatch tables —
+     * the flags byte and hook side tables now live inside the shared
+     * DecodedProgram.
      */
-    void buildDispatchTables();
+    void prepareDispatch();
 
     Thread &spawnThread(std::uint32_t entry_pc, Word arg);
 
     /**
      * Interpret @p thread until its quantum expires (returns Continue
      * with @p quantum_left at 0), it blocks/yields/preempts
-     * (SwitchThread), or the run ends (RunEnded). Keeping the
-     * per-step loop here — not in run() — spares the scheduler-level
-     * bookkeeping on every retired instruction.
+     * (SwitchThread), or the run ends (RunEnded). Thin wrapper that
+     * opens the VmQuantum trace span and tail-calls the selected
+     * interpreter loop.
      */
     StepStatus runQuantum(Thread &thread, std::uint32_t &quantum_left);
 
     /**
-     * Interpret one instruction of @p thread. With @p probe_preempt
-     * set (multithreaded run under a seeded scheduler), the
-     * shared-memory preemption probe runs first, fused with the
-     * instruction fetch; a fired probe returns SwitchThread without
-     * committing the instruction.
+     * The two interpreter loops. Both are generated from one handler
+     * include (vm/interp_loop.inc) so their per-instruction semantics
+     * are textually identical: the switch loop is the portable
+     * fallback (and the opcode-pair profiling vehicle); the threaded
+     * loop replicates the dispatch at every handler tail via computed
+     * goto. Bit-identical RunResults by construction, pinned by
+     * test_golden_determinism under both modes.
      */
-    StepStatus executeOne(Thread &thread, bool probe_preempt);
-    StepStatus execMemory(Thread &thread, const Instruction &inst);
+    StepStatus interpretSwitch(Thread &thread,
+                               std::uint32_t &quantum_left);
+#if STM_HAVE_THREADED_DISPATCH
+    StepStatus interpretThreaded(Thread &thread,
+                                 std::uint32_t &quantum_left);
+#endif
+
     StepStatus execSync(Thread &thread, const Instruction &inst);
     StepStatus execSyscall(Thread &thread, const Instruction &inst);
     StepStatus execLibCall(Thread &thread, const Instruction &inst);
+
+    /** Step-limit hang: profile whoever runs and end the run. */
+    StepStatus stepLimitHang(Thread &thread);
 
     void runHooks(Thread &thread, const std::vector<Hook> &hooks);
     void cbiSample(Thread &thread, const Hook &hook);
@@ -150,10 +165,13 @@ class Machine
      * Record one retired taken branch. Inline: called for every taken
      * branch; in the common bare-run case (LBR disabled, BTS off) it
      * reduces to the gate plus one counter bump — building the record
-     * is pointless when both sinks would drop it unexamined.
+     * is pointless when both sinks would drop it unexamined. Takes the
+     * branch metadata as scalars so fused handlers can retire either
+     * half of a pair straight from the DecodedOp fields.
      */
     void
-    retireTakenBranch(Thread &thread, const Instruction &inst,
+    retireTakenBranch(Thread &thread, BranchKind kind, bool kernel,
+                      SourceBranchId src_branch, bool outcome,
                       std::uint32_t from_idx, std::uint32_t to_idx)
     {
         Pmu &pmu = *pmus_[thread.id];
@@ -161,10 +179,10 @@ class Machine
             BranchRecord record;
             record.fromIp = layout::codeAddr(from_idx);
             record.toIp = layout::codeAddr(to_idx);
-            record.kind = inst.branchKind();
-            record.kernel = inst.kernel;
-            record.srcBranch = inst.srcBranch;
-            record.outcome = inst.outcomeWhenTaken;
+            record.kind = kind;
+            record.kernel = kernel;
+            record.srcBranch = src_branch;
+            record.outcome = outcome;
             pmu.retireBranch(record);
             chargeInstrumentation(bts_.retire(thread.id, record));
         }
@@ -196,15 +214,22 @@ class Machine
     MemoryImage memory_;
     Addr heapBrk_ = layout::kHeapBase;
 
-    // ---- hot-path dispatch state (built once per run) ----
-    /** Per-pc flags: Program::instrFlags | hook-presence bits. */
-    std::vector<std::uint8_t> execFlags_;
-    /** Per-pc hook lists (null when the pc carries no hooks). */
-    std::vector<const std::vector<Hook> *> beforeHooks_;
-    std::vector<const std::vector<Hook> *> afterHooks_;
+    // ---- hot-path dispatch state (resolved once per run) ----
+    /** This run's predecoded stream (shared via the decode cache). */
+    DecodedProgramPtr decoded_;
+    /** decoded_->ops.data(), hoisted for the interpreter loops. */
+    const DecodedOp *dops_ = nullptr;
     const Instruction *code_ = nullptr;
     std::uint32_t codeSize_ = 0;
     bool cciEnabled_ = false;
+    /** Superinstruction pairs retired this run (each covers 2 steps). */
+    std::uint64_t fusedPairs_ = 0;
+    /** Dispatch via the computed-goto loop (vs the portable switch). */
+    bool useThreaded_ = false;
+    /** Opcode-pair profiling active: switch loop, unfused stream. */
+    bool pairProf_ = false;
+    /** Local (first, second) opcode histogram when pairProf_. */
+    std::unique_ptr<std::uint64_t[]> pairLocal_;
     /** One past the last mapped global byte (fixed at construction). */
     Addr globalsEnd_ = layout::kGlobalBase;
     /** Bytes of the contiguous live-stack span (threads are dense). */

@@ -33,6 +33,18 @@ struct SchedulerOptions
     std::uint64_t seed = 1;
 };
 
+/**
+ * Interpreter dispatch strategy. Every mode produces bit-identical
+ * RunResults — the threaded and switch loops share one handler-body
+ * include and the golden corpus pins both (test_golden_determinism) —
+ * so the choice is pure mechanism, not semantics.
+ */
+enum class DispatchMode : std::uint8_t {
+    Auto,     //!< threaded where compiled in, else the portable switch
+    Threaded, //!< prefer threaded (falls back if not compiled in)
+    Switch,   //!< force the portable switch loop
+};
+
 /** Full machine configuration for one run. */
 struct MachineOptions
 {
@@ -47,6 +59,16 @@ struct MachineOptions
     /** Per-run overrides of global initial values (workload input). */
     std::vector<std::pair<std::string, std::vector<Word>>>
         globalOverrides;
+
+    /**
+     * Dispatch mechanism knobs. Result-invariant by construction, so
+     * deliberately NOT part of fingerprintMachineOptions(): a run
+     * cached under threaded dispatch may be served to a switch-mode
+     * campaign and vice versa.
+     */
+    DispatchMode dispatch = DispatchMode::Auto;
+    /** Fuse profile-selected superinstructions at predecode time. */
+    bool enableSuperinstructions = true;
 };
 
 } // namespace stm

@@ -203,7 +203,7 @@ applyConfig(BugSpec &bug, Config c)
 }
 
 RunResult
-runConfig(BugSpec &bug, Config c)
+runConfigDispatch(BugSpec &bug, Config c, DispatchMode mode)
 {
     applyConfig(bug, c);
     const Workload &w =
@@ -211,8 +211,16 @@ runConfig(BugSpec &bug, Config c)
     std::uint64_t runIndex = c == Config::LogFail   ? 1
                              : c == Config::CbiFail ? 2
                                                     : 0;
-    Machine machine(bug.program, w.forRun(runIndex));
+    MachineOptions opts = w.forRun(runIndex);
+    opts.dispatch = mode;
+    Machine machine(bug.program, opts);
     return machine.run();
+}
+
+RunResult
+runConfig(BugSpec &bug, Config c)
+{
+    return runConfigDispatch(bug, c, DispatchMode::Auto);
 }
 
 /**
@@ -399,6 +407,38 @@ TEST(GoldenDeterminism, CorpusRunResultsMatchSeedInterpreter)
                 << "no golden fingerprint for " << key;
             EXPECT_EQ(h, it->second)
                 << "RunResult diverged from the seed interpreter for "
+                << key;
+        }
+    }
+}
+
+/**
+ * Dispatch mechanism is pure mechanism: for every corpus entry and
+ * configuration, the token-threaded (computed-goto) interpreter and
+ * the portable switch fallback must produce field-identical
+ * RunResults, and both must land on the seed interpreter's golden
+ * fingerprint. In a -DSTM_THREADED_DISPATCH=OFF build both requests
+ * resolve to the switch loop and the test degenerates to (still
+ * useful) golden re-pinning.
+ */
+TEST(GoldenDeterminism, ThreadedAndSwitchDispatchAreBitIdentical)
+{
+    for (BugSpec &bug : fullRegistry()) {
+        for (Config c : configsFor(bug)) {
+            std::string key = bug.id + "/" + configName(c);
+            RunResult threaded =
+                runConfigDispatch(bug, c, DispatchMode::Threaded);
+            RunResult fallback =
+                runConfigDispatch(bug, c, DispatchMode::Switch);
+            EXPECT_TRUE(threaded == fallback)
+                << "threaded and switch dispatch diverged for " << key;
+            std::uint64_t h = fingerprint(fallback);
+            auto it = kGolden.find(key);
+            ASSERT_NE(it, kGolden.end())
+                << "no golden fingerprint for " << key;
+            EXPECT_EQ(h, it->second)
+                << "switch-dispatch RunResult diverged from the seed "
+                   "interpreter for "
                 << key;
         }
     }
