@@ -57,6 +57,27 @@ class StatisticalRanker
                                   const EventKey &event,
                                   bool absence = false);
 
+    /**
+     * The complete sufficient statistics: everything rank() consumes.
+     * importStats(exportStats()) on a fresh ranker reproduces the
+     * identical ranking (shared shape with the fleet's
+     * IncrementalRanker and the durable snapshots).
+     */
+    scoring::SufficientStats
+    exportStats() const
+    {
+        return {tallies_, failures_, successes_};
+    }
+
+    /** Replace all state with @p stats (checkpoint restore). */
+    void
+    importStats(scoring::SufficientStats stats)
+    {
+        tallies_ = std::move(stats.tallies);
+        failures_ = stats.failures;
+        successes_ = stats.successes;
+    }
+
   private:
     scoring::TallyMap tallies_;
     std::uint64_t failures_ = 0;

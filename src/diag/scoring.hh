@@ -48,10 +48,28 @@ struct PredictorTally
 {
     std::uint64_t inFailures = 0;  //!< |F & e|
     std::uint64_t inSuccesses = 0; //!< |S & e|
+
+    bool operator==(const PredictorTally &) const = default;
 };
 
 /** The per-event tallies both rankers maintain. */
 using TallyMap = std::map<EventKey, PredictorTally>;
+
+/**
+ * The complete sufficient statistics of one ranker: everything
+ * rank() consumes, and therefore everything a checkpoint must carry
+ * for a restarted or remote ranker to produce the identical ranking.
+ * Both rankers export and import this shape (the durable fleet
+ * snapshots round-trip through it).
+ */
+struct SufficientStats
+{
+    TallyMap tallies;
+    std::uint64_t failures = 0;  //!< |F|
+    std::uint64_t successes = 0; //!< |S|
+
+    bool operator==(const SufficientStats &) const = default;
+};
 
 /**
  * Score one predictor: precision |F&e| / |e|, recall |F&e| / |F|,

@@ -311,10 +311,9 @@ Collector::queued() const
     return total;
 }
 
-const StatGroup &
-Collector::stats() const
+void
+Collector::publishAggregateLocked() const
 {
-    std::lock_guard<std::mutex> lock(statsMu_);
     auto publish = [&](const std::string &name, std::uint64_t v) {
         Counter &c = stats_.counter(name);
         c.reset();
@@ -342,16 +341,11 @@ Collector::stats() const
     stats_.gauge("queue_high_water")
         .set(static_cast<double>(
             highWater_.load(std::memory_order_relaxed)));
-    return stats_;
 }
 
-const StatGroup &
-Collector::shardStats(unsigned shard) const
+void
+Collector::publishShardLocked(const Shard &s) const
 {
-    if (shard >= shardCount_)
-        panic("shardStats({}) with {} shards", shard, shardCount_);
-    const Shard &s = *shards_[shard];
-    std::lock_guard<std::mutex> lock(statsMu_);
     auto publish = [&](const std::string &name, std::uint64_t v) {
         Counter &c = s.stats.counter(name);
         c.reset();
@@ -365,7 +359,43 @@ Collector::shardStats(unsigned shard) const
     s.stats.gauge("queue_high_water")
         .set(static_cast<double>(
             s.highWater.load(std::memory_order_relaxed)));
+    s.stats.gauge("queue_depth")
+        .set(static_cast<double>(s.ring.size()));
+}
+
+const StatGroup &
+Collector::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    publishAggregateLocked();
+    return stats_;
+}
+
+const StatGroup &
+Collector::shardStats(unsigned shard) const
+{
+    if (shard >= shardCount_)
+        panic("shardStats({}) with {} shards", shard, shardCount_);
+    const Shard &s = *shards_[shard];
+    std::lock_guard<std::mutex> lock(statsMu_);
+    publishShardLocked(s);
     return s.stats;
+}
+
+void
+Collector::publishAll() const
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    publishAggregateLocked();
+    for (const auto &shardPtr : shards_)
+        publishShardLocked(*shardPtr);
+}
+
+bool
+Collector::preseed(std::uint64_t print)
+{
+    Shard &shard = *shards_[print % shardCount_];
+    return shard.seen.insert(print);
 }
 
 } // namespace stm::fleet

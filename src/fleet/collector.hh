@@ -194,6 +194,26 @@ class Collector
      */
     const StatGroup &shardStats(unsigned shard) const;
 
+    /**
+     * Publish the aggregate *and* every shard's metrics under one
+     * hold of the stats lock. stats()/shardStats() each publish only
+     * their own group, so a reader walking aggregate-then-shards can
+     * observe totals from different instants (shard counters that sum
+     * past the aggregate published a moment earlier). Epoch rolls use
+     * this barrier so the gauges a snapshot is labelled with are one
+     * point-in-time cut.
+     */
+    void publishAll() const;
+
+    /**
+     * Seed the dedup set with an already-known fingerprint, without
+     * any ingest accounting. Recovery uses this so a frame the
+     * pre-crash process accepted (now restored from snapshot or WAL)
+     * is a Duplicate when its producer retransmits it. Returns false
+     * if the fingerprint was already present.
+     */
+    bool preseed(std::uint64_t print);
+
   private:
     /**
      * What crosses a shard ring: one encoded frame by reference. The
@@ -245,6 +265,9 @@ class Collector
     IngestStatus commit(Shard &shard, unsigned shard_index,
                         const FrameDesc &desc, std::uint64_t print);
     void countDuplicate(Shard &shard, std::uint64_t print);
+    /** Publish helpers; caller holds statsMu_. */
+    void publishAggregateLocked() const;
+    void publishShardLocked(const Shard &shard) const;
 
     unsigned shardCount_;
     OverflowPolicy overflow_;

@@ -1,0 +1,173 @@
+#include "fleet/durable/campaign.hh"
+
+#include <memory>
+
+namespace stm::fleet
+{
+
+std::uint64_t
+campaignHash(std::uint64_t seed, std::uint64_t machine,
+             std::uint64_t round, std::uint64_t salt)
+{
+    // splitmix64 over the packed identity: cheap, well-mixed, and
+    // stateless — machine m's round-r coin is the same no matter how
+    // the fleet is sharded or which collector asks.
+    std::uint64_t x = seed ^ (machine * 0x9E3779B97F4A7C15ull) ^
+                      (round * 0xC2B2AE3D27D4EB4Full) ^
+                      (salt * 0x165667B19E3779F9ull);
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+CampaignPools
+buildCampaignPools(const BugSpec &bug, const FleetOptions &opts)
+{
+    CampaignPools pools;
+    FleetCapture capture = captureFleetReports(bug, opts);
+    if (!capture.pinned)
+        return pools;
+    for (RunProfile &report : capture.reports) {
+        if (report.failure)
+            pools.failures.push_back(std::move(report));
+        else
+            pools.successes.push_back(std::move(report));
+    }
+    if (pools.failures.empty() || pools.successes.empty())
+        return pools;
+
+    // Golden predictor: the rank-1 event over the full pool. The
+    // campaign's clones carry these exact event sets, so a campaign
+    // that aggregates enough of both report kinds must converge to
+    // the same leader.
+    IncrementalRanker reference;
+    for (const RunProfile &r : pools.failures)
+        reference.ingest(r);
+    for (const RunProfile &r : pools.successes)
+        reference.ingest(r);
+    const RankedEvent *top = reference.top();
+    if (!top)
+        return pools;
+    pools.golden = top->event;
+    pools.goldenAbsence = top->absence;
+    pools.valid = true;
+    return pools;
+}
+
+CampaignResult
+runDurableCampaign(const CampaignPools &pools,
+                   const CampaignOptions &opts)
+{
+    CampaignResult result;
+    std::uint64_t machines = opts.machines == 0 ? 1 : opts.machines;
+    unsigned collectors = opts.collectors == 0 ? 1 : opts.collectors;
+    // The failure coin: hash < threshold fails. Saturating cast
+    // keeps probability 1.0 meaningful.
+    double clamped = opts.failureProbability < 0.0 ? 0.0
+                     : opts.failureProbability > 1.0
+                         ? 1.0
+                         : opts.failureProbability;
+    std::uint64_t threshold =
+        clamped >= 1.0 ? ~std::uint64_t{0}
+                       : static_cast<std::uint64_t>(
+                             clamped * 18446744073709551616.0);
+
+    std::vector<std::unique_ptr<DurableCollector>> fleet;
+    fleet.reserve(collectors);
+    for (unsigned c = 0; c < collectors; ++c) {
+        DurableOptions durable;
+        durable.dir = opts.dir;
+        durable.collectorId = c + 1;
+        durable.walRotateBytes = opts.walRotateBytes;
+        durable.collector = opts.collector;
+        fleet.push_back(std::make_unique<DurableCollector>(durable));
+    }
+
+    auto ship = [&](RunProfile report, std::uint64_t machine,
+                    std::uint64_t h) {
+        report.machineId = machine;
+        report.runSeed = h;
+        std::vector<std::uint8_t> frame = serialize(report);
+        DurableCollector &dest = *fleet[machine % collectors];
+        // The campaign loop is single-threaded: it is also the
+        // consumer. Drain before the bounded ring can fill, or a
+        // Block-policy collector would wait forever on itself.
+        if (dest.inner().queued() * 2 >=
+            opts.collector.shardCapacity)
+            dest.pump();
+        IngestStatus status = dest.ingest(frame);
+        ++result.framesSent;
+        if (status == IngestStatus::Duplicate)
+            ++result.duplicates;
+        if (opts.duplicateEvery != 0 &&
+            result.framesSent % opts.duplicateEvery == 0) {
+            if (dest.ingest(frame) == IngestStatus::Duplicate)
+                ++result.duplicates;
+            ++result.framesSent;
+        }
+        return status;
+    };
+
+    bool pinned = false;
+    for (std::uint32_t round = 1; round <= opts.maxRounds; ++round) {
+        bool instrumented =
+            opts.scheme == transform::SuccessSiteScheme::Proactive ||
+            pinned;
+        for (std::uint64_t m = 0; m < machines; ++m) {
+            std::uint64_t coin = campaignHash(opts.seed, m, round, 0);
+            if (coin < threshold) {
+                // Failure: the crash report always ships.
+                const RunProfile &proto =
+                    pools.failures[coin % pools.failures.size()];
+                if (ship(proto, m, coin) == IngestStatus::Accepted)
+                    ++result.failureReports;
+                if (!pinned) {
+                    pinned = true;
+                    result.pinRound = round;
+                }
+            } else if (instrumented && opts.successSampleEvery != 0 &&
+                       (m + round) % opts.successSampleEvery == 0) {
+                std::uint64_t h =
+                    campaignHash(opts.seed, m, round, 1);
+                const RunProfile &proto =
+                    pools.successes[h % pools.successes.size()];
+                if (ship(proto, m, h) == IngestStatus::Accepted)
+                    ++result.successReports;
+            }
+        }
+        // Round boundary: every collector rolls its epoch, then the
+        // coordinator merges whatever snapshots are on disk.
+        for (auto &collector : fleet)
+            collector->rollEpoch();
+        MergeResult merged = mergeSnapshotDir(opts.dir);
+        result.rounds = round;
+        result.mergedReports = merged.merged.reportCount();
+        result.snapshotsMerged = merged.filesMerged;
+        if (merged.merged.reportCount() != 0) {
+            std::vector<RankedEvent> ranking =
+                merged.merged.rank(pools.goldenAbsence);
+            if (scoring::positionOf(ranking, pools.golden,
+                                    pools.goldenAbsence) == 1) {
+                result.diagnosed = true;
+                result.ranking = std::move(ranking);
+                break;
+            }
+        }
+    }
+
+    for (auto &collector : fleet) {
+        const StatGroup &s = collector->stats();
+        result.walBytes += static_cast<std::uint64_t>(
+            s.gaugeValue("wal_bytes"));
+        result.snapshotBytes += static_cast<std::uint64_t>(
+            s.gaugeValue("snapshot_bytes"));
+    }
+    if (!result.diagnosed && result.mergedReports != 0) {
+        MergeResult merged = mergeSnapshotDir(opts.dir);
+        result.ranking = merged.merged.rank(pools.goldenAbsence);
+    }
+    return result;
+}
+
+} // namespace stm::fleet

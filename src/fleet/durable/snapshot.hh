@@ -1,0 +1,209 @@
+/**
+ * @file
+ * RankerSnapshot: the immutable, mergeable compaction of a
+ * collector's diagnosis state at an epoch boundary.
+ *
+ * The IncrementalRanker's sufficient statistics — per-event tallies
+ * |F&e| / |S&e| plus the profile counts |F| / |S| — are *additive*
+ * but not *mergeable*: two collectors that both saw the same report
+ * (gossip, at-least-once cross-site delivery) would double-count it
+ * under tally addition, and no amount of post-hoc arithmetic can
+ * undo that, because the tallies have forgotten which reports they
+ * came from. The mergeable sufficient statistic is one level lower:
+ * the *deduplicated report set* itself, keyed by the canonical wire
+ * fingerprint, each entry carrying the report's failure label and
+ * its event set. Every tally is a projection of that set, so:
+ *
+ *   merge(A, B) = union-by-fingerprint(A, B)
+ *
+ * is associative, commutative, and idempotent by construction (set
+ * union with min/max on the scalar metadata), and the ranking of a
+ * merged snapshot equals the ranking a single collector would have
+ * produced over the union of the underlying reports — the property
+ * the multi-collector campaign and its coordinator depend on
+ * (tests/test_fleet_durable.cc asserts it across shuffled partitions
+ * for 1/2/4/8 collectors).
+ *
+ * On disk a snapshot is one versioned little-endian CRC-framed file,
+ * the same hostile-byte discipline as the wire format (STMP) and the
+ * trace format (STMT):
+ *
+ *   [magic "STMS" u32][version u16][flags u16][payloadLen u32]
+ *   [crc32 u32][payload]
+ *
+ *   payload:
+ *     collectorId u64      min over merged inputs
+ *     epoch u64            max epoch compacted through, inclusive
+ *     reportCount u64
+ *     per report, ascending by fingerprint:
+ *       fingerprint u64
+ *       failure u8
+ *       eventCount u32
+ *       per event, ascending by EventKey:
+ *         type u8, a u64, b u64
+ *
+ * The CRC (IEEE 802.3) covers version, flags, and payload. Decoding
+ * is strict and partitioned exactly like WireStatus: unknown versions
+ * are rejected before the CRC, truncation and trailing bytes are
+ * distinct from bit rot, and structural inconsistencies (counts that
+ * overrun, unsorted or duplicate keys — which would break the
+ * canonical-encoding guarantee) are Malformed. Because the entry
+ * order is canonical, equal snapshots serialize to equal bytes: a
+ * coordinator's merged file is bit-identical no matter the merge
+ * order.
+ */
+
+#ifndef STM_FLEET_DURABLE_SNAPSHOT_HH
+#define STM_FLEET_DURABLE_SNAPSHOT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "diag/scoring.hh"
+#include "fleet/wire_format.hh"
+
+namespace stm::fleet
+{
+
+/** Snapshot file magic: "STMS" (STM Snapshot). */
+constexpr std::uint32_t kSnapMagic = 0x534D5453u;
+
+/** Current snapshot format version. */
+constexpr std::uint16_t kSnapVersion = 1;
+
+/** Fixed snapshot header size in bytes (same shape as the wire). */
+constexpr std::size_t kSnapHeaderSize = 16;
+
+/** Why a snapshot failed to decode (mirrors WireStatus). */
+enum class SnapStatus : std::uint8_t {
+    Ok,
+    Truncated,  //!< fewer bytes than the header + payload claim
+    BadMagic,   //!< not an STMS file
+    BadVersion, //!< version != kSnapVersion
+    BadCrc,     //!< checksum mismatch (bit rot / torn write)
+    Malformed,  //!< structure inconsistent (incl. non-canonical order)
+};
+
+/** Human-readable status name. */
+std::string snapStatusName(SnapStatus status);
+
+/** One deduplicated report, reduced to what the ranker consumes. */
+struct ReportDigest
+{
+    bool failure = true;
+    /** Sorted, unique event keys (the report's event set). */
+    std::vector<EventKey> events;
+
+    bool operator==(const ReportDigest &) const = default;
+};
+
+/** Immutable mergeable compaction of a collector's report state. */
+class RankerSnapshot
+{
+  public:
+    using ReportMap = std::map<std::uint64_t, ReportDigest>;
+
+    RankerSnapshot() = default;
+    RankerSnapshot(std::uint64_t collector_id, std::uint64_t epoch,
+                   ReportMap reports)
+        : collectorId_(collector_id), epoch_(epoch),
+          reports_(std::move(reports))
+    {
+    }
+
+    std::uint64_t collectorId() const { return collectorId_; }
+    std::uint64_t epoch() const { return epoch_; }
+    const ReportMap &reports() const { return reports_; }
+    std::size_t reportCount() const { return reports_.size(); }
+
+    std::uint64_t
+    failureReports() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &[fp, d] : reports_)
+            n += d.failure ? 1 : 0;
+        return n;
+    }
+
+    std::uint64_t
+    successReports() const
+    {
+        return reports_.size() - failureReports();
+    }
+
+    /**
+     * Union-by-fingerprint merge. Associative, commutative, and
+     * idempotent: overlapping fingerprints keep the existing digest
+     * (equal fingerprints imply equal payloads, hence equal digests,
+     * up to hash collision), collectorId takes the min and epoch the
+     * max so the scalar metadata is order-independent too.
+     */
+    void merge(const RankerSnapshot &other);
+
+    /**
+     * The sufficient statistics the snapshot projects to: exactly
+     * what IncrementalRanker::importStats() accepts, derived by
+     * folding every digest. Two snapshots with equal report maps
+     * yield equal statistics.
+     */
+    scoring::SufficientStats sufficientStats() const;
+
+    /**
+     * Rank the snapshot's reports (identical to an
+     * IncrementalRanker that ingested each deduplicated report
+     * exactly once).
+     */
+    std::vector<RankedEvent> rank(bool include_absence = false) const;
+
+    /** Canonical encoding (deterministic: equal maps, equal bytes). */
+    std::vector<std::uint8_t> serialize() const;
+
+    /**
+     * Decode one snapshot. On success fills @p out and returns Ok;
+     * on any failure @p out is untouched and the status says why.
+     * Never crashes or misreads on hostile bytes.
+     */
+    static SnapStatus deserialize(const std::uint8_t *data,
+                                  std::size_t size,
+                                  RankerSnapshot *out);
+
+    static SnapStatus
+    deserialize(const std::vector<std::uint8_t> &bytes,
+                RankerSnapshot *out)
+    {
+        return deserialize(bytes.data(), bytes.size(), out);
+    }
+
+    /**
+     * Write to @p path atomically (temp file + rename), so a reader
+     * never observes a half-written snapshot. Returns false on I/O
+     * failure. @p bytes_out, if given, receives the file size.
+     */
+    bool writeFile(const std::string &path,
+                   std::size_t *bytes_out = nullptr) const;
+
+    /** Read and decode @p path. Missing file reports Truncated. */
+    static SnapStatus readFile(const std::string &path,
+                               RankerSnapshot *out);
+
+    bool operator==(const RankerSnapshot &) const = default;
+
+  private:
+    std::uint64_t collectorId_ = 0;
+    std::uint64_t epoch_ = 0;
+    ReportMap reports_;
+};
+
+/**
+ * The digest of one decoded wire report: its event set (sorted,
+ * unique) and failure label — the exact reduction both the
+ * IncrementalRanker and the snapshot store apply, kept in one place
+ * so they cannot drift.
+ */
+ReportDigest digestOfView(const RunProfileView &view);
+
+} // namespace stm::fleet
+
+#endif // STM_FLEET_DURABLE_SNAPSHOT_HH

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The collector's write-ahead log: every accepted wire frame is
+ * appended, stamped with the collector epoch it arrived in, so a
+ * restarted collector can replay the epochs no snapshot has
+ * compacted yet and provably reconverge to the identical ranking.
+ *
+ * The log is segment-rotated: records append to the active segment
+ * (`wal-<collectorId>-<seq>.stmw`) until it exceeds the rotation
+ * threshold, then a new segment opens. A snapshot at epoch E makes
+ * every *closed* segment whose last record has epoch <= E garbage;
+ * prune() deletes them. A writer never appends to a pre-existing
+ * file — recovery always opens a fresh segment — so a torn tail from
+ * a crash is read exactly once and never extended.
+ *
+ * On-disk layout, little-endian throughout:
+ *
+ *   segment header (16 bytes):
+ *     [magic "STMW" u32][version u16][flags u16][collectorId u64]
+ *
+ *   record (20-byte header + frame):
+ *     [magic "WREC" u32][epoch u64][frameLen u32][crc32 u32]
+ *     [frame: frameLen bytes of STMP wire frame]
+ *
+ * The record CRC covers epoch, frameLen, and the frame bytes. The
+ * reader's contract mirrors the wire decoder's hostile-byte
+ * discipline with one deliberate difference: a log that stops
+ * mid-record is *expected* after a crash (the torn tail), so replay
+ * yields every record up to the first invalid byte and then reports
+ * *why* it stopped (WalStatus) instead of failing wholesale. The
+ * every-byte corruption sweep in tests/test_fleet_durable.cc pins
+ * the exact prefix-replay property: corrupt byte in record i =>
+ * records [0, i) replay, nothing after, never a crash, never a
+ * misread frame.
+ */
+
+#ifndef STM_FLEET_DURABLE_WAL_HH
+#define STM_FLEET_DURABLE_WAL_HH
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace stm::fleet
+{
+
+/** Segment file magic: "STMW" (STM Wal). */
+constexpr std::uint32_t kWalMagic = 0x574D5453u;
+
+/** Per-record magic: "WREC". */
+constexpr std::uint32_t kWalRecordMagic = 0x43455257u;
+
+/** Current WAL format version. */
+constexpr std::uint16_t kWalVersion = 1;
+
+/** Segment header / record header sizes in bytes. */
+constexpr std::size_t kWalSegmentHeaderSize = 16;
+constexpr std::size_t kWalRecordHeaderSize = 20;
+
+/** Why (and how) a WAL read stopped. */
+enum class WalStatus : std::uint8_t {
+    Ok,         //!< clean end of log
+    Truncated,  //!< torn tail: fewer bytes than a header/record claims
+    BadMagic,   //!< segment or record magic mismatch
+    BadVersion, //!< segment version != kWalVersion
+    BadCrc,     //!< record checksum mismatch
+    Malformed,  //!< structurally impossible record
+};
+
+/** Human-readable status name. */
+std::string walStatusName(WalStatus status);
+
+/** One replayed record. */
+struct WalRecord
+{
+    std::uint64_t epoch = 0;
+    std::vector<std::uint8_t> frame;
+
+    bool operator==(const WalRecord &) const = default;
+};
+
+/** Outcome of one segment replay. */
+struct WalReplayResult
+{
+    WalStatus status = WalStatus::Ok;
+    std::uint64_t records = 0;  //!< records delivered
+    std::uint64_t bytes = 0;    //!< record + frame bytes consumed
+    std::uint64_t stopOffset = 0; //!< file offset replay stopped at
+};
+
+/**
+ * Appender for one collector's log. Not thread-safe: the durable
+ * layer serializes appends behind its ingest accounting (one WAL per
+ * collector process, written by the ingest side only).
+ */
+class WalWriter
+{
+  public:
+    /**
+     * Open a fresh segment in @p dir with sequence number one past
+     * the highest existing segment for @p collector_id. Throws
+     * FatalError if the directory is unusable.
+     */
+    WalWriter(std::string dir, std::uint64_t collector_id,
+              std::size_t rotate_bytes = std::size_t{4} << 20);
+
+    ~WalWriter();
+
+    WalWriter(const WalWriter &) = delete;
+    WalWriter &operator=(const WalWriter &) = delete;
+
+    /**
+     * Append one accepted wire frame under @p epoch. Epochs must be
+     * non-decreasing. Returns the record's total on-disk size.
+     */
+    std::size_t append(std::uint64_t epoch, const std::uint8_t *frame,
+                       std::size_t size);
+
+    /** Flush buffered bytes to the OS (epoch-roll barrier). */
+    void flush();
+
+    /**
+     * Delete every non-active segment whose *valid* records are all
+     * from epochs <= @p epoch (they are fully covered by the
+     * snapshot at @p epoch). This includes prior-generation segments
+     * left by a crashed process: their torn tails were unreadable at
+     * recovery and stay unreadable forever, so once the valid prefix
+     * is covered the file is garbage. The active segment is never
+     * pruned. Returns the number of files deleted.
+     */
+    std::size_t prune(std::uint64_t epoch);
+
+    std::uint64_t segmentsOpened() const { return segmentsOpened_; }
+    std::uint64_t bytesAppended() const { return bytesAppended_; }
+    std::uint64_t recordsAppended() const { return recordsAppended_; }
+
+  private:
+    void openSegment();
+
+    std::string dir_;
+    std::uint64_t collectorId_;
+    std::size_t rotateBytes_;
+    std::ofstream out_;
+    std::uint64_t activeSeq_ = 0;
+    std::size_t activeBytes_ = 0;
+    std::uint64_t segmentsOpened_ = 0;
+    std::uint64_t bytesAppended_ = 0;
+    std::uint64_t recordsAppended_ = 0;
+};
+
+/**
+ * Replay one segment file: deliver each valid record in order, stop
+ * at the first invalid byte and say why. Missing file reports
+ * Truncated with zero records. Never throws on file content.
+ */
+WalReplayResult
+replayWalSegment(const std::string &path,
+                 const std::function<void(const WalRecord &)> &sink);
+
+/**
+ * Replay a whole directory for one collector: segments in ascending
+ * sequence order. Replay stops at the first segment that does not
+ * end cleanly (a torn tail in an *earlier* segment means later
+ * segments were written by a pre-crash process whose tail was lost —
+ * the conservative reading is to stop, and the caller re-ingests
+ * through dedup anyway). Returns the combined result with `status`
+ * of the stopping segment.
+ */
+WalReplayResult
+replayWalDir(const std::string &dir, std::uint64_t collector_id,
+             const std::function<void(const WalRecord &)> &sink);
+
+/** Sorted sequence numbers of @p collector_id's segments in @p dir. */
+std::vector<std::uint64_t> walSegments(const std::string &dir,
+                                       std::uint64_t collector_id);
+
+/** Path of segment @p seq for @p collector_id in @p dir. */
+std::string walSegmentPath(const std::string &dir,
+                           std::uint64_t collector_id,
+                           std::uint64_t seq);
+
+} // namespace stm::fleet
+
+#endif // STM_FLEET_DURABLE_WAL_HH

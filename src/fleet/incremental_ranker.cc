@@ -52,6 +52,26 @@ IncrementalRanker::addSuccessEvents(const std::set<EventKey> &events)
     cacheValid_ = false;
 }
 
+void
+IncrementalRanker::addFailureEvents(
+    const std::vector<EventKey> &events)
+{
+    ++failures_;
+    for (const EventKey &e : events)
+        ++tallies_[e].inFailures;
+    cacheValid_ = false;
+}
+
+void
+IncrementalRanker::addSuccessEvents(
+    const std::vector<EventKey> &events)
+{
+    ++successes_;
+    for (const EventKey &e : events)
+        ++tallies_[e].inSuccesses;
+    cacheValid_ = false;
+}
+
 const std::vector<RankedEvent> &
 IncrementalRanker::rank(bool include_absence) const
 {

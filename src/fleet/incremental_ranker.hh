@@ -54,6 +54,36 @@ class IncrementalRanker
     void addFailureEvents(const std::set<EventKey> &events);
     void addSuccessEvents(const std::set<EventKey> &events);
 
+    /**
+     * Fold a sorted, unique event vector (a ReportDigest's event set
+     * — the durable store keeps digests, not std::sets). @pre sorted
+     * ascending with no duplicates; tallies identically to the set
+     * overloads over the same keys.
+     */
+    void addFailureEvents(const std::vector<EventKey> &events);
+    void addSuccessEvents(const std::vector<EventKey> &events);
+
+    /**
+     * The complete sufficient statistics: everything rank() consumes.
+     * importStats(exportStats()) on a fresh ranker reproduces the
+     * identical ranking — the durable checkpoint/recovery contract.
+     */
+    scoring::SufficientStats
+    exportStats() const
+    {
+        return {tallies_, failures_, successes_};
+    }
+
+    /** Replace all state with @p stats (checkpoint restore). */
+    void
+    importStats(scoring::SufficientStats stats)
+    {
+        tallies_ = std::move(stats.tallies);
+        failures_ = stats.failures;
+        successes_ = stats.successes;
+        cacheValid_ = false;
+    }
+
     std::uint64_t failureReports() const { return failures_; }
     std::uint64_t successReports() const { return successes_; }
     std::size_t distinctEvents() const { return tallies_.size(); }

@@ -724,15 +724,18 @@ TEST(Collector, DroppedFingerprintStaysSuppressed)
 TEST(IncrementalRanker, CacheInvalidatesOnIngest)
 {
     IncrementalRanker ranker;
-    ranker.addFailureEvents({EventKey::sourceBranch(1, true)});
-    ranker.addSuccessEvents({EventKey::sourceBranch(2, true)});
+    ranker.addFailureEvents(
+        std::set<EventKey>{EventKey::sourceBranch(1, true)});
+    ranker.addSuccessEvents(
+        std::set<EventKey>{EventKey::sourceBranch(2, true)});
     const auto &first = ranker.rank();
     ASSERT_EQ(first.size(), 2u);
     EXPECT_EQ(first[0].event, EventKey::sourceBranch(1, true));
     // Same object returned while nothing changed.
     EXPECT_EQ(&ranker.rank(), &first);
 
-    ranker.addFailureEvents({EventKey::sourceBranch(2, true)});
+    ranker.addFailureEvents(
+        std::set<EventKey>{EventKey::sourceBranch(2, true)});
     const auto &second = ranker.rank();
     // Branch 2 now appears in a failure too; recall of branch 1
     // halves and the ordering reflects the new denominators.

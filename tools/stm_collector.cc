@@ -3,6 +3,7 @@
  * stm_collector — the fleet collection service front end.
  *
  *   stm_collector <bug-id> [options]
+ *   stm_collector --merge DIR [--ranking-out FILE]
  *
  * Emulates a fleet of N machines running the monitored program,
  * shipping wire-format LBR/LCR reports through the sharded collector,
@@ -10,14 +11,30 @@
  * (Section 5.2's deployment story, Figure 8). Prints the diagnosis,
  * the transport accounting, and — with --stats-json — the collector's
  * per-shard and aggregate metrics as JSON.
+ *
+ * With --durable DIR the transport runs through the epoched durable
+ * collector: accepted frames spill to a write-ahead log, the epoch
+ * rolls every --epoch-every accepted reports (compacting the state
+ * into a mergeable on-disk RankerSnapshot), and a restarted process
+ * recovers the directory state before ingesting — re-running the
+ * same command after a crash (--crash-after simulates one) converges
+ * to the identical ranking. --partition i/N makes this process
+ * handle only machines with id ≡ i (mod N), so N collector processes
+ * sharding one fleet each snapshot their slice; the --merge
+ * coordinator folds every snapshot in the directory into one ranking
+ * that is bit-identical to a single-collector run over the union.
  */
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <unistd.h>
 
 #include "corpus/registry.hh"
+#include "fleet/durable/campaign.hh"
+#include "fleet/durable/durable_collector.hh"
 #include "fleet/fleet_sim.hh"
 #include "support/logging.hh"
 #include "trace_cli.hh"
@@ -44,13 +61,24 @@ struct CliOptions
     unsigned jobs = 0;
     std::string statsJsonPath;
     std::string tracePath;
+
+    /** Durable / multi-collector mode. */
+    std::string durableDir;
+    std::uint64_t collectorId = 1;
+    std::uint64_t epochEvery = 0; //!< 0 = one epoch for the whole run
+    std::uint64_t partIndex = 0;
+    std::uint64_t partCount = 1;
+    std::uint64_t crashAfter = 0; //!< _exit after N accepts (0 = off)
+    std::string mergeDir;
+    std::string rankingOutPath;
 };
 
 void
 usage()
 {
     std::cout
-        << "usage: stm_collector <bug-id> [options]\n\n"
+        << "usage: stm_collector <bug-id> [options]\n"
+        << "       stm_collector --merge DIR [--ranking-out FILE]\n\n"
         << "options:\n"
         << "  --machines N      simulated fleet size (default 16)\n"
         << "  --shards N        collector ingest shards (default 4)\n"
@@ -76,7 +104,25 @@ usage()
         << "  --stats-json FILE dump collector metrics as JSON\n"
         << "  --trace FILE      record trace events for the run and\n"
            "                    dump them to FILE (.json = Chrome\n"
-           "                    trace_event, else binary STMT)\n";
+           "                    trace_event, else binary STMT)\n\n"
+        << "durable mode:\n"
+        << "  --durable DIR     epoched collector: WAL spill + "
+           "snapshot\n"
+           "                    compaction in DIR (recovers on "
+           "restart)\n"
+        << "  --id N            this collector's id, >= 1 "
+           "(default 1)\n"
+        << "  --epoch-every N   roll the epoch every N accepted "
+           "reports\n"
+           "                    (default: once, at the end)\n"
+        << "  --partition I/N   handle only machines with id mod N "
+           "== I\n"
+        << "  --crash-after N   simulate a crash (_exit) after N "
+           "accepts\n"
+        << "  --merge DIR       coordinator: merge every snapshot in "
+           "DIR\n"
+        << "  --ranking-out F   write the deterministic ranking to "
+           "F\n";
 }
 
 bool
@@ -140,6 +186,44 @@ try {
             if (!v)
                 return false;
             out->tracePath = v;
+        } else if (arg == "--durable") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->durableDir = v;
+        } else if (arg == "--id") {
+            if (!numeric(&out->collectorId))
+                return false;
+        } else if (arg == "--epoch-every") {
+            if (!numeric(&out->epochEvery))
+                return false;
+        } else if (arg == "--crash-after") {
+            if (!numeric(&out->crashAfter))
+                return false;
+        } else if (arg == "--partition") {
+            const char *v = next();
+            if (!v)
+                return false;
+            const char *slash = std::strchr(v, '/');
+            if (!slash)
+                return false;
+            out->partIndex = std::stoull(std::string(v, slash));
+            out->partCount = std::stoull(std::string(slash + 1));
+            if (out->partCount == 0 ||
+                out->partIndex >= out->partCount) {
+                std::cerr << "--partition wants I/N with I < N\n";
+                return false;
+            }
+        } else if (arg == "--merge") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->mergeDir = v;
+        } else if (arg == "--ranking-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->rankingOutPath = v;
         } else if (arg == "--help" || arg == "-h") {
             return false;
         } else if (!arg.empty() && arg[0] != '-') {
@@ -149,22 +233,172 @@ try {
             return false;
         }
     }
-    return !out->bugId.empty();
+    return !out->bugId.empty() || !out->mergeDir.empty();
 } catch (const std::exception &) {
     std::cerr << "invalid numeric option value\n";
     return false;
 }
 
 void
-dumpStatsJson(std::ostream &os, const fleet::Collector &collector)
+dumpStatsJson(std::ostream &os, const fleet::Collector &collector,
+              const fleet::DurableCollector *durable)
 {
-    os << "{\n  \"aggregate\": " << collector.stats().toJson()
-       << ",\n  \"shards\": [\n";
+    os << "{\n  \"aggregate\": " << collector.stats().toJson();
+    if (durable)
+        os << ",\n  \"durable\": " << durable->stats().toJson();
+    os << ",\n  \"shards\": [\n";
     for (unsigned s = 0; s < collector.shards(); ++s) {
         os << "    " << collector.shardStats(s).toJson()
            << (s + 1 < collector.shards() ? "," : "") << '\n';
     }
     os << "  ]\n}\n";
+}
+
+/**
+ * The deterministic ranking dump two runs are diffed by: every
+ * predictor, full double precision (%.17g survives a round trip),
+ * one line each. Equal rankings produce equal files, byte for byte.
+ */
+void
+writeRanking(const std::string &path,
+             const std::vector<RankedEvent> &ranking)
+{
+    std::ofstream os(path, std::ios::trunc);
+    for (const RankedEvent &r : ranking) {
+        char line[160];
+        std::snprintf(
+            line, sizeof line,
+            "%u %llu %llu %d %.17g %.17g %.17g %llu %llu\n",
+            static_cast<unsigned>(r.event.type),
+            static_cast<unsigned long long>(r.event.a),
+            static_cast<unsigned long long>(r.event.b),
+            r.absence ? 1 : 0, r.score, r.precision, r.recall,
+            static_cast<unsigned long long>(r.failureRuns),
+            static_cast<unsigned long long>(r.successRuns));
+        os << line;
+    }
+}
+
+int
+mergeMain(const CliOptions &cli)
+{
+    fleet::MergeResult merged = fleet::mergeSnapshotDir(cli.mergeDir);
+    if (merged.filesMerged == 0) {
+        std::cerr << "no decodable snapshots in " << cli.mergeDir
+                  << '\n';
+        return 1;
+    }
+    std::cout << "merged " << merged.filesMerged << " snapshots ("
+              << merged.filesSkipped << " skipped): "
+              << merged.merged.reportCount() << " distinct reports, "
+              << merged.merged.failureReports() << " failures, "
+              << merged.merged.successReports()
+              << " successes, epoch " << merged.merged.epoch()
+              << '\n';
+    std::vector<RankedEvent> ranking = merged.merged.rank();
+    for (std::size_t i = 0; i < ranking.size() && i < cli.top; ++i) {
+        const RankedEvent &r = ranking[i];
+        // The coordinator has no Program to symbolize against;
+        // print the raw event identity.
+        std::cout << "  #" << i + 1 << " event(type "
+                  << static_cast<unsigned>(r.event.type) << ", a "
+                  << r.event.a << ", b " << r.event.b
+                  << ")  (precision " << r.precision << ", recall "
+                  << r.recall << ", score " << r.score << ")\n";
+    }
+    if (!cli.rankingOutPath.empty()) {
+        writeRanking(cli.rankingOutPath, ranking);
+        std::cout << "(ranking written to " << cli.rankingOutPath
+                  << ")\n";
+    }
+    return 0;
+}
+
+/**
+ * The durable ingest path: capture the fleet's reports (identical in
+ * every partition — the capture pipeline is deterministic), ship this
+ * partition's slice through a DurableCollector with periodic epoch
+ * rolls, and leave the final snapshot on disk for the coordinator.
+ */
+int
+durableMain(const CliOptions &cli, const BugSpec &bug,
+            const fleet::FleetOptions &opts)
+{
+    fleet::DurableOptions durable;
+    durable.dir = cli.durableDir;
+    durable.collectorId = cli.collectorId;
+    durable.collector.shards = opts.shards;
+    durable.collector.shardCapacity = opts.shardCapacity;
+    durable.collector.overflow = opts.overflow;
+    durable.collector.arenaBytes = cli.arenaMb << 20;
+    fleet::DurableCollector collector(durable);
+
+    const fleet::RecoveryReport &rec = collector.recovery();
+    if (rec.recovered) {
+        std::cout << "recovered: snapshot epoch "
+                  << rec.snapshotEpoch << " (" << rec.snapshotReports
+                  << " reports), " << rec.walRecordsReplayed
+                  << " WAL records replayed (tail "
+                  << fleet::walStatusName(rec.walTail)
+                  << "), resuming at epoch " << rec.resumedEpoch
+                  << '\n';
+    }
+
+    fleet::FleetCapture capture =
+        fleet::captureFleetReports(bug, opts);
+    if (!capture.pinned) {
+        std::cerr << "fleet capture could not pin a failure site\n";
+        return 1;
+    }
+
+    std::uint64_t accepted = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t sent = 0;
+    for (const fleet::RunProfile &report : capture.reports) {
+        if (report.machineId % cli.partCount != cli.partIndex)
+            continue;
+        std::vector<std::uint8_t> frame = fleet::serialize(report);
+        fleet::IngestStatus status = collector.ingest(frame);
+        ++sent;
+        if (status == fleet::IngestStatus::Duplicate)
+            ++duplicates;
+        if (status != fleet::IngestStatus::Accepted)
+            continue;
+        ++accepted;
+        if (cli.crashAfter != 0 && accepted >= cli.crashAfter) {
+            // The crash: no epoch roll, no WAL flush, no snapshot —
+            // whatever the OS has is what recovery gets.
+            std::cout << "simulating crash after " << accepted
+                      << " accepts\n"
+                      << std::flush;
+            _exit(42);
+        }
+        if (cli.epochEvery != 0 && accepted % cli.epochEvery == 0)
+            collector.rollEpoch();
+    }
+    fleet::RankerSnapshot snap = collector.rollEpoch();
+
+    std::cout << "durable collector " << cli.collectorId
+              << ": partition " << cli.partIndex << "/"
+              << cli.partCount << ", " << sent << " frames sent, "
+              << accepted << " accepted, " << duplicates
+              << " duplicates, " << snap.reportCount()
+              << " reports in snapshot, epoch " << snap.epoch()
+              << '\n';
+
+    if (!cli.rankingOutPath.empty()) {
+        writeRanking(cli.rankingOutPath,
+                     snap.rank(opts.absencePredicates));
+        std::cout << "(ranking written to " << cli.rankingOutPath
+                  << ")\n";
+    }
+    if (!cli.statsJsonPath.empty()) {
+        std::ofstream os(cli.statsJsonPath);
+        dumpStatsJson(os, collector.inner(), &collector);
+        std::cout << "(collector metrics written to "
+                  << cli.statsJsonPath << ")\n";
+    }
+    return 0;
 }
 
 } // namespace
@@ -177,6 +411,9 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
+
+    if (!cli.mergeDir.empty())
+        return mergeMain(cli);
 
     BugSpec bug;
     try {
@@ -206,6 +443,9 @@ main(int argc, char **argv)
     // Records the ingest/drain/rank pipeline; dumps on return.
     tools::TraceCliGuard traceGuard(cli.tracePath);
 
+    if (!cli.durableDir.empty())
+        return durableMain(cli, bug, opts);
+
     fleet::CollectorOptions copts;
     copts.shards = opts.shards;
     copts.shardCapacity = opts.shardCapacity;
@@ -231,7 +471,7 @@ main(int argc, char **argv)
                      "reports\n";
         if (!cli.statsJsonPath.empty()) {
             std::ofstream os(cli.statsJsonPath);
-            dumpStatsJson(os, collector);
+            dumpStatsJson(os, collector, nullptr);
         }
         return 1;
     }
@@ -252,7 +492,7 @@ main(int argc, char **argv)
 
     if (!cli.statsJsonPath.empty()) {
         std::ofstream os(cli.statsJsonPath);
-        dumpStatsJson(os, collector);
+        dumpStatsJson(os, collector, nullptr);
         std::cout << "(collector metrics written to "
                   << cli.statsJsonPath << ")\n";
     }
