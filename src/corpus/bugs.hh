@@ -50,6 +50,18 @@ BugSpec makeMysql1();    //!< A.V. WRW -> crash (FPE not in failure thread)
 BugSpec makeMysql2();    //!< A.V. -> wrong output
 BugSpec makePbzip3();    //!< O.V. read-too-late -> crash (Figure 6)
 
+// ---- driver/kernel bugs (kernel-mode pack, beyond Table 4) -----------------
+BugSpec makeKirqRace();   //!< semantic -> error message (ring-0 root cause)
+BugSpec makeKirqNoise();  //!< semantic -> error message (ring-0 LBR noise)
+BugSpec makeKirqAtomic(); //!< A.V. irq-vs-mainline -> error message
+BugSpec makeKirqStorm();  //!< config -> hang (wedged handler spin)
+BugSpec makeKPanic();     //!< config -> crash (panic inside the handler)
+BugSpec makeKSysCheck();  //!< semantic -> error message (ioctl off-by-one)
+BugSpec makeKSysUar();    //!< A.V. TOCTOU across syscall boundary -> crash
+BugSpec makeKSysretLeak(); //!< semantic -> error message (leaked lock)
+/** kirq-noise with the handler structurally absent (differential twin). */
+BugSpec makeKirqNoiseQuiet();
+
 // ---- Table 3 interleaving micro-bugs ---------------------------------------
 BugSpec makeMicroRwr();
 BugSpec makeMicroRww();

@@ -1,0 +1,836 @@
+/**
+ * @file
+ * The driver/kernel bug scenario pack: eight failures whose root
+ * cause, failure site, or diagnostic noise lives in ring 0 — interrupt
+ * handlers and syscall-entered driver stubs running under the
+ * kernel-mode MiniVM extensions (Thread::cpl, SysEnter/SysRet/Iret,
+ * seeded asynchronous delivery).
+ *
+ * The pack extends the paper's Table 4 corpus with the scenario class
+ * its hardware actually motivates but its evaluation never reaches:
+ * production failures where LBR_SELECT ring filtering (Table 1's
+ * CPL_EQ_0 / CPL_NEQ_0 bits) decides whether the root cause is visible
+ * at all. Each entry is built so the filter-direction matters:
+ *
+ *  - kernel-root-cause bugs (kirq-race, kirq-atomic, kpanic,
+ *    ksys-check, ksysret-leak) are diagnosable at rank 1 only under
+ *    msr::kKernelLbrSelect (suppress ring 3, keep ring 0), and the
+ *    root-cause branch is unrankable under the paper's user-side mask;
+ *  - user-root-cause bugs with kernel noise (kirq-noise, kirq-storm)
+ *    are diagnosable at rank 1 only under msr::kPaperLbrSelect
+ *    (suppress ring 0), and degrade when handler branches are let in;
+ *  - ksys-uar is the LCR analogue: its failure-predicting coherence
+ *    event is a ring-0 access, visible only with
+ *    LcrConfig::filterKernel cleared.
+ *
+ * Bugs mirror classic Linux driver-failure shapes (spurious watchdog
+ * reset, missed ack storm, irq-vs-mainline torn update, BUG_ON panic,
+ * ioctl table off-by-one, TOCTOU teardown race, forgotten unlock on
+ * an error path); see each factory's comment. The pack is registered
+ * via corpus::kernelBugs() and deliberately kept out of allBugs() so
+ * the pre-existing golden fingerprints, Table 6/7 reproductions, and
+ * throughput floors are untouched.
+ */
+
+#include "corpus/bugs.hh"
+#include "corpus/production_work.hh"
+#include "corpus/startup_checks.hh"
+#include "program/builder.hh"
+
+namespace stm::corpus
+{
+
+using namespace regs;
+
+namespace
+{
+
+/** Handler registers, clear of user bug-logic conventions. */
+constexpr RegId k0 = 16, k1 = 17, k2 = 18, k3 = 19;
+
+Workload
+irqWorkload(double irq_prob, std::uint32_t quantum = 50)
+{
+    Workload w;
+    w.base.irq.prob = irq_prob;
+    w.base.sched.quantum = quantum;
+    return w;
+}
+
+/** First instruction of opcode @p op at source line @p line. */
+std::uint32_t
+findInstr(const Program &prog, Opcode op, std::uint32_t line)
+{
+    for (std::uint32_t i = 0; i < prog.code.size(); ++i) {
+        const Instruction &inst = prog.code[i];
+        if (inst.op == op && inst.loc.line == line)
+            return i;
+    }
+    return 0;
+}
+
+} // namespace
+
+// kirq-race: an e1000-style watchdog race. The interrupt handler
+// counts deliveries and — the bug — treats every eighth interrupt
+// while the device is armed as spurious, resetting dev_state behind
+// the polling daemon's back. The daemon observes the reset and logs a
+// fatal error. Root cause: the handler's every-eighth threshold
+// branch (ring 0).
+BugSpec
+makeKirqRace()
+{
+    ProgramBuilder b("kirq-race");
+    b.global("dev_state", 1, {1});
+    b.global("irq_armed", 1, {1});
+    b.global("irq_count", 1, {0});
+    b.global("reset_latch", 1, {0});
+
+    b.file("netpoll.c");
+    b.line(20);
+    b.func("main");
+    emitProductionWork(b, 600, 1);
+    b.call("startup_checks");
+    b.line(24).movi(r10, 0);
+    b.movi(r11, 300);
+    b.line(25).beginWhile(Cond::Lt, r10, r11, "poll rounds");
+    {
+        b.line(26).loadg(r4, "dev_state");
+        b.movi(r5, 0);
+        b.line(27).beginIf(Cond::Eq, r4, r5, "device reset observed");
+        b.line(28).logError("device reset unexpectedly during poll",
+                            "netdev_err");
+        b.endIf();
+        b.line(30).addi(r10, r10, 1);
+    }
+    b.endWhile();
+    // Disarm, then make the final check: any reset latched before the
+    // disarm store retires is observed, so run labels never race with
+    // the tail of the delivery stream.
+    b.line(33).movi(r4, 0);
+    b.storeg("irq_armed", 0, r4, r5);
+    b.line(34).loadg(r4, "reset_latch");
+    b.movi(r5, 0);
+    b.line(35).beginIf(Cond::Ne, r4, r5, "latched reset observed");
+    b.line(36).logError("device reset unexpectedly (latched)",
+                        "netdev_err");
+    b.endIf();
+    b.line(38).halt();
+
+    b.file("drivers/net/e1000_intr.c");
+    b.line(60);
+    b.kernelMode(true);
+    b.func("e1000_intr");
+    b.loadg(k0, "irq_armed");
+    b.movi(k1, 0);
+    SourceBranchId rootCause = 0;
+    b.line(62).beginIf(Cond::Ne, k0, k1, "interrupts armed");
+    {
+        b.line(63).loadg(k2, "irq_count");
+        b.addi(k2, k2, 1);
+        b.storeg("irq_count", 0, k2, k3);
+        b.movi(k1, 7);
+        b.andr(k3, k2, k1);
+        b.movi(k1, 0);
+        // ROOT CAUSE: every eighth interrupt is "spurious".
+        b.line(66);
+        rootCause = b.beginIf(Cond::Eq, k3, k1,
+                              "spurious interrupt threshold");
+        {
+            b.line(67).movi(k0, 0);
+            b.storeg("dev_state", 0, k0, k1);
+            b.movi(k0, 1);
+            b.storeg("reset_latch", 0, k0, k1);
+        }
+        b.endIf();
+    }
+    b.endIf();
+    b.line(71).iret();
+    b.kernelMode(false);
+    b.setInterruptHandler("e1000_intr");
+
+    BugSpec bug;
+    bug.id = "kirq-race";
+    bug.app = "e1000";
+    bug.version = "7.3.15";
+    bug.kloc = 27.4;
+    bug.bugClass = BugClass::Semantic;
+    bug.symptom = SymptomKind::ErrorMessage;
+    emitStartupChecks(b, "netdev_err");
+    bug.program = b.build();
+
+    // ~11k user instructions per run. Failing: ~100 deliveries, so
+    // the eighth always arrives. Succeeding: a couple of deliveries
+    // exercise the handler's healthy outcome without reaching eight.
+    bug.failing = irqWorkload(0.01);
+    bug.succeeding = irqWorkload(0.0002);
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{1, 66};
+    bug.truth.failureLoc = SourceLoc{0, 28};
+    bug.notes = "spurious-reset watchdog race; root cause is a ring-0 "
+                "branch in the interrupt handler";
+    return bug;
+}
+
+namespace
+{
+
+/**
+ * Shared emitter behind kirq-noise and its structurally-kernel-free
+ * twin: the user-level program (and its semantic bug) is byte-for-byte
+ * identical; only the timer-tick noise handler is present or absent.
+ */
+BugSpec
+buildKirqNoise(bool with_handler)
+{
+    ProgramBuilder b(with_handler ? "kirq-noise" : "kirq-noise-quiet");
+    b.global("rec_len", 1, {12});
+    b.global("rec_cap", 1, {64});
+    b.global("records_done", 1, {0});
+    b.global("rejects", 1, {0});
+    b.global("jiffies", 1, {0});
+
+    b.file("logrotate.c");
+    b.line(20);
+    b.func("main");
+    emitProductionWork(b, 500, 1);
+    b.call("startup_checks");
+    b.line(24).loadg(r4, "rec_len");
+    b.loadg(r5, "rec_cap");
+    // ROOT CAUSE: boundary check off by one; a record of exactly
+    // rec_cap words is legal but rejected down the error path.
+    b.line(26);
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Ge, r4, r5, "record too long");
+    {
+        b.line(27).movi(r1, 1);
+        b.libcall(LibFn::Printf);
+        b.line(28).call("reject_record");
+    }
+    b.endIf();
+    b.line(30).loadg(r6, "records_done");
+    b.addi(r6, r6, 1);
+    b.storeg("records_done", 0, r6, r7);
+    // The rotation epilogue checks the reject tally on every run —
+    // its guard is evaluated on the success path too, which is where
+    // the reactive success-site profile attaches (Figure 8: before
+    // the condition is decided).
+    b.line(31).loadg(r8, "rejects");
+    b.movi(r9, 0);
+    b.line(32).beginIf(Cond::Ne, r8, r9, "rejected record observed");
+    b.line(33).logError("record exceeds rotation buffer", "log_err");
+    b.endIf();
+    b.line(35).movi(r1, 1);
+    b.libcall(LibFn::Printf);
+    b.line(36).halt();
+
+    b.line(40);
+    b.func("reject_record");
+    b.line(41).loadg(r8, "rejects");
+    b.addi(r8, r8, 1);
+    b.line(42).storeg("rejects", 0, r8, r9);
+    b.line(43).ret();
+
+    // Emit the shared startup checks BEFORE the optional handler so
+    // every user-level source branch gets the same id in both
+    // variants; the differential test compares rankings element-wise.
+    emitStartupChecks(b, "log_err");
+
+    if (with_handler) {
+        // Pure noise: a branchy timer-wheel scan over handler-private
+        // state. More than 16 taken branches per activation, so one
+        // delivery between root cause and failure fully evicts the
+        // user history from an unfiltered LBR.
+        b.file("drivers/clocksource/tick.c");
+        b.line(60);
+        b.kernelMode(true);
+        b.func("timer_tick");
+        b.loadg(k0, "jiffies");
+        b.addi(k0, k0, 1);
+        b.storeg("jiffies", 0, k0, k1);
+        b.movi(k1, 0);
+        b.movi(k2, 24);
+        b.line(63).beginWhile(Cond::Lt, k1, k2, "timer wheel scan");
+        {
+            b.movi(k3, 1);
+            b.andr(k3, k1, k3);
+            b.movi(k0, 0);
+            b.line(65).beginIf(Cond::Eq, k3, k0, "even slot");
+            b.endIf();
+            b.addi(k1, k1, 1);
+        }
+        b.endWhile();
+        b.line(69).iret();
+        b.kernelMode(false);
+        b.setInterruptHandler("timer_tick");
+    }
+
+    BugSpec bug;
+    bug.id = with_handler ? "kirq-noise" : "kirq-noise-quiet";
+    bug.app = "logrotate";
+    bug.version = "3.7.1";
+    bug.kloc = 8.9;
+    bug.bugClass = BugClass::Semantic;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.program = b.build();
+
+    // High enough that a delivery lands between root cause and
+    // failure in most failing runs — the mis-ranking demonstration
+    // needs the unfiltered LBR to actually flood.
+    double prob = with_handler ? 0.25 : 0.0;
+    bug.failing = irqWorkload(prob);
+    bug.succeeding = irqWorkload(prob);
+    bug.failing.base.globalOverrides = {{"rec_len", {64}}};
+    bug.succeeding.base.globalOverrides = {{"rec_len", {12}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 26};
+    bug.truth.failureLoc = SourceLoc{0, 33};
+    bug.notes = "user-level off-by-one under heavy timer-interrupt "
+                "noise; ring-0 suppression is what keeps the root "
+                "cause in the LBR";
+    return bug;
+}
+
+} // namespace
+
+BugSpec
+makeKirqNoise()
+{
+    return buildKirqNoise(true);
+}
+
+BugSpec
+makeKirqNoiseQuiet()
+{
+    return buildKirqNoise(false);
+}
+
+// kirq-atomic: a torn read-modify-write. Mainline accounting code
+// updates a counter non-atomically without masking interrupts; the
+// handler detects it ran inside the critical section (busy flag set)
+// and tallies the violation, which the final consistency check turns
+// into a failure. Root cause: the handler's busy-flag branch — its
+// true outcome *is* the bad interleaving.
+BugSpec
+makeKirqAtomic()
+{
+    ProgramBuilder b("kirq-atomic");
+    b.global("acct", 1, {0});
+    b.global("rmw_busy", 1, {0});
+    b.global("torn", 1, {0});
+
+    b.file("accounting.c");
+    b.line(20);
+    b.func("main");
+    emitProductionWork(b, 400, 1);
+    b.line(23).movi(r10, 0);
+    b.movi(r11, 160);
+    b.line(24).beginWhile(Cond::Lt, r10, r11, "account rounds");
+    {
+        // The critical section, sans local_irq_disable().
+        b.line(25).movi(r4, 1);
+        b.storeg("rmw_busy", 0, r4, r5);
+        b.line(26).loadg(r6, "acct");
+        b.addi(r6, r6, 1);
+        b.storeg("acct", 0, r6, r7);
+        b.line(28).movi(r4, 0);
+        b.storeg("rmw_busy", 0, r4, r5);
+        b.line(29).addi(r10, r10, 1);
+    }
+    b.endWhile();
+    b.line(31).loadg(r8, "torn");
+    b.movi(r9, 0);
+    b.line(32).beginIf(Cond::Ne, r8, r9, "torn update observed");
+    b.line(33).logError("atomicity violation: torn account update",
+                        "warn");
+    b.endIf();
+    b.line(35).halt();
+
+    b.file("drivers/softirq.c");
+    b.line(50);
+    b.kernelMode(true);
+    b.func("acct_tick");
+    b.loadg(k0, "rmw_busy");
+    b.movi(k1, 0);
+    // ROOT CAUSE: delivery landed inside the unprotected section.
+    b.line(52);
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Ne, k0, k1, "interrupted critical section");
+    {
+        b.line(53).loadg(k2, "torn");
+        b.addi(k2, k2, 1);
+        b.storeg("torn", 0, k2, k3);
+    }
+    b.endIf();
+    b.line(56).iret();
+    b.kernelMode(false);
+    b.setInterruptHandler("acct_tick");
+
+    BugSpec bug;
+    bug.id = "kirq-atomic";
+    bug.app = "jbd2";
+    bug.version = "2.6.32";
+    bug.kloc = 18.2;
+    bug.bugClass = BugClass::AtomicityViolation;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.program = b.build();
+
+    bug.failing = irqWorkload(0.02);
+    bug.succeeding = irqWorkload(0.00005);
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 25};
+    bug.truth.failureLoc = SourceLoc{0, 33};
+    bug.notes = "irq-vs-mainline torn RMW; single-core atomicity "
+                "violation, invisible to coherence-based tools";
+    return bug;
+}
+
+// kirq-storm: a wedged handler. Mainline setup writes the wrong ack
+// value when legacy mode is configured; the handler's ack-wait loop
+// then never terminates and the activation blows its step budget — a
+// deterministic interrupt-storm hang. Root cause: the *user* branch
+// selecting the legacy ack value; the ring-0 spin flood is pure
+// symptom.
+BugSpec
+makeKirqStorm()
+{
+    ProgramBuilder b("kirq-storm");
+    // dev_ack starts at the healthy value so deliveries before the
+    // setup branch ack immediately; only a post-root-cause delivery
+    // can wedge.
+    b.global("ack_mode", 1, {0});
+    b.global("dev_ack", 1, {42});
+
+    b.file("dev_setup.c");
+    b.line(20);
+    b.func("main");
+    emitProductionWork(b, 300, 1);
+    b.line(23).loadg(r4, "ack_mode");
+    b.movi(r5, 1);
+    // ROOT CAUSE: the legacy path programs ack value 7; the device
+    // (handler) waits for 42.
+    b.line(25);
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Eq, r4, r5, "legacy ack mode");
+    {
+        b.line(26).movi(r6, 7);
+        b.storeg("dev_ack", 0, r6, r7);
+    }
+    b.beginElse();
+    {
+        b.line(28).movi(r6, 42);
+        b.storeg("dev_ack", 0, r6, r7);
+    }
+    b.endIf();
+    // Straight-line-heavy service loop: a long branch-sparse body so
+    // the root-cause branch is still within the last 16 user-level
+    // taken branches when the first delivery arrives.
+    b.line(31).movi(r10, 0);
+    b.movi(r11, 400);
+    b.line(32).beginWhile(Cond::Lt, r10, r11, "request rounds");
+    {
+        b.movi(r12, 13);
+        b.mul(r13, r10, r12);
+        b.addi(r13, r13, 7);
+        b.movi(r14, 1023);
+        b.andr(r13, r13, r14);
+        b.mul(r13, r13, r12);
+        b.addi(r13, r13, 3);
+        b.andr(r13, r13, r14);
+        b.mul(r13, r13, r12);
+        b.addi(r13, r13, 11);
+        b.andr(r13, r13, r14);
+        b.mul(r13, r13, r12);
+        b.addi(r13, r13, 5);
+        b.andr(r13, r13, r14);
+        b.addi(r10, r10, 1);
+    }
+    b.endWhile();
+    b.line(35).halt();
+
+    b.file("drivers/ack_irq.c");
+    b.line(50);
+    b.kernelMode(true);
+    b.func("ack_wait_intr");
+    b.loadg(k0, "dev_ack");
+    b.movi(k1, 42);
+    b.line(52).beginWhile(Cond::Ne, k0, k1, "await device ack");
+    {
+        b.loadg(k0, "dev_ack");
+    }
+    b.endWhile();
+    b.line(55).iret();
+    b.kernelMode(false);
+    b.setInterruptHandler("ack_wait_intr");
+
+    BugSpec bug;
+    bug.id = "kirq-storm";
+    bug.app = "rtl8139";
+    bug.version = "2.6.18";
+    bug.kloc = 2.1;
+    bug.bugClass = BugClass::Config;
+    bug.symptom = SymptomKind::Hang;
+    bug.program = b.build();
+
+    bug.failing = irqWorkload(0.03);
+    bug.succeeding = irqWorkload(0.03);
+    bug.failing.base.globalOverrides = {{"ack_mode", {1}}};
+    bug.succeeding.base.globalOverrides = {{"ack_mode", {0}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{0, 26};
+    bug.truth.failureLoc = SourceLoc{1, 52};
+    bug.notes = "missed-ack interrupt storm: user-level config root "
+                "cause, ring-0 spin-loop symptom; the handler step "
+                "budget turns it into a deterministic hang";
+    return bug;
+}
+
+// kpanic: a BUG_ON-style panic inside the handler itself. The handler
+// tracks a depth counter against a configured limit and panics (a
+// ring-0 failure-logging site) when the limit is exceeded. Root
+// cause and failure site are both ring 0, so diagnosis exercises
+// instrumentation hooks running inside interrupt context.
+BugSpec
+makeKPanic()
+{
+    ProgramBuilder b("kpanic");
+    b.global("intr_seen", 1, {0});
+    b.global("intr_limit", 1, {1000000});
+    b.global("io_done", 1, {0});
+
+    b.file("submit_io.c");
+    b.line(20);
+    b.func("main");
+    emitProductionWork(b, 500, 1);
+    b.line(23).movi(r10, 0);
+    b.movi(r11, 250);
+    b.line(24).beginWhile(Cond::Lt, r10, r11, "submit rounds");
+    {
+        b.loadg(r4, "io_done");
+        b.addi(r4, r4, 1);
+        b.storeg("io_done", 0, r4, r5);
+        b.addi(r10, r10, 1);
+    }
+    b.endWhile();
+    b.line(28).halt();
+
+    b.file("drivers/scsi/sd_intr.c");
+    b.line(50);
+    b.kernelMode(true);
+    b.func("sd_intr");
+    b.loadg(k0, "intr_seen");
+    b.addi(k0, k0, 1);
+    b.storeg("intr_seen", 0, k0, k1);
+    b.loadg(k2, "intr_limit");
+    // ROOT CAUSE: the depth guard; its true outcome is the panic.
+    b.line(53);
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Gt, k0, k2, "interrupt depth over limit");
+    b.line(54).logError("kernel BUG: interrupt depth exceeded",
+                        "panic");
+    b.endIf();
+    b.line(56).iret();
+    b.kernelMode(false);
+    b.setInterruptHandler("sd_intr");
+
+    BugSpec bug;
+    bug.id = "kpanic";
+    bug.app = "sd_mod";
+    bug.version = "2.6.27";
+    bug.kloc = 9.5;
+    bug.bugClass = BugClass::Config;
+    bug.symptom = SymptomKind::Crash;
+    bug.program = b.build();
+
+    bug.failing = irqWorkload(0.01);
+    bug.succeeding = irqWorkload(0.01);
+    bug.failing.base.globalOverrides = {{"intr_limit", {2}}};
+    bug.succeeding.base.globalOverrides = {{"intr_limit", {1000000}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{1, 53};
+    bug.truth.failureLoc = SourceLoc{1, 54};
+    bug.notes = "ring-0 panic path: both root cause and failure-"
+                "logging site execute inside the interrupt handler";
+    return bug;
+}
+
+// ksys-check: an ioctl descriptor-table off-by-one. The stub's range
+// guard uses > where >= was needed, so index == table length slips
+// through and reads the unpopulated slot past the table; the null-
+// descriptor consistency check then fires. The discriminating branch
+// is the ring-0 null-descriptor check (the guard itself passes on
+// every input — the realistic starred-row shape).
+BugSpec
+makeKSysCheck()
+{
+    ProgramBuilder b("ksys-check");
+    b.global("ioctl_arg", 1, {3});
+    b.global("desc_table", 8, {11, 12, 13, 14, 15, 16, 17, 18});
+    b.global("desc_spill", 2, {0, 0}); // the unpopulated slot beyond
+    b.global("table_len", 1, {8});
+    b.global("dev_sum", 1, {0});
+
+    b.file("ctl_client.c");
+    b.line(20);
+    b.func("main");
+    emitProductionWork(b, 500, 1);
+    b.call("startup_checks");
+    b.line(24).movi(r10, 0);
+    b.movi(r11, 3);
+    b.line(25).beginWhile(Cond::Lt, r10, r11, "ioctl rounds");
+    {
+        b.line(26).sysEnter("sys_ioctl");
+        b.line(27).addi(r10, r10, 1);
+    }
+    b.endWhile();
+    b.line(29).halt();
+
+    b.file("drivers/char/ioctl_table.c");
+    b.line(50);
+    b.kernelMode(true);
+    b.func("sys_ioctl");
+    b.loadg(k0, "ioctl_arg");
+    b.loadg(k1, "table_len");
+    // BUG: should be Ge — index == table_len slips through.
+    b.line(53).beginIf(Cond::Gt, k0, k1, "index out of range");
+    b.line(54).logError("EINVAL: descriptor index out of range",
+                        "printk");
+    b.endIf();
+    b.line(56).lea(k2, "desc_table");
+    b.movi(k3, 8);
+    b.mul(k3, k0, k3);
+    b.add(k2, k2, k3);
+    b.load(k3, k2, 0); // reads desc_spill[0] when arg == table_len
+    b.movi(k0, 0);
+    // ROOT-CAUSE-RELATED: fires exactly when the guard let the
+    // out-of-range index through.
+    b.line(60);
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Eq, k3, k0, "descriptor unpopulated");
+    b.line(61).logError("BUG: null descriptor in ioctl table",
+                        "printk");
+    b.endIf();
+    b.line(63).loadg(k1, "dev_sum");
+    b.add(k1, k1, k3);
+    b.storeg("dev_sum", 0, k1, k2);
+    b.line(65).sysRet();
+    b.kernelMode(false);
+
+    BugSpec bug;
+    bug.id = "ksys-check";
+    bug.app = "i915_ioctl";
+    bug.version = "2.6.29";
+    bug.kloc = 31.7;
+    bug.bugClass = BugClass::Semantic;
+    bug.symptom = SymptomKind::ErrorMessage;
+    emitStartupChecks(b, "printk");
+    bug.program = b.build();
+
+    bug.failing = irqWorkload(0.0);
+    bug.succeeding = irqWorkload(0.0);
+    bug.failing.base.globalOverrides = {{"ioctl_arg", {8}}};
+    bug.succeeding.base.globalOverrides = {{"ioctl_arg", {3}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{1, 53};
+    bug.truth.failureLoc = SourceLoc{1, 61};
+    bug.notes = "ioctl bounds check off by one; the patched guard is "
+                "non-discriminating, so ground truth is the ring-0 "
+                "null-descriptor branch it fails to protect";
+    return bug;
+}
+
+// ksys-uar: a TOCTOU teardown race across the syscall boundary. The
+// reader thread's driver stub re-fetches the device buffer pointer
+// between its null check and the dereference; mainline teardown nulls
+// it in exactly that window and the stub crashes in ring 0. The
+// failure-predicting event is the stub's re-fetch load observing
+// Invalid — a ring-0 coherence event, visible to LCR only with
+// filterKernel off.
+BugSpec
+makeKSysUar()
+{
+    ProgramBuilder b("ksys-uar");
+    b.global("dev_buf_ptr", 1, {0}, true);
+    b.global("dev_buf", 4, {5, 6, 7, 8}, true);
+    b.global("dev_sum", 1, {0}, true);
+    b.global("dev_stat", 1, {0}, true);
+
+    b.file("daemon.c");
+    b.line(20);
+    b.func("main");
+    b.lea(r4, "dev_buf");
+    b.storeg("dev_buf_ptr", 0, r4, r5);
+    b.movi(r10, 0);
+    b.line(23).spawn(r9, "teardown", r10);
+    b.movi(r10, 0);
+    b.movi(r11, 10);
+    b.line(25).beginWhile(Cond::Lt, r10, r11, "reader rounds");
+    {
+        b.line(26).sysEnter("sys_devread");
+        b.line(27).addi(r10, r10, 1);
+    }
+    b.endWhile();
+    b.line(29).join(r9);
+    b.halt();
+
+    // The unlocked detach path, racing the reader's syscalls. The
+    // delay is register-only: it must let the reader's first rounds
+    // land on a live pointer, and a pure-ALU body gives the scheduler
+    // no shared-access probe points of its own, so the detach store is
+    // the thread's one preemptible instruction.
+    b.line(40);
+    b.func("teardown");
+    b.movi(r12, 0);
+    b.movi(r13, 18);
+    b.line(42).beginWhile(Cond::Lt, r12, r13, "teardown delay");
+    {
+        b.addi(r14, r12, 3);
+        b.mul(r14, r14, r14);
+        b.addi(r12, r12, 1);
+    }
+    b.endWhile();
+    b.line(46).movi(r6, 0);
+    b.storeg("dev_buf_ptr", 0, r6, r7); // A: unlocked teardown
+    b.line(48).ret();
+
+    b.file("drivers/char/devbuf.c");
+    b.line(60);
+    b.kernelMode(true);
+    b.func("sys_devread");
+    b.line(61).loadg(k0, "dev_buf_ptr"); // B1: the check fetch
+    b.movi(k1, 0);
+    b.line(62).beginIf(Cond::Ne, k0, k1, "devbuf attached");
+    {
+        // Telemetry bump between check and use: widens the race
+        // window and gives it shared accesses of its own.
+        b.loadg(k1, "dev_stat");
+        b.addi(k1, k1, 1);
+        b.storeg("dev_stat", 0, k1, k2);
+        b.line(63).loadg(k2, "dev_buf_ptr"); // B2: TOCTOU re-fetch
+        b.line(64).load(k3, k2, 0); // CRASH when nulled in between
+        b.loadg(k1, "dev_sum");
+        b.add(k1, k1, k3);
+        b.storeg("dev_sum", 0, k1, k0);
+    }
+    b.endIf();
+    b.line(68).sysRet();
+    b.kernelMode(false);
+
+    BugSpec bug;
+    bug.id = "ksys-uar";
+    bug.app = "snd_pcm";
+    bug.version = "2.6.30";
+    bug.kloc = 24.8;
+    bug.bugClass = BugClass::AtomicityViolation;
+    bug.interleaving = InterleavingKind::RWR;
+    bug.symptom = SymptomKind::Crash;
+    bug.isConcurrent = true;
+    bug.program = b.build();
+
+    bug.failing.base.sched.preemptSharedProb = 0.35;
+    bug.failing.base.sched.quantum = 25;
+    bug.succeeding.base.sched.preemptSharedProb = 0.002;
+    bug.succeeding.base.sched.quantum = 2000;
+
+    // FPE: the B2 re-fetch observing Invalid (ring 0).
+    bug.truth.fpeInstr = findInstr(*bug.program, Opcode::Load, 63);
+    bug.truth.fpeState = MesiState::Invalid;
+    bug.truth.fpeStore = false;
+    bug.truth.patchLoc = SourceLoc{1, 63};
+    bug.truth.failureLoc = SourceLoc{1, 64};
+    bug.notes = "TOCTOU across the syscall boundary; the failure-"
+                "predicting coherence event is a ring-0 access";
+    return bug;
+}
+
+// ksysret-leak: a forgotten unlock on a stub's error path. The DMA
+// stub acquires the channel lock, and its queue-overflow early-out
+// returns to ring 3 without releasing it; the next invocation finds
+// the lock held and logs the leak. Root cause: the ring-0 early-out
+// branch.
+BugSpec
+makeKSysretLeak()
+{
+    ProgramBuilder b("ksysret-leak");
+    b.global("dma_lock", 1, {0});
+    b.global("queue_len", 1, {3});
+    b.global("queue_cap", 1, {8});
+    b.global("xfer_done", 1, {0});
+
+    b.file("dma_client.c");
+    b.line(20);
+    b.func("main");
+    emitProductionWork(b, 500, 1);
+    b.line(23).movi(r10, 0);
+    b.movi(r11, 3);
+    b.line(24).beginWhile(Cond::Lt, r10, r11, "transfer rounds");
+    {
+        b.line(25).sysEnter("sys_dma_start");
+        b.line(26).addi(r10, r10, 1);
+    }
+    b.endWhile();
+    b.line(28).halt();
+
+    b.file("drivers/dma/dma_lock.c");
+    b.line(50);
+    b.kernelMode(true);
+    b.func("sys_dma_start");
+    b.loadg(k0, "dma_lock");
+    b.movi(k1, 0);
+    b.line(52).beginIf(Cond::Ne, k0, k1, "channel lock held");
+    b.line(53).logError("BUG: dma channel lock leaked", "printk");
+    b.endIf();
+    b.line(55).movi(k0, 1);
+    b.storeg("dma_lock", 0, k0, k1); // acquire
+    b.loadg(k2, "queue_len");
+    b.loadg(k3, "queue_cap");
+    // ROOT CAUSE: the overflow early-out skips the release below.
+    b.line(58);
+    SourceBranchId rootCause =
+        b.beginIf(Cond::Gt, k2, k3, "queue overflow early-out");
+    b.line(59).sysRet(); // BUG: returns with dma_lock held
+    b.endIf();
+    b.line(61).loadg(k2, "xfer_done");
+    b.addi(k2, k2, 1);
+    b.storeg("xfer_done", 0, k2, k3);
+    b.line(63).movi(k0, 0);
+    b.storeg("dma_lock", 0, k0, k1); // release
+    b.line(65).sysRet();
+    b.kernelMode(false);
+
+    BugSpec bug;
+    bug.id = "ksysret-leak";
+    bug.app = "dmaengine";
+    bug.version = "2.6.33";
+    bug.kloc = 12.6;
+    bug.bugClass = BugClass::Semantic;
+    bug.symptom = SymptomKind::ErrorMessage;
+    bug.program = b.build();
+
+    bug.failing = irqWorkload(0.0);
+    bug.succeeding = irqWorkload(0.0);
+    bug.failing.base.globalOverrides = {{"queue_len", {16}}};
+    bug.succeeding.base.globalOverrides = {{"queue_len", {3}}};
+
+    bug.truth.rootCauseBranch = rootCause;
+    bug.truth.rootCauseOutcome = true;
+    bug.truth.patchLoc = SourceLoc{1, 58};
+    bug.truth.failureLoc = SourceLoc{1, 53};
+    bug.notes = "forgotten unlock on a ring-0 error path; failure "
+                "surfaces one syscall later";
+    return bug;
+}
+
+} // namespace stm::corpus

@@ -65,6 +65,21 @@ microBugs()
 }
 
 std::vector<BugSpec>
+kernelBugs()
+{
+    std::vector<BugSpec> bugs;
+    bugs.push_back(makeKirqRace());
+    bugs.push_back(makeKirqNoise());
+    bugs.push_back(makeKirqAtomic());
+    bugs.push_back(makeKirqStorm());
+    bugs.push_back(makeKPanic());
+    bugs.push_back(makeKSysCheck());
+    bugs.push_back(makeKSysUar());
+    bugs.push_back(makeKSysretLeak());
+    return bugs;
+}
+
+std::vector<BugSpec>
 allBugs()
 {
     std::vector<BugSpec> bugs = sequentialBugs();
@@ -80,6 +95,12 @@ bugById(const std::string &id)
         if (bug.id == id)
             return bug;
     }
+    for (auto &bug : kernelBugs()) {
+        if (bug.id == id)
+            return bug;
+    }
+    if (id == "kirq-noise-quiet")
+        return makeKirqNoiseQuiet();
     for (auto &bug : microBugs()) {
         if (bug.id == id)
             return bug;

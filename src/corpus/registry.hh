@@ -24,6 +24,14 @@ std::vector<BugSpec> concurrencyBugs();
 /** The six Table 3 interleaving micro-bugs. */
 std::vector<BugSpec> microBugs();
 
+/**
+ * The driver/kernel scenario pack: ring-0 root causes, interrupt
+ * noise, and syscall-boundary failures. Kept separate from allBugs()
+ * so the Table 4 reproductions and their pinned numbers are
+ * untouched.
+ */
+std::vector<BugSpec> kernelBugs();
+
 /** Every corpus entry (sequential + concurrency). */
 std::vector<BugSpec> allBugs();
 

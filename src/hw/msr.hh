@@ -50,6 +50,17 @@ constexpr std::uint64_t kPaperLbrSelect =
     kLbrFilterRing0 | kLbrFilterNearRelCall | kLbrFilterNearIndCall |
     kLbrFilterNearRet | kLbrFilterNearIndJmp | kLbrFilterFar;
 
+/**
+ * The ring-swapped counterpart used to diagnose driver/kernel-side
+ * root causes: suppress ring-3 branches instead of ring-0, keeping
+ * the same branch-class bits, so the LBR retains only kernel
+ * conditional branches and their fall-through normalization jumps.
+ */
+constexpr std::uint64_t kKernelLbrSelect =
+    kLbrFilterOtherRings | kLbrFilterNearRelCall |
+    kLbrFilterNearIndCall | kLbrFilterNearRet | kLbrFilterNearIndJmp |
+    kLbrFilterFar;
+
 // ---- Table 2: L1-D cache-coherence events -------------------------------
 
 /** Event code: loads observing a given pre-access state. */

@@ -83,6 +83,9 @@ disassemble(const Instruction &inst)
         os << ' '
            << syscallName(static_cast<SyscallNo>(inst.imm));
         break;
+      case Opcode::SysEnter:
+        os << " @" << inst.target;
+        break;
       case Opcode::LibCall:
         os << ' ' << libFnName(static_cast<LibFn>(inst.imm));
         break;

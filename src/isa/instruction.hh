@@ -76,6 +76,9 @@ dispatchFlagsOf(Opcode op)
       case Opcode::ICall:
       case Opcode::Ret:
       case Opcode::Halt:
+      case Opcode::SysEnter:
+      case Opcode::SysRet:
+      case Opcode::Iret:
         return dispatch::kIsControl;
       default:
         return 0;

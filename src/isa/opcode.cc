@@ -46,6 +46,9 @@ opcodeName(Opcode op)
       case Opcode::Out: return "out";
       case Opcode::AssertEq: return "assert_eq";
       case Opcode::Halt: return "halt";
+      case Opcode::SysEnter: return "sysenter";
+      case Opcode::SysRet: return "sysret";
+      case Opcode::Iret: return "iret";
     }
     return "unknown";
 }

@@ -56,11 +56,17 @@ enum class Opcode : std::uint8_t {
     Out,      //!< append the value of ra to the program output
     AssertEq, //!< fail the run if ra != rb
     Halt,     //!< terminate the whole program normally
+    // Ring-transition instructions (appended after Halt so the numeric
+    // values of the pre-existing opcodes — and with them every program
+    // fingerprint — are unchanged).
+    SysEnter, //!< far branch into the ring-0 stub at target (CPL3->CPL0)
+    SysRet,   //!< far return to the saved user pc (CPL0->CPL3)
+    Iret,     //!< return from an interrupt handler frame (CPL0->CPL3)
 };
 
-/** Number of opcodes (the enum is dense, Nop..Halt). */
+/** Number of opcodes (the enum is dense, Nop..Iret). */
 constexpr std::size_t kOpcodeCount =
-    static_cast<std::size_t>(Opcode::Halt) + 1;
+    static_cast<std::size_t>(Opcode::Iret) + 1;
 
 /** Comparison condition for Br. */
 enum class Cond : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
@@ -133,6 +139,9 @@ branchKindOf(Opcode op)
       case Opcode::Ret:
         return BranchKind::NearReturn;
       case Opcode::Syscall:
+      case Opcode::SysEnter:
+      case Opcode::SysRet:
+      case Opcode::Iret:
         return BranchKind::FarBranch;
       default:
         return BranchKind::None;

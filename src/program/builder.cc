@@ -122,6 +122,8 @@ ProgramBuilder::emit(Instruction inst)
     if (built_)
         panic("emit after build()");
     inst.loc = SourceLoc{fileId_, line_};
+    if (kernelMode_)
+        inst.kernel = true;
     prog_->code.push_back(inst);
     return here() - 1;
 }
@@ -516,6 +518,45 @@ ProgramBuilder::libcall(LibFn fn)
                             .imm = static_cast<std::int64_t>(fn)});
 }
 
+// ---- privilege levels and interrupts ----------------------------------------
+
+ProgramBuilder &
+ProgramBuilder::kernelMode(bool on)
+{
+    kernelMode_ = on;
+    return *this;
+}
+
+std::uint32_t
+ProgramBuilder::sysEnter(const std::string &fname)
+{
+    std::uint32_t idx = emit(Instruction{.op = Opcode::SysEnter});
+    callFixups_.push_back(CallFixup{idx, fname});
+    return idx;
+}
+
+std::uint32_t
+ProgramBuilder::sysRet()
+{
+    if (!kernelMode_)
+        panic("sysRet emitted outside kernelMode");
+    return emit(Instruction{.op = Opcode::SysRet});
+}
+
+std::uint32_t
+ProgramBuilder::iret()
+{
+    if (!kernelMode_)
+        panic("iret emitted outside kernelMode");
+    return emit(Instruction{.op = Opcode::Iret});
+}
+
+void
+ProgramBuilder::setInterruptHandler(const std::string &fname)
+{
+    irqHandlerName_ = fname;
+}
+
 // ---- logging, output, termination ------------------------------------------
 
 LogSiteId
@@ -657,6 +698,15 @@ ProgramBuilder::build()
     // Entry point.
     prog_->entry = prog_->functionByName("main").entry;
 
+    // Interrupt handler (must be a ring-0 function).
+    if (!irqHandlerName_.empty()) {
+        const Function &h = prog_->functionByName(irqHandlerName_);
+        if (!prog_->code[h.entry].kernel)
+            panic("program '{}': interrupt handler '{}' is not ring-0",
+                  prog_->name, irqHandlerName_);
+        prog_->irqHandlerEntry = h.entry;
+    }
+
     // Validate targets.
     for (const auto &inst : prog_->code) {
         switch (inst.op) {
@@ -664,6 +714,7 @@ ProgramBuilder::build()
           case Opcode::Jmp:
           case Opcode::Call:
           case Opcode::Spawn:
+          case Opcode::SysEnter:
             if (inst.target > prog_->code.size())
                 panic("program '{}': branch target out of range",
                       prog_->name);

@@ -171,6 +171,30 @@ class ProgramBuilder
     /** Call a modeled library function (args in r1..r3 by convention). */
     std::uint32_t libcall(LibFn fn);
 
+    // ---- privilege levels and interrupts ------------------------------------
+    /**
+     * While on, every emitted instruction is stamped ring-0 (its
+     * static `kernel` bit set) — use around kernel stub / interrupt
+     * handler function bodies.
+     */
+    ProgramBuilder &kernelMode(bool on);
+    /**
+     * Far branch into the ring-0 stub @p fname (CPL3 -> CPL0). The
+     * stub must be emitted under kernelMode(true) and return with
+     * sysRet().
+     */
+    std::uint32_t sysEnter(const std::string &fname);
+    /** Far return from a SysEnter frame (CPL0 -> CPL3). */
+    std::uint32_t sysRet();
+    /** Return from an asynchronous interrupt handler frame. */
+    std::uint32_t iret();
+    /**
+     * Register ring-0 function @p fname (ending in iret()) as the
+     * program's asynchronous interrupt handler; delivery only happens
+     * when MachineOptions::irq.prob > 0.
+     */
+    void setInterruptHandler(const std::string &fname);
+
     // ---- logging, output, termination ------------------------------------
     /**
      * A failure-logging call site (error(), ap_log_error(), ...).
@@ -254,6 +278,8 @@ class ProgramBuilder
     std::vector<WhileFrame> whileStack_;
     std::vector<std::size_t> alignRequests_;
     bool built_ = false;
+    bool kernelMode_ = false;
+    std::string irqHandlerName_;
 };
 
 } // namespace stm

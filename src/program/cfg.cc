@@ -33,6 +33,7 @@ Cfg::Cfg(const Program &prog)
             break;
           case Opcode::Call:
           case Opcode::Spawn:
+          case Opcode::SysEnter:
             if (valid(inst.target))
                 addEdge(i, inst.target, EdgeKind::Call);
             if (valid(i + 1))
@@ -41,7 +42,10 @@ Cfg::Cfg(const Program &prog)
           case Opcode::Ret:
           case Opcode::Halt:
           case Opcode::LogError:
+          case Opcode::SysRet:
+          case Opcode::Iret:
             // LogError is fail-stop in this VM: no successors.
+            // SysRet/Iret flow is modeled by the return-edge pass.
             break;
           case Opcode::IJmp:
           case Opcode::ICall:
@@ -56,18 +60,20 @@ Cfg::Cfg(const Program &prog)
         }
     }
 
-    // Return edges: each Ret in function f flows to every call site of
-    // f plus one (context-insensitive).
+    // Return edges: each Ret (SysRet for ring-0 stubs) in function f
+    // flows to every call site of f plus one (context-insensitive).
     for (const auto &f : prog.functions) {
         std::vector<std::uint32_t> rets;
         for (std::uint32_t i = f.entry; i < f.end && i < n; ++i) {
-            if (code[i].op == Opcode::Ret)
+            if (code[i].op == Opcode::Ret ||
+                code[i].op == Opcode::SysRet)
                 rets.push_back(i);
         }
         if (rets.empty())
             continue;
         for (std::uint32_t c = 0; c < n; ++c) {
-            if (code[c].op == Opcode::Call &&
+            if ((code[c].op == Opcode::Call ||
+                 code[c].op == Opcode::SysEnter) &&
                 code[c].target == f.entry && valid(c + 1)) {
                 for (auto r : rets)
                     addEdge(r, c + 1, EdgeKind::Return);
@@ -87,6 +93,7 @@ Cfg::Cfg(const Program &prog)
           case Opcode::Jmp:
           case Opcode::Call:
           case Opcode::Spawn:
+          case Opcode::SysEnter:
             if (valid(inst.target))
                 leaders_[inst.target] = true;
             if (valid(i + 1))
@@ -94,6 +101,8 @@ Cfg::Cfg(const Program &prog)
             break;
           case Opcode::Ret:
           case Opcode::Halt:
+          case Opcode::SysRet:
+          case Opcode::Iret:
             if (valid(i + 1))
                 leaders_[i + 1] = true;
             break;

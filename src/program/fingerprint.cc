@@ -72,6 +72,7 @@ fingerprintProgramBase(const Program &prog)
     FingerprintHasher f;
     f.str(prog.name);
     f.u32(prog.entry);
+    f.u32(prog.irqHandlerEntry);
 
     f.u64(prog.code.size());
     for (const Instruction &inst : prog.code) {
@@ -220,6 +221,8 @@ fingerprintMachineOptions(const MachineOptions &opts)
     f.u32(opts.cache.assoc);
     f.u32(opts.cache.blockBytes);
     f.u64(opts.maxSteps);
+    f.f64(opts.irq.prob);
+    f.u32(opts.irq.handlerStepBudget);
     f.u64(opts.mainArgs.size());
     for (Word w : opts.mainArgs)
         f.i64(w);

@@ -178,6 +178,14 @@ class Program
     std::uint32_t entry = 0;
 
     /**
+     * Entry index of the asynchronous interrupt handler (a ring-0
+     * function ending in Iret), or kNoIrqHandler if the program
+     * registers none. Set by ProgramBuilder::setInterruptHandler().
+     */
+    static constexpr std::uint32_t kNoIrqHandler = 0xffffffffu;
+    std::uint32_t irqHandlerEntry = kNoIrqHandler;
+
+    /**
      * Per-instruction dispatch flags (the opcode-derived bits of
      * isa/instruction.hh's dispatch namespace), parallel to `code`.
      * Precomputed by ProgramBuilder::build() via

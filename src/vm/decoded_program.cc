@@ -85,6 +85,12 @@ plainTokenOf(Opcode op)
         return ExecToken::Out;
       case Opcode::AssertEq:
         return ExecToken::AssertEq;
+      case Opcode::SysEnter:
+        return ExecToken::SysEnter;
+      case Opcode::SysRet:
+        return ExecToken::SysRet;
+      case Opcode::Iret:
+        return ExecToken::Iret;
     }
     return ExecToken::Nop; // unreachable: the enum is dense
 }

@@ -111,6 +111,9 @@ threadedDispatchAvailable()
     X(LogInfo)                                                         \
     X(Out)                                                             \
     X(AssertEq)                                                        \
+    X(SysEnter)                                                        \
+    X(SysRet)                                                          \
+    X(Iret)                                                            \
     X(FusedBrJmp)                                                      \
     X(FusedAddiBr)                                                     \
     X(FusedMoviAnd)                                                    \

@@ -213,6 +213,8 @@ Machine::prepareDispatch()
 
     useThreaded_ = kThreadedDispatchAvailable && !pairProf_ &&
                    opts_.dispatch != DispatchMode::Switch;
+    irqOn_ = opts_.irq.prob > 0.0 &&
+             prog_->irqHandlerEntry != Program::kNoIrqHandler;
     if (pairProf_) {
         pairLocal_ =
             std::make_unique<std::uint64_t[]>(kOpcodePairTableSize);
@@ -406,9 +408,12 @@ Machine::run()
 
     if (!ended_)
         endRun(RunOutcome::Completed, 0, 0, 0, "");
-    // Interpreter steps count as user instructions; charged here in
-    // one shot rather than per step (chargeUser adds library bodies).
-    result_.stats.userInstructions += steps_;
+    // Interpreter steps count as user instructions — minus the ones
+    // retired at CPL0 inside sysenter stubs, which are kernel work.
+    // Charged here in one shot rather than per step (chargeUser adds
+    // library bodies).
+    result_.stats.userInstructions += steps_ - kernelSteps_;
+    result_.stats.kernelInstructions += kernelSteps_;
     if (instr_->btsEnabled)
         result_.btsTrace = bts_.trace();
 
@@ -423,6 +428,8 @@ Machine::run()
     sample.memAccesses = memory_.accesses();
     sample.memFastHits = memory_.fastHits();
     sample.fusedPairs = fusedPairs_;
+    sample.irqDelivered = irqDelivered_;
+    sample.irqHandlerSteps = irqHandlerSteps_;
     for (std::uint32_t c = 0; c < bus_.numCores(); ++c) {
         sample.cacheLookups += bus_.cache(c).lookups();
         sample.cacheMruHits += bus_.cache(c).mruHits();
@@ -636,6 +643,261 @@ Machine::execSyscall(Thread &t, const Instruction &inst)
     }
     t.pc = pc + 1;
     return StepStatus::Continue;
+}
+
+Machine::StepStatus
+Machine::serviceInterrupt(Thread &t)
+{
+    ++irqDelivered_;
+    Pmu &pmu = *pmus_[t.id];
+
+    // Hardware interrupt frame: pc, CPL, and the register file are
+    // pushed at delivery and restored by Iret, so the handler can only
+    // talk to mainline code through memory.
+    const std::uint32_t savedPc = t.pc;
+    const std::uint8_t savedCpl = t.cpl;
+    const std::array<Word, kNumRegs> savedRegs = t.regs;
+
+    // Handler-side branch retirement: feeds LBR/BTS like any retired
+    // taken branch but, like chargeKernel's synthetic ring-0 branches,
+    // never bumps the user retirement counter — half of the bare-iret
+    // bit-identity contract (DESIGN.md §15).
+    auto retire = [&](BranchKind kind, SourceBranchId src, bool outcome,
+                      std::uint32_t from_idx, std::uint32_t to_idx) {
+        if (pmu.lbr().enabled() || bts_.enabled()) {
+            BranchRecord record;
+            record.fromIp = layout::codeAddr(from_idx);
+            record.toIp = layout::codeAddr(to_idx);
+            record.kind = kind;
+            record.kernel = true; // handler branches retire at CPL0
+            record.srcBranch = src;
+            record.outcome = outcome;
+            pmu.retireBranch(record);
+            chargeInstrumentation(bts_.retire(t.id, record));
+        }
+    };
+
+    // Delivery itself is a far transfer into ring 0.
+    retire(BranchKind::FarBranch, kNoSourceBranch, false, savedPc,
+           prog_->irqHandlerEntry);
+    t.cpl = 0;
+    t.pc = prog_->irqHandlerEntry;
+
+    std::vector<std::uint32_t> frames; // handler-local call stack
+    const std::uint32_t budget = opts_.irq.handlerStepBudget;
+    auto &regs = t.regs;
+
+    for (std::uint32_t handlerSteps = 0;; ++handlerSteps) {
+        if (handlerSteps >= budget) [[unlikely]] {
+            // Wedged handler / interrupt storm: deterministic hang.
+            profileOnFault(t.id);
+            endRun(RunOutcome::StepLimit, t.id, t.pc, kSegfaultSite,
+                   "interrupt handler exceeded its step budget");
+            return StepStatus::RunEnded;
+        }
+        const std::uint32_t pc = t.pc;
+        if (pc >= codeSize_) [[unlikely]] {
+            raiseSegfault(
+                t.id, "interrupt handler fell off the code segment");
+            return StepStatus::RunEnded;
+        }
+        const Instruction &inst = code_[pc];
+        if (std::int32_t bi = decoded_->beforeIdx[pc]; bi >= 0) {
+            // Instrumentation hooks run inside the handler too — this
+            // is how panic-path profiling (ProfileLbr right before a
+            // kernel failure-logging site) works.
+            runHooks(t, decoded_->hookLists[
+                            static_cast<std::size_t>(bi)]);
+            if (ended_)
+                return StepStatus::RunEnded;
+        }
+        ++irqHandlerSteps_;
+        // Handler work is ring-0 work. The frame push/pop pair (all a
+        // bare-iret handler executes) is free, so undelivered and
+        // no-op-delivered runs produce bit-identical RunResults.
+        if (inst.op != Opcode::Iret)
+            ++result_.stats.kernelInstructions;
+
+        switch (inst.op) {
+          case Opcode::Nop:
+            t.pc = pc + 1;
+            break;
+          case Opcode::Movi:
+            regs[inst.rd] = inst.imm;
+            t.pc = pc + 1;
+            break;
+          case Opcode::Mov:
+            regs[inst.rd] = regs[inst.ra];
+            t.pc = pc + 1;
+            break;
+          case Opcode::Add:
+            regs[inst.rd] = regs[inst.ra] + regs[inst.rb];
+            t.pc = pc + 1;
+            break;
+          case Opcode::Addi:
+            regs[inst.rd] = regs[inst.ra] + inst.imm;
+            t.pc = pc + 1;
+            break;
+          case Opcode::Sub:
+            regs[inst.rd] = regs[inst.ra] - regs[inst.rb];
+            t.pc = pc + 1;
+            break;
+          case Opcode::Mul:
+            regs[inst.rd] = regs[inst.ra] * regs[inst.rb];
+            t.pc = pc + 1;
+            break;
+          case Opcode::Div:
+          case Opcode::Mod:
+            if (regs[inst.rb] == 0) {
+                profileOnFault(t.id);
+                endRun(RunOutcome::ArithmeticFault, t.id, pc,
+                       kSegfaultSite,
+                       "division by zero in interrupt handler");
+                return StepStatus::RunEnded;
+            }
+            regs[inst.rd] = inst.op == Opcode::Div
+                                ? regs[inst.ra] / regs[inst.rb]
+                                : regs[inst.ra] % regs[inst.rb];
+            t.pc = pc + 1;
+            break;
+          case Opcode::And:
+            regs[inst.rd] = regs[inst.ra] & regs[inst.rb];
+            t.pc = pc + 1;
+            break;
+          case Opcode::Or:
+            regs[inst.rd] = regs[inst.ra] | regs[inst.rb];
+            t.pc = pc + 1;
+            break;
+          case Opcode::Xor:
+            regs[inst.rd] = regs[inst.ra] ^ regs[inst.rb];
+            t.pc = pc + 1;
+            break;
+          case Opcode::Shl:
+            regs[inst.rd] = regs[inst.ra] << (regs[inst.rb] & 63);
+            t.pc = pc + 1;
+            break;
+          case Opcode::Shr:
+            regs[inst.rd] = regs[inst.ra] >> (regs[inst.rb] & 63);
+            t.pc = pc + 1;
+            break;
+          case Opcode::Not:
+            regs[inst.rd] = ~regs[inst.ra];
+            t.pc = pc + 1;
+            break;
+          case Opcode::Neg:
+            regs[inst.rd] = -regs[inst.ra];
+            t.pc = pc + 1;
+            break;
+          case Opcode::Lea:
+            regs[inst.rd] = static_cast<Word>(
+                prog_->symbols[inst.symId].addr + inst.imm);
+            t.pc = pc + 1;
+            break;
+          case Opcode::Load:
+          case Opcode::Store: {
+            Addr ea = static_cast<Addr>(regs[inst.ra]) +
+                      static_cast<Addr>(inst.imm);
+            Word value = regs[inst.rb];
+            if (!dataAccess(t.id, layout::codeAddr(pc), ea,
+                            inst.op == Opcode::Store, &value, true)) {
+                return StepStatus::RunEnded;
+            }
+            if (inst.op == Opcode::Load)
+                regs[inst.rd] = value;
+            t.pc = pc + 1;
+            break;
+          }
+          case Opcode::Br:
+            if (evalCond(inst.cond, regs[inst.ra], regs[inst.rb])) {
+                retire(BranchKind::Conditional, inst.srcBranch,
+                       inst.outcomeWhenTaken, pc, inst.target);
+                t.pc = inst.target;
+            } else {
+                t.pc = pc + 1;
+            }
+            break;
+          case Opcode::Jmp:
+            retire(BranchKind::NearRelativeJump, inst.srcBranch,
+                   inst.outcomeWhenTaken, pc, inst.target);
+            t.pc = inst.target;
+            break;
+          case Opcode::Call:
+            retire(BranchKind::NearRelativeCall, inst.srcBranch,
+                   inst.outcomeWhenTaken, pc, inst.target);
+            frames.push_back(pc + 1);
+            t.pc = inst.target;
+            break;
+          case Opcode::Ret:
+            if (frames.empty()) {
+                raiseSegfault(t.id,
+                              "ret without a frame in interrupt "
+                              "handler (use iret)");
+                return StepStatus::RunEnded;
+            }
+            retire(BranchKind::NearReturn, inst.srcBranch,
+                   inst.outcomeWhenTaken, pc, frames.back());
+            t.pc = frames.back();
+            frames.pop_back();
+            break;
+          case Opcode::Out:
+            result_.output.push_back(regs[inst.ra]);
+            t.pc = pc + 1;
+            break;
+          case Opcode::AssertEq:
+            if (regs[inst.ra] != regs[inst.rb]) {
+                profileOnFault(t.id);
+                endRun(RunOutcome::AssertFailed, t.id, pc,
+                       kSegfaultSite,
+                       "assertion failed in interrupt handler");
+                return StepStatus::RunEnded;
+            }
+            t.pc = pc + 1;
+            break;
+          case Opcode::LogError: {
+            // Panic-path logging: a kernel failure-logging site.
+            const LogSiteInfo &site = prog_->logSite(inst.logSite);
+            endRun(RunOutcome::ErrorLogged, t.id, pc, site.id,
+                   site.message);
+            return StepStatus::RunEnded;
+          }
+          case Opcode::LogInfo:
+            // Kernel log buffer write: no library excursion, no cost.
+            t.pc = pc + 1;
+            break;
+          case Opcode::Halt:
+            endRun(RunOutcome::Completed, t.id, pc, 0, "");
+            return StepStatus::RunEnded;
+          case Opcode::Iret: {
+            retire(BranchKind::FarBranch, kNoSourceBranch, false, pc,
+                   savedPc);
+            if (std::int32_t ai = decoded_->afterIdx[pc]; ai >= 0) {
+                runHooks(t, decoded_->hookLists[
+                                static_cast<std::size_t>(ai)]);
+                if (ended_)
+                    return StepStatus::RunEnded;
+            }
+            t.regs = savedRegs;
+            t.cpl = savedCpl;
+            t.pc = savedPc;
+            return StepStatus::Continue;
+          }
+          default:
+            // Lock/Unlock/Spawn/Join/Yield/Syscall/LibCall/SysEnter/
+            // SysRet: blocking or ring-transition work is illegal in
+            // interrupt context (the classic driver-bug shape).
+            raiseSegfault(t.id, strfmt("opcode '{}' not permitted in "
+                                       "an interrupt handler",
+                                       opcodeName(inst.op)));
+            return StepStatus::RunEnded;
+        }
+
+        if (std::int32_t ai = decoded_->afterIdx[pc]; ai >= 0) {
+            runHooks(t, decoded_->hookLists[
+                            static_cast<std::size_t>(ai)]);
+            if (ended_)
+                return StepStatus::RunEnded;
+        }
+    }
 }
 
 void

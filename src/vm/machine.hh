@@ -155,6 +155,19 @@ class Machine
     StepStatus execSyscall(Thread &thread, const Instruction &inst);
     StepStatus execLibCall(Thread &thread, const Instruction &inst);
 
+    /**
+     * Deliver one asynchronous interrupt to @p thread: push the
+     * hardware frame (pc + registers), drop to CPL0, and run the
+     * registered handler to its Iret in a cold side interpreter.
+     * Synchronous with respect to the main loop — handler work never
+     * touches steps_, the quantum, or the seeded preemption/delivery
+     * draw pattern, and a bare-iret handler leaves the RunResult
+     * bit-identical to an undelivered run (the contract DESIGN.md §15
+     * documents and test_kernel pins). Returns RunEnded if the handler
+     * faults, logs a failure, or exhausts its step budget.
+     */
+    StepStatus serviceInterrupt(Thread &thread);
+
     /** Step-limit hang: profile whoever runs and end the run. */
     StepStatus stepLimitHang(Thread &thread);
 
@@ -226,6 +239,13 @@ class Machine
     std::uint64_t fusedPairs_ = 0;
     /** Dispatch via the computed-goto loop (vs the portable switch). */
     bool useThreaded_ = false;
+    /** Interrupt delivery armed (irq.prob > 0 and a handler exists). */
+    bool irqOn_ = false;
+    /** Interrupts delivered / handler instructions this run (vm stats). */
+    std::uint64_t irqDelivered_ = 0;
+    std::uint64_t irqHandlerSteps_ = 0;
+    /** Main-loop steps retired at CPL0 (sysenter stub bodies). */
+    std::uint64_t kernelSteps_ = 0;
     /** Opcode-pair profiling active: switch loop, unfused stream. */
     bool pairProf_ = false;
     /** Local (first, second) opcode histogram when pairProf_. */

@@ -34,6 +34,29 @@ struct SchedulerOptions
 };
 
 /**
+ * Asynchronous interrupt delivery. Delivery is seeded exactly like
+ * preemption: when `prob > 0` and the program registers an interrupt
+ * handler, the interpreter draws one extra Bernoulli sample from the
+ * run's RNG stream before every user-mode (CPL3) instruction; on a hit
+ * the handler runs to its `iret` in a side interpreter before the
+ * interrupted instruction executes. With `prob == 0.0` (the default)
+ * no draw is made, so runs are bit-identical to builds without the
+ * interrupt machinery — this is the contract that keeps all existing
+ * golden fingerprints pinned.
+ */
+struct InterruptOptions
+{
+    /** Per-user-instruction delivery probability (0 disables). */
+    double prob = 0.0;
+    /**
+     * Step budget for a single handler activation; exceeding it ends
+     * the run with Outcome::StepLimit (a deterministic "interrupt
+     * storm / wedged handler" symptom).
+     */
+    std::uint32_t handlerStepBudget = 4096;
+};
+
+/**
  * Interpreter dispatch strategy. Every mode produces bit-identical
  * RunResults — the threaded and switch loops share one handler-body
  * include and the golden corpus pins both (test_golden_determinism) —
@@ -59,6 +82,9 @@ struct MachineOptions
     /** Per-run overrides of global initial values (workload input). */
     std::vector<std::pair<std::string, std::vector<Word>>>
         globalOverrides;
+
+    /** Asynchronous interrupt delivery (off by default). */
+    InterruptOptions irq;
 
     /**
      * Dispatch mechanism knobs. Result-invariant by construction, so

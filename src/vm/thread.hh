@@ -48,6 +48,18 @@ struct Thread
     /** CCI sampling countdown (geometric). */
     std::uint32_t cciCountdown = 0;
 
+    /**
+     * Current privilege level: 3 (user) or 0 (kernel). Threads start
+     * in ring 3; SysEnter/interrupt delivery drop to ring 0 and
+     * SysRet/Iret return to ring 3.
+     */
+    std::uint8_t cpl = 3;
+    /**
+     * Return pc saved by SysEnter, consumed by SysRet. One slot is
+     * enough: SysEnter faults at CPL0, so stubs cannot nest.
+     */
+    std::uint32_t sysRetPc = 0;
+
     bool runnable() const { return state == ThreadState::Ready; }
 
     Addr stackLow() const { return layout::stackBase(id); }

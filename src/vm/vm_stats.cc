@@ -62,6 +62,8 @@ recordVmRun(const VmRunSample &sample)
     stats.counter("cache_lookups") += sample.cacheLookups;
     stats.counter("cache_mru_hits") += sample.cacheMruHits;
     stats.counter("fused_pairs") += sample.fusedPairs;
+    stats.counter("irq_delivered") += sample.irqDelivered;
+    stats.counter("irq_handler_steps") += sample.irqHandlerSteps;
 
     auto rate = [](std::uint64_t num, std::uint64_t den) {
         return den == 0 ? 0.0

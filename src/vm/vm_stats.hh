@@ -53,6 +53,13 @@ struct VmRunSample
     std::uint64_t cacheLookups = 0;
     std::uint64_t cacheMruHits = 0;
     std::uint64_t fusedPairs = 0;
+    /**
+     * Interrupt machinery totals: delivered interrupts and handler
+     * instructions retired in the side interpreter (which never count
+     * toward `steps`; see Machine::serviceInterrupt).
+     */
+    std::uint64_t irqDelivered = 0;
+    std::uint64_t irqHandlerSteps = 0;
 };
 
 /** Thread-safe: called by Machine::run() on pool workers. */

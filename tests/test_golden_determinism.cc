@@ -361,6 +361,41 @@ const std::map<std::string, std::uint64_t> kGolden = {
     {"micro-rtl/bare-fail", 0x8f95c401527f995bULL},
     {"micro-rtl/bare-succ", 0x508e2cbade1871a2ULL},
     {"micro-rtl/log-fail", 0x1f064ec5de4aba26ULL},
+    {"kirq-race/bare-fail", 0x628557cfa21dbeedULL},
+    {"kirq-race/bare-succ", 0x24edfb1c305e88fdULL},
+    {"kirq-race/log-fail", 0xa84142f76da8232aULL},
+    {"kirq-race/cbi-fail", 0x0d6814f7f4cac340ULL},
+    {"kirq-noise/bare-fail", 0xdf4d8149e6a9902eULL},
+    {"kirq-noise/bare-succ", 0xd7b4b02586f3d63aULL},
+    {"kirq-noise/log-fail", 0x3d27e703981f63c8ULL},
+    {"kirq-noise/cbi-fail", 0x8e7d510d8769a1e7ULL},
+    {"kirq-atomic/bare-fail", 0x6a5a7c9071fc856fULL},
+    {"kirq-atomic/bare-succ", 0x2b3e8c898a8effb1ULL},
+    {"kirq-atomic/log-fail", 0x0c76ebf2138c3e34ULL},
+    {"kirq-atomic/cbi-fail", 0x01622315eeab90ddULL},
+    {"kirq-storm/bare-fail", 0xb97357951c949d56ULL},
+    {"kirq-storm/bare-succ", 0xc4d0987fbe187294ULL},
+    {"kirq-storm/log-fail", 0xd8bc924672651885ULL},
+    {"kirq-storm/cbi-fail", 0xa5ee6bf10ff22161ULL},
+    {"kpanic/bare-fail", 0xb57d976b09467a01ULL},
+    {"kpanic/bare-succ", 0xf846802d241e6f46ULL},
+    {"kpanic/log-fail", 0x9cd1ed206615a681ULL},
+    {"kpanic/cbi-fail", 0x4755308b9418f13eULL},
+    {"ksys-check/bare-fail", 0xcace546dd8f8440dULL},
+    {"ksys-check/bare-succ", 0xa268a40fc8920345ULL},
+    {"ksys-check/log-fail", 0xdecec1bafd5555dbULL},
+    {"ksys-check/cbi-fail", 0x4bd7db874eec9a12ULL},
+    {"ksys-uar/bare-fail", 0xfa5cd11218a8ca58ULL},
+    {"ksys-uar/bare-succ", 0x7797d1ff67b22ec9ULL},
+    {"ksys-uar/log-fail", 0x3ed836c363396158ULL},
+    {"ksysret-leak/bare-fail", 0x13e22db54fc72592ULL},
+    {"ksysret-leak/bare-succ", 0x572e53c2acfea535ULL},
+    {"ksysret-leak/log-fail", 0x2685264bd1980cbcULL},
+    {"ksysret-leak/cbi-fail", 0x10c97bc9ef14e8f2ULL},
+    {"kirq-noise-quiet/bare-fail", 0xde19c8dfdcf28fbbULL},
+    {"kirq-noise-quiet/bare-succ", 0x791f280d33cf6d0eULL},
+    {"kirq-noise-quiet/log-fail", 0x0a4d7af0612d8246ULL},
+    {"kirq-noise-quiet/cbi-fail", 0x992ebbede6143861ULL},
     // GOLDEN-TABLE-END
 };
 
@@ -370,6 +405,12 @@ fullRegistry()
     std::vector<BugSpec> bugs = corpus::allBugs();
     std::vector<BugSpec> micro = corpus::microBugs();
     bugs.insert(bugs.end(), micro.begin(), micro.end());
+    // The kernel-mode pack: privilege transitions, seeded interrupt
+    // delivery, and ring-0 handler execution all pinned under every
+    // configuration and both dispatch modes.
+    std::vector<BugSpec> kernel = corpus::kernelBugs();
+    bugs.insert(bugs.end(), kernel.begin(), kernel.end());
+    bugs.push_back(corpus::bugById("kirq-noise-quiet"));
     return bugs;
 }
 

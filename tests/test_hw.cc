@@ -14,6 +14,8 @@
 #include "hw/msr.hh"
 #include "hw/perf_counter.hh"
 #include "hw/pmu.hh"
+#include "program/builder.hh"
+#include "vm/machine.hh"
 
 namespace stm
 {
@@ -441,6 +443,144 @@ TEST(Bts, PositionOfBranchIsPerThreadFromTheTail)
     EXPECT_EQ(bts.positionOfBranch(0, 2), 1u);
     EXPECT_EQ(bts.positionOfBranch(1, 2), 1u);
     EXPECT_EQ(bts.positionOfBranch(0, 9), 0u);
+}
+
+// ---- exhaustive LBR_SELECT sweep -------------------------------------------
+
+namespace
+{
+
+/**
+ * A program that retires every branch class in both rings: user and
+ * kernel conditionals, relative jumps, relative and indirect calls,
+ * returns, indirect jumps, and the far branches of the syscall
+ * boundary. The sweep below checks the machine's LBR against the
+ * naive reference filter on exactly this stream.
+ */
+ProgramPtr
+kernelNoiseProgram()
+{
+    using namespace regs;
+    ProgramBuilder b("lbr-select-sweep");
+
+    b.func("main");
+    b.movi(r4, 0);
+    b.movi(r5, 4);
+    b.beginWhile(Cond::Lt, r4, r5, "user loop");
+    {
+        b.movi(r6, 2);
+        // Both outcomes across the four iterations.
+        b.beginIf(Cond::Lt, r4, r6, "user conditional");
+        b.endIf();
+        b.call("leaf");
+        b.leaFunction(r7, "leaf");
+        b.icall(r7);
+        b.sysEnter("sys_noise");
+        b.addi(r4, r4, 1);
+    }
+    b.endWhile();
+    b.leaFunction(r8, "finish");
+    b.ijmp(r8);
+
+    b.func("leaf");
+    b.ret();
+
+    b.func("finish");
+    b.halt();
+
+    b.kernelMode(true);
+    b.func("sys_noise");
+    b.movi(r16, 0);
+    b.movi(r17, 3);
+    b.beginWhile(Cond::Lt, r16, r17, "kernel loop");
+    {
+        b.movi(r18, 1);
+        b.beginIf(Cond::Lt, r16, r18, "kernel conditional");
+        b.endIf();
+        b.addi(r16, r16, 1);
+    }
+    b.endWhile();
+    b.call("kleaf");
+    b.leaFunction(r19, "kleaf");
+    b.icall(r19);
+    b.leaFunction(r20, "kfinish");
+    b.ijmp(r20);
+
+    b.func("kleaf");
+    b.ret();
+
+    b.func("kfinish");
+    b.sysRet();
+    b.kernelMode(false);
+
+    return b.build();
+}
+
+} // namespace
+
+/**
+ * Property test over the full LBR_SELECT space: for each of the 512
+ * combinations of the nine Table 1 filter bits, the machine's
+ * 16-entry LBR at end of run must equal the naive reference — filter
+ * the complete retired-branch stream (captured once via BTS with a
+ * record-everything select) through lbrClassFilteredOut and keep the
+ * newest 16.
+ */
+TEST(Lbr, SelectSweepMatchesNaiveFilterOverKernelNoise)
+{
+    // Reference stream: BTS with select 0 appends every retired
+    // taken branch in order, kernel-stamped exactly as the LBR runs
+    // will see them.
+    ProgramPtr ref = kernelNoiseProgram();
+    ref->instrumentation.btsEnabled = true;
+    ref->instrumentation.btsSelectMask = 0;
+    RunResult refRun = Machine(ref).run();
+    ASSERT_EQ(refRun.outcome, RunOutcome::Completed);
+
+    // The stream must actually exercise every (class, ring) pair, or
+    // the sweep proves less than it claims.
+    auto seen = [&](BranchKind k, bool kernel) {
+        for (const auto &e : refRun.btsTrace)
+            if (e.record.kind == k && e.record.kernel == kernel)
+                return true;
+        return false;
+    };
+    for (BranchKind k :
+         {BranchKind::Conditional, BranchKind::NearRelativeJump,
+          BranchKind::NearRelativeCall, BranchKind::NearIndirectCall,
+          BranchKind::NearReturn, BranchKind::NearIndirectJump,
+          BranchKind::FarBranch}) {
+        EXPECT_TRUE(seen(k, false)) << static_cast<int>(k);
+        EXPECT_TRUE(seen(k, true)) << static_cast<int>(k);
+    }
+
+    for (std::uint64_t select = 0; select < 512; ++select) {
+        ProgramPtr p = kernelNoiseProgram();
+        p->instrumentation.enableLbrAtMain = true;
+        p->instrumentation.lbrSelectMask = select;
+        std::uint32_t haltIdx = 0;
+        for (std::uint32_t i = 0; i < p->code.size(); ++i)
+            if (p->code[i].op == Opcode::Halt)
+                haltIdx = i;
+        p->instrumentation.before[haltIdx].push_back(
+            Hook{HookAction::ProfileLbr, 0, false});
+
+        RunResult run = Machine(p).run();
+        ASSERT_EQ(run.outcome, RunOutcome::Completed);
+        ASSERT_EQ(run.profiles.size(), 1u) << "select=" << select;
+
+        std::vector<BranchRecord> kept;
+        for (const auto &e : refRun.btsTrace)
+            if (!lbrClassFilteredOut(select, e.record))
+                kept.push_back(e.record);
+        std::vector<BranchRecord> expect; // newest first, depth 16
+        for (auto it = kept.rbegin();
+             it != kept.rend() && expect.size() < 16; ++it)
+            expect.push_back(*it);
+
+        EXPECT_EQ(run.profiles[0].lbr, expect)
+            << "select=" << select;
+    }
 }
 
 } // namespace

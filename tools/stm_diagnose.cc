@@ -196,6 +196,14 @@ listCorpus()
     std::cout << "Table 3 micro-bugs:\n";
     for (const BugSpec &bug : corpus::microBugs())
         std::cout << "  " << bug.id << '\n';
+    std::cout << "kernel-mode pack:\n";
+    for (const BugSpec &bug : corpus::kernelBugs()) {
+        std::cout << "  " << bug.id << "  (" << bug.app << ", "
+                  << (bug.isConcurrent
+                          ? interleavingName(bug.interleaving)
+                          : bugClassName(bug.bugClass))
+                  << " -> " << symptomName(bug.symptom) << ")\n";
+    }
     return 0;
 }
 
