@@ -47,6 +47,39 @@ struct CacheGeometry
 class L1Cache
 {
   public:
+    struct Line
+    {
+        Addr tag = 0;
+        MesiState state = MesiState::Invalid;
+        std::uint64_t lastUse = 0;
+    };
+
+    /**
+     * The complete per-cache state a resumed run needs: every line's
+     * tag/MESI/LRU stamp, the MRU-way hints, the LRU tick, and the
+     * cumulative event counters (which feed cache-geometry RunResult
+     * invariants and the vm throughput gauges).
+     */
+    struct Snapshot
+    {
+        std::vector<Line> lines;
+        std::vector<std::uint32_t> mruWay;
+        std::uint64_t tick = 0;
+        std::uint64_t lookups = 0;
+        std::uint64_t mruHits = 0;
+        std::uint64_t fills = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t writebacks = 0;
+        std::uint64_t invalidationsReceived = 0;
+
+        std::size_t
+        approxBytes() const
+        {
+            return sizeof(Snapshot) + lines.capacity() * sizeof(Line) +
+                   mruWay.capacity() * sizeof(std::uint32_t);
+        }
+    };
+
     L1Cache(std::uint32_t core_id, const CacheGeometry &geometry);
 
     /** Block (line) address of @p addr. */
@@ -77,6 +110,11 @@ class L1Cache
     /** Drop every line (used between simulated runs). */
     void reset();
 
+    /** Capture the full mutable state (geometry is construction-fixed). */
+    Snapshot snapshotState() const;
+    /** Adopt @p snap; the geometry must match the construction one. */
+    void restoreState(const Snapshot &snap);
+
     std::uint32_t coreId() const { return coreId_; }
     const CacheGeometry &geometry() const { return geometry_; }
     StatGroup &stats() { return stats_; }
@@ -89,13 +127,6 @@ class L1Cache
 
   private:
     friend class Bus; //!< single-lookup access path in Bus::access
-
-    struct Line
-    {
-        Addr tag = 0;
-        MesiState state = MesiState::Invalid;
-        std::uint64_t lastUse = 0;
-    };
 
     std::uint32_t
     setIndex(Addr block) const

@@ -4,6 +4,7 @@
 
 #include "exec/run_cache.hh"
 #include "exec/run_pool.hh"
+#include "exec/snapshot_store.hh"
 #include "obs/trace.hh"
 #include "program/cfg.hh"
 #include "program/fingerprint.hh"
@@ -119,6 +120,7 @@ runAutoDiag(ProgramPtr prog, const Workload &failing,
                 workload.forRun(seed_base + i);
             machineOpts.lbrEntries = opts.log.lbrEntries;
             machineOpts.lcrEntries = opts.log.lcrEntries;
+            machineOpts.dispatch = opts.dispatch;
             return memoizedRun(prog, overlay, progFp, optionsFp,
                                machineOpts);
         };
@@ -181,7 +183,9 @@ runAutoDiag(ProgramPtr prog, const Workload &failing,
         // binary rewriting on the deployed binary). Only the O(sites)
         // overlay is touched — the pool drained before we got here,
         // and the next batch picks up the republished plan.
+        bool reprofiled = false;
         if (opts.scheme == transform::SuccessSiteScheme::Reactive) {
+            const std::uint64_t prePinFp = progFp;
             obs::TraceSpan reinstr(obs::TraceCategory::Diag,
                                    obs::TraceId::DiagReinstrument,
                                    result.site);
@@ -197,12 +201,53 @@ runAutoDiag(ProgramPtr prog, const Workload &failing,
                     result.site);
             }
             publishOverlay();
+            // Checkpointed re-profile: replay the pinning seed under
+            // the just-published plan, resuming from its newest
+            // pre-failure checkpoint (recorded under the PRE-pin
+            // program fingerprint — the plan swap does not perturb
+            // the trajectory, see AutoDiagOptions). Its profile
+            // replaces the pin run's pre-pin profile below; the
+            // resumed result is plan-B-observed under a plan-A
+            // prefix, so it must never enter the run cache.
+            if (opts.checkpointReprofile) {
+                MachineOptions pinOpts = failing.forRun(attempt - 1);
+                pinOpts.lbrEntries = opts.log.lbrEntries;
+                pinOpts.lcrEntries = opts.log.lcrEntries;
+                pinOpts.dispatch = opts.dispatch;
+                RunKey pinKey{prePinFp,
+                              fingerprintMachineOptions(pinOpts),
+                              pinOpts.sched.seed};
+                MachineCheckpointPtr base;
+                SnapshotStore *snapshots = globalSnapshotStore();
+                if (snapshots)
+                    base = snapshots->latestAtOrBefore(
+                        pinKey, ~std::uint64_t{0});
+                std::unique_ptr<Machine> machine;
+                if (base) {
+                    snapshots->noteRestore(base);
+                    machine = std::make_unique<Machine>(
+                        prog, pinOpts, overlay, base);
+                } else {
+                    machine = std::make_unique<Machine>(
+                        prog, pinOpts, overlay);
+                }
+                RunResult replay = machine->run();
+                const ProfileRecord *profile =
+                    pickProfile(replay, kind, site, false);
+                if (failing.isFailure(replay) && profile) {
+                    ranker.addFailureProfile(eventsOf(*profile));
+                    ++result.failureRunsUsed;
+                    reprofiled = true;
+                }
+            }
         }
-        const ProfileRecord *profile =
-            pickProfile(run, kind, site, false);
-        if (profile) {
-            ranker.addFailureProfile(eventsOf(*profile));
-            ++result.failureRunsUsed;
+        if (!reprofiled) {
+            const ProfileRecord *profile =
+                pickProfile(run, kind, site, false);
+            if (profile) {
+                ranker.addFailureProfile(eventsOf(*profile));
+                ++result.failureRunsUsed;
+            }
         }
         pinRun.reset();
     }

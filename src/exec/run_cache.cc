@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "exec/snapshot_store.hh"
 #include "obs/trace.hh"
 #include "program/fingerprint.hh"
 #include "support/logging.hh"
@@ -9,11 +10,8 @@
 namespace stm
 {
 
-namespace
-{
-
 std::uint64_t
-hashKey(const RunKey &key)
+RunKeyHash::operator()(const RunKey &key) const
 {
     FingerprintHasher f;
     f.u64(key.programFp);
@@ -21,6 +19,9 @@ hashKey(const RunKey &key)
     f.u64(key.seed);
     return f.value();
 }
+
+namespace
+{
 
 std::size_t
 profileBytes(const ProfileRecord &p)
@@ -56,55 +57,21 @@ approxRunResultBytes(const RunResult &result)
 
 RunCache::RunCache() : RunCache(Options{}) {}
 
-RunCache::RunCache(Options opts) : opts_(opts)
+RunCache::RunCache(Options opts)
+    : opts_(opts),
+      lru_("exec.run_cache", opts.maxBytes,
+           opts.shards == 0 ? 1 : opts.shards)
 {
-    if (opts_.shards == 0)
-        opts_.shards = 1;
-    shardBudget_ = opts_.maxBytes / opts_.shards;
-    if (shardBudget_ == 0)
-        shardBudget_ = 1;
-    shards_.reserve(opts_.shards);
-    for (unsigned i = 0; i < opts_.shards; ++i)
-        shards_.push_back(std::make_unique<Shard>());
-}
-
-RunCache::Shard &
-RunCache::shardFor(std::uint64_t hash)
-{
-    return *shards_[hash % shards_.size()];
-}
-
-void
-RunCache::bumpCounter(const char *stat, std::uint64_t n)
-{
-    std::lock_guard<std::mutex> lock(statsMu_);
-    stats_.counter(stat) += n;
 }
 
 bool
 RunCache::lookup(const RunKey &key, RunResult &out)
 {
-    std::uint64_t hash = hashKey(key);
-    Shard &shard = shardFor(hash);
-    {
-        std::lock_guard<std::mutex> lock(shard.mu);
-        auto it = shard.index.find(hash);
-        if (it != shard.index.end()) {
-            for (auto entryIt : it->second) {
-                if (entryIt->key == key) {
-                    shard.lru.splice(shard.lru.begin(), shard.lru,
-                                     entryIt);
-                    out = entryIt->result;
-                    bumpCounter("hits");
-                    obs::traceInstant(obs::TraceCategory::Exec,
-                                      obs::TraceId::ExecCacheHit,
-                                      key.seed);
-                    return true;
-                }
-            }
-        }
+    if (lru_.lookup(key, out)) {
+        obs::traceInstant(obs::TraceCategory::Exec,
+                          obs::TraceId::ExecCacheHit, key.seed);
+        return true;
     }
-    bumpCounter("misses");
     obs::traceInstant(obs::TraceCategory::Exec,
                       obs::TraceId::ExecCacheMiss, key.seed);
     return false;
@@ -114,116 +81,51 @@ void
 RunCache::insert(const RunKey &key, const RunResult &result)
 {
     std::size_t bytes = approxRunResultBytes(result);
-    if (bytes > shardBudget_) {
-        // Caching it would immediately evict everything else in the
-        // shard for a single entry; not worth it.
-        bumpCounter("oversize");
-        return;
-    }
-    std::uint64_t hash = hashKey(key);
-    Shard &shard = shardFor(hash);
-    std::uint64_t evicted = 0;
-    std::uint64_t evictedBytes = 0;
-    {
-        std::lock_guard<std::mutex> lock(shard.mu);
-        auto indexIt = shard.index.find(hash);
-        if (indexIt != shard.index.end()) {
-            for (auto entryIt : indexIt->second) {
-                if (entryIt->key == key)
-                    return; // somebody else raced the insert
-            }
-        }
-        while (shard.bytes + bytes > shardBudget_ &&
-               !shard.lru.empty()) {
-            Entry &victim = shard.lru.back();
-            std::uint64_t victimHash = hashKey(victim.key);
-            auto chainIt = shard.index.find(victimHash);
-            auto &chain = chainIt->second;
-            for (auto cit = chain.begin(); cit != chain.end(); ++cit) {
-                if ((*cit)->key == victim.key) {
-                    chain.erase(cit);
-                    break;
-                }
-            }
-            if (chain.empty())
-                shard.index.erase(chainIt);
-            shard.bytes -= victim.bytes;
-            evictedBytes += victim.bytes;
-            shard.lru.pop_back();
-            ++evicted;
-        }
-        shard.lru.push_front(Entry{key, result, bytes});
-        shard.index[hash].push_back(shard.lru.begin());
-        shard.bytes += bytes;
-    }
-    bumpCounter("inserts");
-    if (evicted > 0) {
-        bumpCounter("evictions", evicted);
+    LruOutcome outcome = lru_.insert(key, result, bytes);
+    if (outcome.evicted > 0) {
         obs::traceInstant(obs::TraceCategory::Exec,
-                          obs::TraceId::ExecCacheEvict, evictedBytes);
+                          obs::TraceId::ExecCacheEvict,
+                          outcome.evictedBytes);
     }
 }
 
 std::size_t
 RunCache::size() const
 {
-    std::size_t n = 0;
-    for (const auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        n += shard->lru.size();
-    }
-    return n;
+    return lru_.size();
 }
 
 std::size_t
 RunCache::bytes() const
 {
-    std::size_t n = 0;
-    for (const auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        n += shard->bytes;
-    }
-    return n;
+    return lru_.bytes();
 }
 
 void
 RunCache::clear()
 {
-    for (auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        shard->lru.clear();
-        shard->index.clear();
-        shard->bytes = 0;
-    }
+    lru_.clear();
 }
 
 void
 RunCache::noteVerified()
 {
-    bumpCounter("verified");
+    lru_.bumpCounter("verified");
 }
 
 StatGroup
 RunCache::statsSnapshot() const
 {
-    StatGroup snap("exec.run_cache");
-    {
-        std::lock_guard<std::mutex> lock(statsMu_);
-        for (const char *stat : {"hits", "misses", "inserts",
-                                 "evictions", "verified", "oversize"})
-            snap.counter(stat) += stats_.value(stat);
-    }
-    snap.gauge("entries").set(static_cast<double>(size()));
-    snap.gauge("bytes").set(static_cast<double>(bytes()));
-    return snap;
+    return lru_.statsSnapshot("exec.run_cache",
+                              {"hits", "misses", "inserts", "evictions",
+                               "verified", "oversize"});
 }
 
 double
 RunCache::hitRate() const
 {
-    std::lock_guard<std::mutex> lock(statsMu_);
-    std::uint64_t hits = stats_.value("hits");
-    std::uint64_t misses = stats_.value("misses");
+    std::uint64_t hits = lru_.counterValue("hits");
+    std::uint64_t misses = lru_.counterValue("misses");
     if (hits + misses == 0)
         return 0.0;
     return static_cast<double>(hits) /
@@ -313,31 +215,55 @@ memoizedRun(const ProgramPtr &prog,
             std::uint64_t programFp, std::uint64_t optionsFp,
             const MachineOptions &opts)
 {
-    RunCache *cache = globalRunCache();
-    if (!cache) {
-        Machine machine(prog, opts, overlay);
-        return machine.run();
-    }
-
     RunKey key{programFp, optionsFp, opts.sched.seed};
+    RunCache *cache = globalRunCache();
+    SnapshotStore *snapshots = globalSnapshotStore();
+
+    // Fresh execution; with the snapshot store on, the run records
+    // its √T-spaced checkpoint timeline as it goes.
+    auto execute = [&] {
+        Machine machine(prog, opts, overlay);
+        if (snapshots)
+            snapshots->arm(machine, key);
+        return machine.run();
+    };
+
+    if (!cache)
+        return execute();
+
     RunResult cached;
     if (cache->lookup(key, cached)) {
         if (cache->verifyMode()) {
-            Machine machine(prog, opts, overlay);
-            RunResult replay = machine.run();
+            // Prefer resuming the replay from the newest recorded
+            // checkpoint: the suffix must still bit-match, and the
+            // comparison below covers the checkpoint-carried prefix
+            // (RunResult accumulates from step 0 through the
+            // checkpoint into the resumed run).
+            RunResult replay;
+            MachineCheckpointPtr resume =
+                snapshots ? snapshots->latestAtOrBefore(
+                                key, ~std::uint64_t{0})
+                          : nullptr;
+            if (resume) {
+                snapshots->noteRestore(resume);
+                Machine machine(prog, opts, overlay, resume);
+                replay = machine.run();
+            } else {
+                replay = execute();
+            }
             if (!(replay == cached)) {
                 fatal("run cache verify mismatch: program fp {}, "
                       "options fp {}, seed {} — cached RunResult is "
-                      "not bit-identical to a replay",
-                      key.programFp, key.optionsFp, key.seed);
+                      "not bit-identical to a replay{}",
+                      key.programFp, key.optionsFp, key.seed,
+                      resume ? " resumed from a checkpoint" : "");
             }
             cache->noteVerified();
         }
         return cached;
     }
 
-    Machine machine(prog, opts, overlay);
-    RunResult result = machine.run();
+    RunResult result = execute();
     cache->insert(key, result);
     return result;
 }

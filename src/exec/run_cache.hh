@@ -27,6 +27,15 @@
  *    (operator==); any mismatch is fatal. This turns the fingerprint
  *    collision argument into a checked invariant — and doubles as a
  *    whole-corpus determinism audit (see test_golden_determinism.cc).
+ *    With a SnapshotStore holding checkpoints of the keyed run, the
+ *    verify replay may resume from the latest checkpoint instead of
+ *    step 0 (exec/snapshot_store.hh) — the suffix must still match
+ *    the cached result bit-for-bit.
+ *
+ * The shard/LRU/eviction mechanics live in support/sharded_lru.hh
+ * (shared with the decode cache and the SnapshotStore); this wrapper
+ * owns key hashing, byte estimation, trace instants, and verify
+ * policy.
  *
  * Process-wide wiring: callers go through memoizedRun(), which
  * consults the global cache configured by configureRunCache() /
@@ -38,12 +47,10 @@
 #define STM_EXEC_RUN_CACHE_HH
 
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
-#include <vector>
+#include <string>
 
+#include "support/sharded_lru.hh"
 #include "support/stats.hh"
 #include "vm/machine.hh"
 #include "vm/run_result.hh"
@@ -59,6 +66,12 @@ struct RunKey
     std::uint64_t seed = 0;      //!< sched.seed of this run
 
     bool operator==(const RunKey &) const = default;
+};
+
+/** Content digest of a RunKey (the ShardedLru routing hash). */
+struct RunKeyHash
+{
+    std::uint64_t operator()(const RunKey &key) const;
 };
 
 /** Approximate retained-heap size of one cached RunResult. */
@@ -120,33 +133,8 @@ class RunCache
     double hitRate() const;
 
   private:
-    struct Entry
-    {
-        RunKey key;
-        RunResult result;
-        std::size_t bytes = 0;
-    };
-
-    struct Shard
-    {
-        mutable std::mutex mu;
-        /** Most-recently-used first. */
-        std::list<Entry> lru;
-        std::unordered_map<std::uint64_t,
-                           std::vector<std::list<Entry>::iterator>>
-            index; //!< key hash → entries (collision chain)
-        std::size_t bytes = 0;
-    };
-
-    Shard &shardFor(std::uint64_t hash);
-    void bumpCounter(const char *stat, std::uint64_t n = 1);
-
     Options opts_;
-    std::size_t shardBudget_;
-    std::vector<std::unique_ptr<Shard>> shards_;
-
-    mutable std::mutex statsMu_;
-    StatGroup stats_{"exec.run_cache"};
+    ShardedLru<RunKey, RunResult, RunKeyHash> lru_;
 };
 
 /** How memoizedRun treats the process-wide cache. */
@@ -181,6 +169,10 @@ RunCache *globalRunCache();
  * or fingerprintProgram(*prog) when @p overlay is null); @p optionsFp
  * the fingerprintMachineOptions(opts) digest. Campaigns compute both
  * once per phase and share them across every seed in the batch.
+ *
+ * When the global SnapshotStore holds checkpoints for the key,
+ * verify-mode replays resume from the latest checkpoint instead of
+ * step 0 (same plan, same seed — the suffix must still bit-match).
  */
 RunResult memoizedRun(const ProgramPtr &prog,
                       const std::shared_ptr<const Instrumentation> &overlay,

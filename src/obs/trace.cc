@@ -247,6 +247,12 @@ traceIdName(TraceId id)
         return "vm.decode_miss";
       case TraceId::VmDecodeEvict:
         return "vm.decode_evict";
+      case TraceId::ExecCkptSave:
+        return "exec.ckpt_save";
+      case TraceId::ExecCkptRestore:
+        return "exec.ckpt_restore";
+      case TraceId::ExecCkptEvict:
+        return "exec.ckpt_evict";
     }
     return "unknown";
 }

@@ -98,8 +98,12 @@ enum class TraceId : std::uint16_t {
     VmDecodeHit,   //!< predecoded program served from cache; arg = pcs
     VmDecodeMiss,  //!< predecode built on miss; arg = pcs
     VmDecodeEvict, //!< LRU predecode evicted for space; arg = bytes freed
+    // exec snapshot store (appended: dump ids above must stay stable)
+    ExecCkptSave,    //!< checkpoint recorded; arg = step
+    ExecCkptRestore, //!< seek resumed from a checkpoint; arg = step
+    ExecCkptEvict,   //!< timeline evicted for space; arg = bytes freed
 };
-constexpr std::uint16_t kTraceIdCount = 26;
+constexpr std::uint16_t kTraceIdCount = 29;
 
 /** Human-readable names (used by the Chrome exporter and stats). */
 std::string traceCategoryName(TraceCategory category);

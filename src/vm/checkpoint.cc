@@ -1,0 +1,29 @@
+#include "vm/checkpoint.hh"
+
+namespace stm
+{
+
+std::size_t
+MachineCheckpoint::approxStateBytes() const
+{
+    std::size_t bytes = sizeof(MachineCheckpoint);
+    for (const auto &t : threads)
+        bytes += sizeof(Thread) +
+                 t.callStack.capacity() * sizeof(std::uint32_t);
+    bytes += mutexes.size() *
+             (sizeof(Addr) + sizeof(MachineMutex) + 16);
+    for (const auto &p : pmus) {
+        bytes += sizeof(PmuSnapshot) +
+                 p.lbr.capacity() * sizeof(BranchRecord);
+    }
+    // LCR rings: capacity() is per-thread K; one ring per thread that
+    // has recorded. The domain does not expose its ring list, so
+    // price the worst case — K records per thread.
+    bytes += threads.size() * lcr.capacity() * sizeof(LcrRecord);
+    bytes += bts.size() * sizeof(BtsEntry);
+    bytes += bus.approxBytes();
+    bytes += memory.approxBytes();
+    return bytes;
+}
+
+} // namespace stm

@@ -1,6 +1,8 @@
 #include "vm/decode_cache.hh"
 
 #include <cstdlib>
+#include <mutex>
+#include <utility>
 
 #include "obs/trace.hh"
 #include "program/fingerprint.hh"
@@ -8,11 +10,8 @@
 namespace stm
 {
 
-namespace
-{
-
 std::uint64_t
-hashKey(const DecodeKey &key)
+DecodeKeyHash::operator()(const DecodeKey &key) const
 {
     FingerprintHasher f;
     f.u64(key.baseFp);
@@ -21,33 +20,12 @@ hashKey(const DecodeKey &key)
     return f.value();
 }
 
-} // namespace
-
 DecodeCache::DecodeCache() : DecodeCache(Options{}) {}
 
-DecodeCache::DecodeCache(Options opts) : opts_(opts)
+DecodeCache::DecodeCache(Options opts)
+    : lru_("vm.decode_cache", opts.maxBytes,
+           opts.shards == 0 ? 1 : opts.shards)
 {
-    if (opts_.shards == 0)
-        opts_.shards = 1;
-    shardBudget_ = opts_.maxBytes / opts_.shards;
-    if (shardBudget_ == 0)
-        shardBudget_ = 1;
-    shards_.reserve(opts_.shards);
-    for (unsigned i = 0; i < opts_.shards; ++i)
-        shards_.push_back(std::make_unique<Shard>());
-}
-
-DecodeCache::Shard &
-DecodeCache::shardFor(std::uint64_t hash)
-{
-    return *shards_[hash % shards_.size()];
-}
-
-void
-DecodeCache::bumpCounter(const char *stat, std::uint64_t n)
-{
-    std::lock_guard<std::mutex> lock(statsMu_);
-    stats_.counter(stat) += n;
 }
 
 DecodedProgramPtr
@@ -58,117 +36,54 @@ DecodeCache::acquire(const Program &prog, const Instrumentation &instr,
     key.baseFp = memoizedProgramBaseFingerprint(prog);
     key.hookFp = fingerprintHookTables(instr);
     key.fused = fuse;
-    std::uint64_t hash = hashKey(key);
-    Shard &shard = shardFor(hash);
-
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto indexIt = shard.index.find(hash);
-    if (indexIt != shard.index.end()) {
-        for (auto entryIt : indexIt->second) {
-            if (entryIt->key == key) {
-                shard.lru.splice(shard.lru.begin(), shard.lru,
-                                 entryIt);
-                bumpCounter("hits");
-                obs::traceInstant(obs::TraceCategory::Vm,
-                                  obs::TraceId::VmDecodeHit,
-                                  entryIt->decoded->ops.size());
-                return entryIt->decoded;
-            }
-        }
-    }
 
     // Build under the shard lock: predecode is O(program) and rare,
     // and holding the lock guarantees concurrent campaigns over one
     // program build the stream exactly once (asserted in
     // test_decode_cache's TSan lane).
-    bumpCounter("misses");
-    DecodedProgramPtr built = predecode(prog, instr, fuse);
-    obs::traceInstant(obs::TraceCategory::Vm, obs::TraceId::VmDecodeMiss,
-                      built->ops.size());
-    std::size_t bytes = built->approxBytes();
-    if (bytes > shardBudget_) {
-        // Caching it would immediately evict the whole shard for one
-        // entry; hand it out uncached.
-        bumpCounter("oversize");
-        return built;
-    }
-    std::uint64_t evicted = 0;
-    std::uint64_t evictedBytes = 0;
-    while (shard.bytes + bytes > shardBudget_ && !shard.lru.empty()) {
-        Entry &victim = shard.lru.back();
-        std::uint64_t victimHash = hashKey(victim.key);
-        auto chainIt = shard.index.find(victimHash);
-        auto &chain = chainIt->second;
-        for (auto cit = chain.begin(); cit != chain.end(); ++cit) {
-            if ((*cit)->key == victim.key) {
-                chain.erase(cit);
-                break;
-            }
-        }
-        if (chain.empty())
-            shard.index.erase(chainIt);
-        shard.bytes -= victim.bytes;
-        evictedBytes += victim.bytes;
-        shard.lru.pop_back();
-        ++evicted;
-    }
-    shard.lru.push_front(Entry{key, built, bytes});
-    shard.index[hash].push_back(shard.lru.begin());
-    shard.bytes += bytes;
-    if (evicted > 0) {
-        bumpCounter("evictions", evicted);
+    auto [decoded, outcome] = lru_.acquire(key, [&] {
+        DecodedProgramPtr built = predecode(prog, instr, fuse);
+        return std::pair{built, built->approxBytes()};
+    });
+    if (outcome.hit) {
         obs::traceInstant(obs::TraceCategory::Vm,
-                          obs::TraceId::VmDecodeEvict, evictedBytes);
+                          obs::TraceId::VmDecodeHit,
+                          decoded->ops.size());
+        return decoded;
     }
-    return built;
+    obs::traceInstant(obs::TraceCategory::Vm, obs::TraceId::VmDecodeMiss,
+                      decoded->ops.size());
+    if (outcome.evicted > 0) {
+        obs::traceInstant(obs::TraceCategory::Vm,
+                          obs::TraceId::VmDecodeEvict,
+                          outcome.evictedBytes);
+    }
+    return decoded;
 }
 
 std::size_t
 DecodeCache::size() const
 {
-    std::size_t n = 0;
-    for (const auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        n += shard->lru.size();
-    }
-    return n;
+    return lru_.size();
 }
 
 std::size_t
 DecodeCache::bytes() const
 {
-    std::size_t n = 0;
-    for (const auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        n += shard->bytes;
-    }
-    return n;
+    return lru_.bytes();
 }
 
 void
 DecodeCache::clear()
 {
-    for (auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        shard->lru.clear();
-        shard->index.clear();
-        shard->bytes = 0;
-    }
+    lru_.clear();
 }
 
 StatGroup
 DecodeCache::statsSnapshot() const
 {
-    StatGroup snap("vm.decode_cache");
-    {
-        std::lock_guard<std::mutex> lock(statsMu_);
-        for (const char *stat :
-             {"hits", "misses", "evictions", "oversize"})
-            snap.counter(stat) += stats_.value(stat);
-    }
-    snap.gauge("entries").set(static_cast<double>(size()));
-    snap.gauge("bytes").set(static_cast<double>(bytes()));
-    return snap;
+    return lru_.statsSnapshot(
+        "vm.decode_cache", {"hits", "misses", "evictions", "oversize"});
 }
 
 namespace

@@ -24,6 +24,11 @@
  *    eviction; a stream bigger than a whole shard budget is returned
  *    uncached (counted `oversize`).
  *
+ * The shard/LRU/eviction mechanics live in support/sharded_lru.hh
+ * (shared with the run cache and the SnapshotStore); the build-on-miss
+ * path uses its acquire() idiom, which holds the shard lock across
+ * the predecode so concurrent campaigns build exactly once.
+ *
  * Statistics are a StatGroup ("vm.decode_cache": hits, misses,
  * evictions, oversize; entries/bytes gauges) and the hit/miss/evict
  * seams emit trace instants (VmDecodeHit/Miss/Evict).
@@ -33,13 +38,10 @@
 #define STM_VM_DECODE_CACHE_HH
 
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
-#include <vector>
 
 #include "program/program.hh"
+#include "support/sharded_lru.hh"
 #include "support/stats.hh"
 #include "vm/decoded_program.hh"
 
@@ -54,6 +56,12 @@ struct DecodeKey
     bool fused = false;       //!< superinstruction fusion applied
 
     bool operator==(const DecodeKey &) const = default;
+};
+
+/** Content digest of a DecodeKey (the ShardedLru routing hash). */
+struct DecodeKeyHash
+{
+    std::uint64_t operator()(const DecodeKey &key) const;
 };
 
 /** A sharded, bounded, LRU map DecodeKey → DecodedProgramPtr. */
@@ -98,33 +106,7 @@ class DecodeCache
     StatGroup statsSnapshot() const;
 
   private:
-    struct Entry
-    {
-        DecodeKey key;
-        DecodedProgramPtr decoded;
-        std::size_t bytes = 0;
-    };
-
-    struct Shard
-    {
-        mutable std::mutex mu;
-        /** Most-recently-used first. */
-        std::list<Entry> lru;
-        std::unordered_map<std::uint64_t,
-                           std::vector<std::list<Entry>::iterator>>
-            index; //!< key hash → entries (collision chain)
-        std::size_t bytes = 0;
-    };
-
-    Shard &shardFor(std::uint64_t hash);
-    void bumpCounter(const char *stat, std::uint64_t n = 1);
-
-    Options opts_;
-    std::size_t shardBudget_;
-    std::vector<std::unique_ptr<Shard>> shards_;
-
-    mutable std::mutex statsMu_;
-    StatGroup stats_{"vm.decode_cache"};
+    ShardedLru<DecodeKey, DecodedProgramPtr, DecodeKeyHash> lru_;
 };
 
 /**

@@ -41,6 +41,16 @@ Machine::Machine(ProgramPtr prog, MachineOptions opts,
     globalsEnd_ = prog_->globalsEnd();
 }
 
+Machine::Machine(ProgramPtr prog, MachineOptions opts,
+                 std::shared_ptr<const Instrumentation> overlay,
+                 MachineCheckpointPtr resume_from)
+    : Machine(std::move(prog), std::move(opts), std::move(overlay))
+{
+    resumeFrom_ = std::move(resume_from);
+    if (!resumeFrom_)
+        fatal("Machine resume constructor requires a checkpoint");
+}
+
 Machine::~Machine() = default;
 
 Pmu &
@@ -246,14 +256,7 @@ Machine::spawnThread(std::uint32_t entry_pc, Word arg)
     // the pc of matching coherence events on overflow interrupts.
     const Instrumentation &instr = *instr_;
     if (instr.pbiEnabled) {
-        auto sampler = [this](const CoherenceEvent &event) {
-            // ~interrupt + handler cost
-            chargeInstrumentation(30);
-            std::uint8_t key = static_cast<std::uint8_t>(
-                (static_cast<std::uint8_t>(event.observed) << 1) |
-                (event.store ? 1 : 0));
-            ++result_.pbiSamples[{event.pc, key}];
-        };
+        PerfCounter::OverflowHandler sampler = pbiSampler();
         pmu->counter(0).configure(msr::kEventLoad, instr.pbiLoadMask,
                                   false, true);
         pmu->counter(0).setSampling(instr.pbiPeriod, sampler);
@@ -268,6 +271,19 @@ Machine::spawnThread(std::uint32_t entry_pc, Word arg)
     pmus_.push_back(std::move(pmu));
     bus_.addCore(tid);
     return *threads_.back();
+}
+
+PerfCounter::OverflowHandler
+Machine::pbiSampler()
+{
+    return [this](const CoherenceEvent &event) {
+        // ~interrupt + handler cost
+        chargeInstrumentation(30);
+        std::uint8_t key = static_cast<std::uint8_t>(
+            (static_cast<std::uint8_t>(event.observed) << 1) |
+            (event.store ? 1 : 0));
+        ++result_.pbiSamples[{event.pc, key}];
+    };
 }
 
 bool
@@ -322,12 +338,18 @@ Machine::profileOnFault(ThreadId tid)
         driver::profileLcr(*this, tid, kSegfaultSite, false);
 }
 
-RunResult
-Machine::run()
+void
+Machine::bootOrRestore()
 {
-    auto runStart = std::chrono::steady_clock::now();
-    obs::TraceSpan runSpan(obs::TraceCategory::Vm, obs::TraceId::VmRun,
-                           opts_.sched.seed);
+    if (booted_)
+        return;
+    booted_ = true;
+
+    if (resumeFrom_) {
+        restoreFromCheckpoint(*resumeFrom_);
+        return;
+    }
+
     prepareDispatch();
     initMemoryImage();
 
@@ -356,23 +378,149 @@ Machine::run()
     result_.stats.setupInstructions =
         result_.stats.instrumentationInstructions;
 
-    ThreadId current = 0;
-    std::uint32_t quantumLeft = opts_.sched.quantum;
+    schedCurrent_ = 0;
+    schedQuantumLeft_ = opts_.sched.quantum;
+}
+
+void
+Machine::restoreFromCheckpoint(const MachineCheckpoint &ckpt)
+{
+    // The run's identity (program, decoded stream, dispatch mode) is
+    // reconstructed, not restored: the checkpoint only carries the
+    // mutable trajectory state.
+    prepareDispatch();
+
+    rng_ = ckpt.rng;
+    if (ckpt.pmus.size() != ckpt.threads.size())
+        fatal("malformed checkpoint: {} threads but {} PMUs",
+              ckpt.threads.size(), ckpt.pmus.size());
+    const bool pbi = instr_->pbiEnabled;
+    for (std::size_t i = 0; i < ckpt.threads.size(); ++i) {
+        threads_.push_back(
+            std::make_unique<Thread>(ckpt.threads[i]));
+        auto pmu = std::make_unique<Pmu>(opts_.lbrEntries);
+        pmu->lbr() = ckpt.pmus[i].lbr;
+        for (std::size_t c = 0; c < Pmu::kNumCounters; ++c) {
+            // Counters 0/1 are the PBI pair (spawnThread); they get
+            // this Machine's sampler binding, with the checkpointed
+            // jitter/threshold state preserved so the resumed run
+            // samples the exact events the original would have.
+            bool sampled = pbi && c < 2;
+            pmu->counter(c).restoreState(
+                ckpt.pmus[i].counters[c],
+                sampled ? pbiSampler()
+                        : PerfCounter::OverflowHandler{});
+        }
+        pmus_.push_back(std::move(pmu));
+        bus_.addCore(static_cast<std::uint32_t>(i));
+    }
+    bus_.restoreState(ckpt.bus);
+    lcr_ = ckpt.lcr;
+    bts_ = ckpt.bts;
+    memory_.restore(ckpt.memory);
+    heapBrk_ = ckpt.heapBrk;
+    stackSpan_ = ckpt.stackSpan;
+    mutexes_ = ckpt.mutexes;
+    steps_ = ckpt.step;
+    kernelSteps_ = ckpt.kernelSteps;
+    irqDelivered_ = ckpt.irqDelivered;
+    irqHandlerSteps_ = ckpt.irqHandlerSteps;
+    fusedPairs_ = ckpt.fusedPairs;
+    result_ = ckpt.result;
+    schedCurrent_ = ckpt.schedCurrent;
+    schedQuantumLeft_ = ckpt.schedQuantumLeft;
+    lastCkptStep_ = ckpt.step;
+    ended_ = false;
+}
+
+MachineCheckpointPtr
+Machine::checkpoint()
+{
+    if (!booted_) {
+        // Not yet running: the resume point itself, or a boot-state
+        // capture for a fresh machine.
+        if (resumeFrom_)
+            return resumeFrom_;
+        bootOrRestore();
+    }
+    auto ck = std::make_shared<MachineCheckpoint>();
+    ck->step = steps_;
+    ck->schedCurrent = schedCurrent_;
+    ck->schedQuantumLeft = schedQuantumLeft_;
+    ck->rng = rng_;
+    ck->threads.reserve(threads_.size());
+    for (const auto &t : threads_)
+        ck->threads.push_back(*t);
+    ck->mutexes = mutexes_;
+    ck->pmus.reserve(pmus_.size());
+    for (const auto &p : pmus_) {
+        PmuSnapshot ps;
+        ps.lbr = p->lbr();
+        for (std::size_t c = 0; c < Pmu::kNumCounters; ++c)
+            ps.counters[c] = p->counter(c).snapshotState();
+        ck->pmus.push_back(std::move(ps));
+    }
+    ck->lcr = lcr_;
+    ck->bts = bts_;
+    ck->bus = bus_.snapshotState();
+    ck->memory = memory_.fork();
+    ck->heapBrk = heapBrk_;
+    ck->stackSpan = stackSpan_;
+    ck->kernelSteps = kernelSteps_;
+    ck->irqDelivered = irqDelivered_;
+    ck->irqHandlerSteps = irqHandlerSteps_;
+    ck->fusedPairs = fusedPairs_;
+    ck->result = result_;
+    return ck;
+}
+
+void
+Machine::enableCheckpoints(
+    std::uint64_t every_steps,
+    std::function<void(MachineCheckpointPtr)> sink)
+{
+    ckptEvery_ = every_steps;
+    ckptSink_ = std::move(sink);
+}
+
+MachineCheckpointPtr
+Machine::runToStep(std::uint64_t step)
+{
+    bootOrRestore();
+    if (ended_)
+        return nullptr;
+    pauseAtStep_ = step;
+    paused_ = false;
+    schedLoop();
+    pauseAtStep_ = ~std::uint64_t{0};
+    if (!paused_)
+        return nullptr; // the run ended first
+    paused_ = false;
+    return checkpoint();
+}
+
+void
+Machine::schedLoop()
+{
     const std::uint64_t maxSteps = opts_.maxSteps;
 
     while (!ended_) {
+        if (steps_ >= pauseAtStep_) [[unlikely]] {
+            paused_ = true;
+            return;
+        }
         if (steps_ >= maxSteps) [[unlikely]] {
             // Hang: the "paste"-style symptom. Profile whoever runs.
-            profileOnFault(current);
-            endRun(RunOutcome::StepLimit, current,
-                   threadRef(current).pc, kSegfaultSite,
+            profileOnFault(schedCurrent_);
+            endRun(RunOutcome::StepLimit, schedCurrent_,
+                   threadRef(schedCurrent_).pc, kSegfaultSite,
                    "step limit exceeded (hang)");
-            break;
+            return;
         }
 
-        Thread &t = *threads_[current];
-        if (!t.runnable() || quantumLeft == 0) {
-            ThreadId next = pickNext(current);
+        Thread &t = *threads_[schedCurrent_];
+        if (!t.runnable() || schedQuantumLeft_ == 0) {
+            ThreadId next = pickNext(schedCurrent_);
             if (!threadRef(next).runnable()) {
                 bool allDone = true;
                 for (const auto &th : threads_) {
@@ -382,29 +530,50 @@ Machine::run()
                     }
                 }
                 if (allDone) {
-                    endRun(RunOutcome::Completed, current, 0, 0, "");
+                    endRun(RunOutcome::Completed, schedCurrent_, 0, 0,
+                           "");
                 } else {
                     profileOnFault(0);
-                    endRun(RunOutcome::Deadlock, current,
-                           threadRef(current).pc, kSegfaultSite,
+                    endRun(RunOutcome::Deadlock, schedCurrent_,
+                           threadRef(schedCurrent_).pc, kSegfaultSite,
                            "deadlock: all live threads blocked");
                 }
-                break;
+                return;
             }
-            if (next != current)
+            if (next != schedCurrent_)
                 ++result_.stats.contextSwitches;
-            current = next;
-            quantumLeft = opts_.sched.quantum;
+            schedCurrent_ = next;
+            schedQuantumLeft_ = opts_.sched.quantum;
+            // Periodic capture sits at the quantum boundary: every
+            // member the per-step protocol reads is consistent here,
+            // and the capture itself draws no RNG and charges no
+            // instructions, so recording checkpoints never perturbs
+            // the trajectory.
+            if (ckptEvery_ != 0 && ckptSink_ &&
+                steps_ - lastCkptStep_ >= ckptEvery_) [[unlikely]] {
+                lastCkptStep_ = steps_;
+                ckptSink_(checkpoint());
+            }
             continue;
         }
 
-        StepStatus status = runQuantum(t, quantumLeft);
+        StepStatus status = runQuantum(t, schedQuantumLeft_);
         if (status == StepStatus::RunEnded)
-            break;
+            return; // outcome decided, or paused_ set mid-quantum
         if (status == StepStatus::SwitchThread)
-            quantumLeft = 0;
+            schedQuantumLeft_ = 0;
         // Continue: the quantum expired; reschedule above.
     }
+}
+
+RunResult
+Machine::run()
+{
+    auto runStart = std::chrono::steady_clock::now();
+    obs::TraceSpan runSpan(obs::TraceCategory::Vm, obs::TraceId::VmRun,
+                           opts_.sched.seed);
+    bootOrRestore();
+    schedLoop();
 
     if (!ended_)
         endRun(RunOutcome::Completed, 0, 0, 0, "");
@@ -499,7 +668,7 @@ Machine::execSync(Thread &t, const Instruction &inst)
         Word one = 1;
         if (!dataAccess(t.id, layout::codeAddr(pc), addr, true, &one))
             return StepStatus::RunEnded;
-        Mutex &mutex = mutexes_[addr];
+        MachineMutex &mutex = mutexes_[addr];
         if (mutex.locked && mutex.owner != t.id) {
             t.state = ThreadState::BlockedOnMutex;
             t.waitMutex = addr;
@@ -522,7 +691,7 @@ Machine::execSync(Thread &t, const Instruction &inst)
                         &zero)) {
             return StepStatus::RunEnded;
         }
-        Mutex &mutex = mutexes_[addr];
+        MachineMutex &mutex = mutexes_[addr];
         mutex.locked = false;
         for (auto &other : threads_) {
             if (other->state == ThreadState::BlockedOnMutex &&

@@ -32,6 +32,7 @@
 #include "diag/report.hh"
 #include "exec/run_cache.hh"
 #include "exec/run_pool.hh"
+#include "exec/snapshot_store.hh"
 #include "fleet/fleet_sim.hh"
 #include "support/logging.hh"
 #include "trace_cli.hh"
@@ -58,7 +59,25 @@ struct CliOptions
     bool runCacheSet = false;       //!< --run-cache given
     RunCacheMode runCache = RunCacheMode::Off;
     std::size_t runCacheBytes = 0;  //!< 0 = the cache's default budget
+    DispatchMode dispatch = DispatchMode::Auto;
+    bool checkpointSet = false;       //!< --checkpoint-every given
+    std::uint64_t checkpointEvery = 0; //!< 0 = √T spacing
+    std::size_t checkpointBytes = 0;  //!< 0 = the store's default
+    bool checkpointReprofile = false; //!< --checkpoint-reprofile
 };
+
+DispatchMode
+parseDispatch(const std::string &text)
+{
+    if (text == "auto")
+        return DispatchMode::Auto;
+    if (text == "threaded")
+        return DispatchMode::Threaded;
+    if (text == "switch")
+        return DispatchMode::Switch;
+    fatal("unknown dispatch mode '{}' (want auto|threaded|switch)",
+          text);
+}
 
 void
 usage()
@@ -88,12 +107,35 @@ usage()
         << "  --trace FILE      record trace events for the run and\n"
            "                    dump them to FILE (.json = Chrome\n"
            "                    trace_event, else binary STMT)\n"
+        << "\nrun-execution flags (every mode is result-invariant:\n"
+           "the ranking is bit-identical whatever you pick — see\n"
+           "README 'Execution knobs'):\n"
+        << "  --dispatch MODE   auto|threaded|switch: interpreter\n"
+           "                    dispatch loop (default auto =\n"
+           "                    threaded where compiled in)\n"
         << "  --run-cache MODE  off|on|verify: memoize identical runs\n"
            "                    (default: STM_RUN_CACHE env, else "
            "off;\n"
            "                    verify re-executes every hit and\n"
            "                    asserts bit-identical results)\n"
-        << "  --run-cache-mb N  run-cache byte budget in MiB\n";
+        << "  --run-cache-mb N  run-cache byte budget in MiB\n"
+           "                    (default: STM_RUN_CACHE_MB, else "
+           "256)\n"
+        << "  --checkpoint-every N\n"
+           "                    record CoW machine checkpoints every\n"
+           "                    N steps into the snapshot store so\n"
+           "                    replays seek in O(sqrt T) instead of\n"
+           "                    re-executing from step 0 (N=0 picks\n"
+           "                    sqrt-T spacing; default: the\n"
+           "                    STM_CHECKPOINT_EVERY env, else off)\n"
+        << "  --checkpoint-mb N snapshot-store byte budget in MiB\n"
+           "                    (default: STM_CHECKPOINT_MB, else "
+           "256)\n"
+        << "  --checkpoint-reprofile\n"
+           "                    reactive LBRA/LCRA: re-profile the\n"
+           "                    pinning seed under the new plan from\n"
+           "                    its latest checkpoint instead of\n"
+           "                    waiting for a fresh failing seed\n";
 }
 
 bool
@@ -159,6 +201,26 @@ try {
                 return false;
             out->runCacheBytes = std::stoul(v) * std::size_t{1024} *
                                  std::size_t{1024};
+        } else if (arg == "--dispatch") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->dispatch = parseDispatch(v);
+        } else if (arg == "--checkpoint-every") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->checkpointEvery = std::stoull(v);
+            out->checkpointSet = true;
+        } else if (arg == "--checkpoint-mb") {
+            const char *v = next();
+            if (!v)
+                return false;
+            out->checkpointBytes = std::stoul(v) * std::size_t{1024} *
+                                   std::size_t{1024};
+            out->checkpointSet = true;
+        } else if (arg == "--checkpoint-reprofile") {
+            out->checkpointReprofile = true;
         } else if (arg == "--help" || arg == "-h") {
             return false;
         } else if (!arg.empty() && arg[0] != '-') {
@@ -223,6 +285,9 @@ main(int argc, char **argv)
         setDefaultJobs(cli.jobs);
     if (cli.runCacheSet)
         configureRunCache(cli.runCache, cli.runCacheBytes);
+    if (cli.checkpointSet || cli.checkpointReprofile)
+        configureSnapshotStore(true, cli.checkpointEvery,
+                               cli.checkpointBytes);
 
     BugSpec bug;
     try {
@@ -310,6 +375,8 @@ main(int argc, char **argv)
         opts.scheme = cli.proactive
                           ? transform::SuccessSiteScheme::Proactive
                           : transform::SuccessSiteScheme::Reactive;
+        opts.dispatch = cli.dispatch;
+        opts.checkpointReprofile = cli.checkpointReprofile;
         AutoDiagResult result =
             tool == "lbra"
                 ? runLbra(bug.program, bug.failing, bug.succeeding,
